@@ -1,0 +1,55 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Every benchmark regenerates the data behind one table/figure of the
+paper, prints the same rows/series the paper plots, saves them under
+``benchmarks/results/``, and asserts the qualitative shape.
+
+Scale knobs (environment variables):
+
+- ``REPRO_BENCH_REQUESTS``: host requests per SSD simulation (default 8000)
+- ``REPRO_BENCH_WARMUP``: warm-up requests excluded from stats (default 2500)
+- ``REPRO_BENCH_BLOCKS``: blocks per chip of the simulated SSD (default 48;
+  the paper's full device uses 428 -- set it for paper-scale runs)
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.characterization.harness import CharacterizationStudy, StudyConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_REQUESTS = int(os.environ.get("REPRO_BENCH_REQUESTS", "8000"))
+BENCH_WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", "2500"))
+BENCH_BLOCKS = int(os.environ.get("REPRO_BENCH_BLOCKS", "48"))
+BENCH_QUEUE_DEPTH = int(os.environ.get("REPRO_BENCH_QD", "32"))
+
+
+def emit(name: str, text: str) -> None:
+    """Print a figure's regenerated rows and persist them to disk."""
+    banner = f"===== {name} ====="
+    print(f"\n{banner}\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def study():
+    """A characterization study shared by the Fig. 5/6 benchmarks."""
+    return CharacterizationStudy(StudyConfig(n_chips=4, blocks_per_chip=8))
+
+
+@pytest.fixture(scope="session")
+def bench_ssd_config():
+    from repro.nand.geometry import BlockGeometry, SSDGeometry
+    from repro.ssd.config import SSDConfig
+
+    geometry = SSDGeometry(
+        n_channels=2,
+        chips_per_channel=4,
+        blocks_per_chip=BENCH_BLOCKS,
+        block=BlockGeometry(),
+    )
+    return SSDConfig(geometry=geometry)

@@ -1,0 +1,63 @@
+"""Shared SSD-simulation runner for the evaluation benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from benchmarks.conftest import BENCH_QUEUE_DEPTH, BENCH_REQUESTS, BENCH_WARMUP
+from repro.nand.reliability import AgingState
+from repro.ssd.config import SSDConfig
+from repro.ssd.controller import SSDSimulation
+from repro.ssd.stats import SimulationStats
+from repro.workloads import make_workload
+
+#: the paper's three aging conditions (Section 6.2)
+AGING_STATES = {
+    "fresh (0K P/E)": AgingState(0, 0.0),
+    "2K P/E + 1-month": AgingState(2000, 1.0),
+    "2K P/E + 1-year": AgingState(2000, 12.0),
+}
+
+WORKLOADS = ["Mail", "Web", "Proxy", "OLTP", "Rocks", "Mongo"]
+
+FTLS = ["page", "vert", "cube"]
+
+
+def run_one(
+    config: SSDConfig,
+    ftl: str,
+    workload: str,
+    aging: AgingState,
+    seed: int = 7,
+    prefill: float = 0.9,
+    n_requests: int = None,
+    warmup: int = None,
+    queue_depth: int = None,
+) -> SimulationStats:
+    """Prefill an SSD and replay one workload against one FTL."""
+    n_requests = n_requests if n_requests is not None else BENCH_REQUESTS
+    warmup = warmup if warmup is not None else BENCH_WARMUP
+    queue_depth = queue_depth if queue_depth is not None else BENCH_QUEUE_DEPTH
+    sim = SSDSimulation(config.with_aging(aging), ftl=ftl)
+    sim.prefill(prefill)
+    trace = make_workload(workload, sim.config.logical_pages, n_requests, seed=seed)
+    return sim.run(trace, queue_depth=queue_depth, warmup_requests=warmup)
+
+
+def run_matrix(
+    config: SSDConfig,
+    aging: AgingState,
+    ftls=None,
+    workloads=None,
+    seed: int = 7,
+) -> Dict[str, Dict[str, SimulationStats]]:
+    """workload -> ftl-name -> stats, for one aging condition."""
+    ftls = ftls if ftls is not None else FTLS
+    workloads = workloads if workloads is not None else WORKLOADS
+    results: Dict[str, Dict[str, SimulationStats]] = {}
+    for workload in workloads:
+        results[workload] = {}
+        for ftl in ftls:
+            stats = run_one(config, ftl, workload, aging, seed=seed)
+            results[workload][stats.ftl_name] = stats
+    return results

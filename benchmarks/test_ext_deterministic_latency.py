@@ -1,0 +1,108 @@
+"""Extension bench -- deterministic latency from process similarity.
+
+Section 8 of the paper proposes using the horizontal similarity to build
+SSDs with *highly deterministic* latency.  This bench quantifies it:
+
+- program side: predict each follower program's tPROG from the leader's
+  monitored parameters and compare with the actual latency, against a
+  PS-unaware estimator that can only use the datasheet number;
+- read side (end of life): predict reads at one sense using the ORT, and
+  measure how often retries break the prediction, against the PS-unaware
+  retry sweep.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import format_table
+from repro.core.latency_predictor import LatencyPredictor, PredictionStats
+from repro.core.opm import OptimalParameterManager
+from repro.nand.chip import NandChip
+from repro.nand.read_retry import ReadParams
+from repro.nand.reliability import AgingState
+
+N_BLOCKS = 8
+
+
+def regenerate():
+    chip = NandChip(chip_id=0, n_blocks=N_BLOCKS, env_shift_prob=0.0)
+    opm = OptimalParameterManager(chip.ispp)
+    predictor = LatencyPredictor(opm, chip.timing)
+    naive = PredictionStats()
+
+    for block in range(N_BLOCKS):
+        for layer in range(chip.geometry.n_layers):
+            leader = chip.program_wl(block, layer, 0)
+            opm.record_leader(0, block, layer, leader)
+            naive.record(predictor.predict_program_default_us(), leader.t_prog_us)
+            predicted = predictor.predict_program_us(0, block, layer)
+            params = opm.follower_params(0, block, layer)
+            for wl in range(1, chip.geometry.wls_per_layer):
+                actual = chip.program_wl(block, layer, wl, params=params)
+                predictor.record_program(predicted, actual.t_prog_us)
+                naive.record(
+                    predictor.predict_program_default_us(), actual.t_prog_us
+                )
+
+    # read side at end of life
+    aged = NandChip(chip_id=1, n_blocks=2, env_shift_prob=0.0)
+    aged.set_baseline_aging(AgingState(2000, 12.0))
+    read_aware = PredictionStats()
+    read_naive = PredictionStats()
+    for block in range(2):
+        for layer in range(aged.geometry.n_layers):
+            for wl in range(aged.geometry.wls_per_layer):
+                aged.program_wl(block, layer, wl)
+            for wl in range(aged.geometry.wls_per_layer):
+                for page in range(aged.geometry.pages_per_wl):
+                    hint = opm.ort.get(1, block, layer)
+                    result = aged.read_page(
+                        block, layer, wl, page, ReadParams(offset_hint=hint)
+                    )
+                    opm.ort.update(1, block, layer, result.final_offset)
+                    read_aware.record(aged.timing.read_us(0), result.t_read_us)
+                    baseline = aged.read_page(block, layer, wl, page)
+                    read_naive.record(aged.timing.read_us(0), baseline.t_read_us)
+
+    rows = [
+        ["program, PS-aware", len(predictor.program_stats),
+         round(predictor.program_stats.mean_abs_error_us, 2),
+         round(predictor.program_stats.percentile_abs_error(99), 1),
+         f"{100 * predictor.program_stats.exact_fraction:.1f} %"],
+        ["program, PS-unaware", len(naive),
+         round(naive.mean_abs_error_us, 2),
+         round(naive.percentile_abs_error(99), 1),
+         f"{100 * naive.exact_fraction:.1f} %"],
+        ["read @EOL, PS-aware (ORT)", len(read_aware),
+         round(read_aware.mean_abs_error_us, 2),
+         round(read_aware.percentile_abs_error(99), 1),
+         f"{100 * read_aware.exact_fraction:.1f} %"],
+        ["read @EOL, PS-unaware", len(read_naive),
+         round(read_naive.mean_abs_error_us, 2),
+         round(read_naive.percentile_abs_error(99), 1),
+         f"{100 * read_naive.exact_fraction:.1f} %"],
+    ]
+    text = (
+        "Deterministic latency (paper Section 8 extension):\n"
+        + format_table(
+            ["estimator", "ops", "mean |err| us", "p99 |err| us", "exact"], rows
+        )
+    )
+    return text, predictor.program_stats, naive, read_aware, read_naive
+
+
+def test_deterministic_latency(benchmark):
+    text, aware, naive, read_aware, read_naive = benchmark.pedantic(
+        regenerate, rounds=1, iterations=1
+    )
+    emit("ext_deterministic_latency", text)
+    # follower programs are predicted exactly
+    assert aware.exact_fraction > 0.99
+    # the PS-unaware estimator misses by tens of microseconds at p99
+    assert naive.percentile_abs_error(99) > 50.0
+    assert naive.exact_fraction < 0.8
+    # ORT reads are far more predictable than retry sweeps
+    assert read_aware.mean_abs_error_us < 0.5 * read_naive.mean_abs_error_us
+    assert read_aware.exact_fraction > 0.5
+    assert read_aware.exact_fraction > 3 * read_naive.exact_fraction

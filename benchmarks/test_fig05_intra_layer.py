@@ -1,0 +1,67 @@
+"""Fig. 5 -- horizontal intra-layer similarity.
+
+Regenerates: (a)/(b) per-WL normalized BER on the four representative
+h-layers at 1 K P/E + 1 mo and 2 K P/E + 1 yr; (c) Delta-H across blocks
+under varying aging; (d) per-WL tPROG of one block.
+
+Paper result: the four WLs of every h-layer are virtually equivalent
+(Delta-H = 1), for every block and aging condition, and share the same
+tPROG.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import format_table
+from repro.characterization import experiments as exp
+from repro.nand.reliability import AgingState
+
+AGING_MID = AgingState(1000, 1.0)
+AGING_EOL = AgingState(2000, 12.0)
+
+
+def regenerate(study):
+    lines = []
+    for aging, label in [(AGING_MID, "1K P/E + 1-month"), (AGING_EOL, "2K P/E + 1-year")]:
+        data = exp.fig5_intra_layer_ber(study, aging)
+        rows = [
+            [name, stats["layer"]]
+            + [round(v, 3) for v in stats["normalized_ber"]]
+            + [round(stats["delta_h"], 4)]
+            for name, stats in data.items()
+        ]
+        lines.append(f"Fig 5(a/b) -- normalized BER per WL, {label}:")
+        lines.append(
+            format_table(["h-layer", "index", "WL1", "WL2", "WL3", "WL4", "dH"], rows)
+        )
+        lines.append("")
+    delta_h = exp.fig5c_delta_h_over_blocks(
+        study, [AgingState(1000, 1.0), AgingState(2000, 1.0), AGING_EOL]
+    )
+    rows = [
+        [f"{pe} P/E, {ret} mo", round(s["mean"], 4), round(s["p99"], 4), round(s["max"], 4)]
+        for (pe, ret), s in delta_h.items()
+    ]
+    lines.append("Fig 5(c) -- Delta-H across all sampled blocks:")
+    lines.append(format_table(["condition", "mean", "p99", "max"], rows))
+    lines.append("")
+    t_prog = exp.fig5d_t_prog_per_wl(study)
+    sample_layers = [0, 5, 24, 43, 47]
+    rows = [[layer] + [round(t, 1) for t in t_prog[layer]] for layer in sample_layers]
+    lines.append("Fig 5(d) -- tPROG (us) per WL (sample h-layers):")
+    lines.append(format_table(["h-layer", "WL1", "WL2", "WL3", "WL4"], rows))
+    return "\n".join(lines), data, delta_h, t_prog
+
+
+def test_fig5_intra_layer_similarity(benchmark, study):
+    text, data, delta_h, t_prog = benchmark.pedantic(
+        lambda: regenerate(study), rounds=1, iterations=1
+    )
+    emit("fig05_intra_layer", text)
+    # paper shape: Delta-H virtually 1 everywhere
+    for stats in data.values():
+        assert stats["delta_h"] < 1.03
+    for condition in delta_h.values():
+        assert condition["max"] < 1.06
+    # tPROG identical within each h-layer
+    assert all(np.ptp(t_prog[layer]) == 0 for layer in range(t_prog.shape[0]))

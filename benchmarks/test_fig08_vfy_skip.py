@@ -1,0 +1,57 @@
+"""Fig. 8 -- the effect of skipped VFYs.
+
+Regenerates: (a) per-state BER as extra verifies are skipped past the
+safe point, plus the tPROG saving of the full safe-skip plan; (b) the
+distribution of N_skip per state across h-layers.
+
+Paper result: P1 can safely skip 1 verify and P7 can skip 7; skipping
+more over-programs fast cells (BER rises); safe skipping alone cuts the
+average tPROG by ~16.2 %.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import format_table
+from repro.characterization import experiments as exp
+
+
+def regenerate():
+    data = exp.fig8a_ber_vs_skips()
+    lines = ["Fig 8(a) -- BER penalty vs extra skips past the safe point:"]
+    rows = [
+        [f"P{state}", data[state]["safe_skips"]]
+        + [round(p, 2) for p in data[state]["ber_penalty_by_extra_skip"]]
+        for state in range(1, 8)
+    ]
+    lines.append(
+        format_table(["state", "N_skip safe", "+0", "+1", "+2", "+3", "+4"], rows)
+    )
+    reduction = data["t_prog_reduction"]
+    lines.append("")
+    lines.append(
+        f"full safe-skip plan: {reduction['total_safe_skips']} VFYs skipped, "
+        f"tPROG {reduction['default_us']:.1f} -> {reduction['skipped_us']:.1f} us "
+        f"({100 * reduction['reduction_fraction']:.1f} % reduction; paper: 16.2 %)"
+    )
+    dist = exp.fig8b_skip_distribution(n_blocks=16)
+    lines.append("")
+    lines.append("Fig 8(b) -- N_skip distribution per state across h-layers:")
+    rows = [
+        [f"P{state}", dist[state]["min"], round(dist[state]["mean"], 2),
+         dist[state]["max"]]
+        for state in range(1, 8)
+    ]
+    lines.append(format_table(["state", "min", "mean", "max"], rows))
+    return "\n".join(lines), data, dist
+
+
+def test_fig8_vfy_skipping(benchmark):
+    text, data, dist = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    emit("fig08_vfy_skip", text)
+    assert [data[s]["safe_skips"] for s in range(1, 8)] == [1, 2, 3, 4, 5, 6, 7]
+    assert 0.13 <= data["t_prog_reduction"]["reduction_fraction"] <= 0.19
+    for state in range(1, 8):
+        penalties = data[state]["ber_penalty_by_extra_skip"]
+        assert penalties[0] == 1.0
+        assert penalties[-1] > penalties[0]
+    means = [dist[s]["mean"] for s in range(1, 8)]
+    assert means == sorted(means)

@@ -1,0 +1,43 @@
+"""Fig. 10 -- V_start/V_final adjustment margins over different h-layers.
+
+Regenerates: (a) the maximum safe window adjustment of each
+representative h-layer (fresh vs. end of life); (b) BER growth as the
+window is tightened.
+
+Paper result: good layers afford large margins, bad layers small ones;
+margins shrink with aging; BER grows monotonically past the margin.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import format_table
+from repro.characterization import experiments as exp
+from repro.nand.reliability import AgingState, ReliabilityModel
+
+
+def regenerate():
+    reliability = ReliabilityModel()
+    fresh = exp.fig10_adjustment_margins(reliability, AgingState(0, 0))
+    aged = exp.fig10_adjustment_margins(reliability, AgingState(2000, 12.0))
+    lines = ["Fig 10(a) -- max safe window adjustment per h-layer (mV):"]
+    rows = [
+        [name, fresh[name]["layer"], round(fresh[name]["max_safe_margin_mv"]),
+         round(aged[name]["max_safe_margin_mv"])]
+        for name in ("alpha", "beta", "kappa", "omega")
+    ]
+    lines.append(format_table(["h-layer", "index", "fresh", "2K+1yr"], rows))
+    curve = exp.fig10b_ber_vs_margin()
+    lines.append("")
+    lines.append("Fig 10(b) -- BER multiplier vs window adjustment:")
+    rows = [[f"{margin} mV", round(multiplier, 3)] for margin, multiplier in curve.items()]
+    lines.append(format_table(["adjustment", "BER multiplier"], rows))
+    return "\n".join(lines), fresh, aged, curve
+
+
+def test_fig10_adjustment_margins(benchmark):
+    text, fresh, aged, curve = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    emit("fig10_margins", text)
+    assert fresh["beta"]["max_safe_margin_mv"] > fresh["kappa"]["max_safe_margin_mv"]
+    for name in ("alpha", "beta", "kappa", "omega"):
+        assert aged[name]["max_safe_margin_mv"] < fresh[name]["max_safe_margin_mv"]
+    values = [curve[m] for m in sorted(curve)]
+    assert values == sorted(values)

@@ -1,0 +1,45 @@
+"""Fig. 11 -- V_start/V_final adjustment based on BER_EP1.
+
+Regenerates: (a) the correlation between the monitored E<->P1 BER and
+the retention BER; (b) the S_M -> total-adjustment-margin conversion and
+the resulting tPROG reduction.
+
+Paper anchors: BER_EP1 accurately predicts NAND health; S_M = 1.7 maps
+to a 320 mV margin which cuts tPROG by ~19.7 %.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import format_table
+from repro.characterization import experiments as exp
+
+
+def regenerate():
+    correlation = exp.fig11a_ber_ep1_correlation()
+    conversion = exp.fig11b_margin_conversion()
+    lines = [
+        "Fig 11(a) -- BER_EP1 vs retention BER: "
+        f"correlation = {correlation['correlation']:.3f} over "
+        f"{len(correlation['ber_ep1'])} (layer, aging) samples",
+        "",
+        "Fig 11(b) -- S_M -> margin -> tPROG reduction:",
+    ]
+    rows = [
+        [s_m, round(stats["margin_mv"]), round(stats["t_prog_us"], 1),
+         f"{100 * stats['t_prog_reduction']:.1f} %"]
+        for s_m, stats in conversion.items()
+    ]
+    lines.append(format_table(["S_M", "margin (mV)", "tPROG (us)", "reduction"], rows))
+    return "\n".join(lines), correlation, conversion
+
+
+def test_fig11_sm_conversion(benchmark):
+    text, correlation, conversion = benchmark.pedantic(
+        regenerate, rounds=1, iterations=1
+    )
+    emit("fig11_sm_conversion", text)
+    assert correlation["correlation"] > 0.95
+    anchor = conversion[1.7]
+    assert anchor["margin_mv"] == 320.0
+    assert 0.15 <= anchor["t_prog_reduction"] <= 0.30
+    reductions = [conversion[s]["t_prog_reduction"] for s in sorted(conversion)]
+    assert all(b >= a for a, b in zip(reductions, reductions[1:]))

@@ -1,0 +1,35 @@
+"""Fig. 13 -- normalized BER over different program sequences.
+
+Regenerates the reliability comparison of horizontal-first,
+vertical-first, and mixed-order programming of whole blocks.
+
+Paper result: the three sequences are virtually equivalent (maximum
+difference below 3 %, attributable to RTN), because SL transistors
+isolate the WLs of an h-layer.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import format_table
+from repro.characterization import experiments as exp
+
+
+def regenerate():
+    data = exp.fig13_program_order_ber()
+    rows = [
+        [name, round(stats["normalized_mean_ber"], 4),
+         f"{100 * stats['max_wl_deviation']:.2f} %"]
+        for name, stats in data.items()
+    ]
+    text = "Fig 13 -- normalized BER per program sequence:\n" + format_table(
+        ["sequence", "mean BER (norm.)", "max per-WL deviation"], rows
+    )
+    return text, data
+
+
+def test_fig13_program_orders_equivalent(benchmark):
+    text, data = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    emit("fig13_program_order", text)
+    assert set(data) == {"horizontal-first", "vertical-first", "mixed"}
+    for stats in data.values():
+        assert abs(stats["normalized_mean_ber"] - 1.0) < 0.03
+        assert stats["max_wl_deviation"] < 0.03

@@ -1,0 +1,46 @@
+"""Fig. 14 -- effect of the PS-aware read.
+
+Regenerates the NumRetry distributions of the PS-unaware scheme (every
+read starts from the default references) and the PS-aware scheme (reads
+start from the ORT entry of the page's h-layer), on end-of-life blocks.
+
+Paper result: the PS-aware scheme concentrates the distribution at 0-1
+retries, reducing the mean NumRetry by ~66 %.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import format_table
+from repro.characterization import experiments as exp
+from repro.nand.reliability import AgingState
+
+
+def regenerate():
+    data = exp.fig14_read_retry_distribution(
+        aging=AgingState(2000, 12.0), n_blocks=10
+    )
+    length = max(len(data["unaware_histogram"]), len(data["aware_histogram"]))
+    unaware = data["unaware_histogram"] + [0] * (length - len(data["unaware_histogram"]))
+    aware = data["aware_histogram"] + [0] * (length - len(data["aware_histogram"]))
+    total = sum(unaware)
+    rows = [
+        [retries, f"{100 * unaware[retries] / total:.1f} %",
+         f"{100 * aware[retries] / total:.1f} %"]
+        for retries in range(length)
+    ]
+    lines = ["Fig 14 -- NumRetry distribution at 2K P/E + 1-year retention:"]
+    lines.append(format_table(["NumRetry", "PS-unaware", "PS-aware (ORT)"], rows))
+    lines.append("")
+    lines.append(
+        f"mean NumRetry: {data['unaware_mean']:.2f} -> {data['aware_mean']:.2f} "
+        f"({100 * data['reduction']:.1f} % reduction; paper: 66 %)"
+    )
+    return "\n".join(lines), data
+
+
+def test_fig14_read_retry_reduction(benchmark):
+    text, data = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    emit("fig14_read_retry", text)
+    assert 0.5 <= data["reduction"] <= 0.9
+    assert data["aware_mean"] < data["unaware_mean"]
+    aware = data["aware_histogram"]
+    assert sum(aware[:2]) / sum(aware) > 0.8

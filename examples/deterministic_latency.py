@@ -1,0 +1,57 @@
+"""Deterministic latency from process similarity (paper Section 8).
+
+The paper's closing observation: because the horizontal similarity makes
+flash parameters *predictable*, an SSD can promise deterministic response
+times -- an answer to the long-tail problem.  This example quantifies it
+on the device model: once an h-layer's leader has been monitored, every
+follower program's latency is known in advance to the microsecond, while
+a PS-unaware estimator (stuck with the datasheet's nominal tPROG) misses
+by up to hundreds of microseconds on slow layers.
+
+Run:  python examples/deterministic_latency.py
+"""
+
+from repro.analysis.ascii_plot import cdf_chart
+from repro.core.latency_predictor import LatencyPredictor, PredictionStats
+from repro.core.opm import OptimalParameterManager
+from repro.nand.chip import NandChip
+
+
+def main() -> None:
+    chip = NandChip(chip_id=0, n_blocks=4, env_shift_prob=0.0)
+    opm = OptimalParameterManager(chip.ispp)
+    predictor = LatencyPredictor(opm, chip.timing)
+    naive = PredictionStats()
+
+    for block in range(chip.n_blocks):
+        for layer in range(chip.geometry.n_layers):
+            leader = chip.program_wl(block, layer, 0)
+            opm.record_leader(0, block, layer, leader)
+            naive.record(predictor.predict_program_default_us(), leader.t_prog_us)
+            predicted = predictor.predict_program_us(0, block, layer)
+            params = opm.follower_params(0, block, layer)
+            for wl in range(1, chip.geometry.wls_per_layer):
+                actual = chip.program_wl(block, layer, wl, params=params)
+                predictor.record_program(predicted, actual.t_prog_us)
+                naive.record(
+                    predictor.predict_program_default_us(), actual.t_prog_us
+                )
+
+    aware = predictor.program_stats
+    print(f"PS-aware  : {len(aware)} follower programs, "
+          f"mean |error| {aware.mean_abs_error_us:.2f} us, "
+          f"p99 |error| {aware.percentile_abs_error(99):.1f} us, "
+          f"{100 * aware.exact_fraction:.1f} % exact")
+    print(f"PS-unaware: {len(naive)} programs, "
+          f"mean |error| {naive.mean_abs_error_us:.2f} us, "
+          f"p99 |error| {naive.percentile_abs_error(99):.1f} us, "
+          f"{100 * naive.exact_fraction:.1f} % exact")
+    print("\nprediction-error CDFs (us):")
+    print(cdf_chart({
+        "PS-aware": [abs(e) for e in aware.errors_us],
+        "PS-unaware": [abs(e) for e in naive.errors_us],
+    }, width=56, height=10))
+
+
+if __name__ == "__main__":
+    main()

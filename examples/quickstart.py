@@ -1,0 +1,71 @@
+"""Quickstart: process similarity at the chip level, end to end.
+
+Programs the leading WL of an h-layer with default (conservative)
+parameters, monitors its per-state ISPP loop intervals and E<->P1 BER,
+and then programs the remaining WLs of the h-layer as fast *followers* --
+skipping redundant verifies and tightening the (V_start, V_final) window
+exactly as cubeFTL's OPM does.  Finally demonstrates the PS-aware read
+path: the first read of an aged h-layer pays retries, subsequent reads of
+*any* WL on that h-layer reuse the learned offset.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.maxloop import DEFAULT_MARGIN_TABLE, spare_margin
+from repro.core.ort import OptimalReadTable
+from repro.nand.chip import NandChip
+from repro.nand.read_retry import ReadParams
+from repro.nand.reliability import AgingState
+
+
+def main() -> None:
+    chip = NandChip(chip_id=0, n_blocks=4, env_shift_prob=0.0)
+    block, layer = 0, 20
+
+    # --- program side -------------------------------------------------
+    print("== program-latency optimization (Sections 4.1.1/4.1.2) ==")
+    leader = chip.program_wl(block, layer, wl=0)
+    print(f"leader WL  : tPROG = {leader.t_prog_us:7.1f} us "
+          f"({leader.ispp.executed_loops} loops, {leader.ispp.vfy_count} VFYs)")
+
+    # what the OPM derives from the monitored values
+    s_m = spare_margin(leader.ber_ep1)
+    margin_mv = DEFAULT_MARGIN_TABLE.margin_mv(s_m)
+    print(f"monitored  : BER_EP1 = {leader.ber_ep1:.2e}  ->  S_M = {s_m:.2f}"
+          f"  ->  window margin = {margin_mv:.0f} mV")
+
+    params = chip.ispp.follower_params(
+        leader.monitored, window_squeeze_mv=int(margin_mv)
+    )
+    for wl in (1, 2, 3):
+        follower = chip.program_wl(block, layer, wl, params=params)
+        saving = 100 * (1 - follower.t_prog_us / leader.t_prog_us)
+        print(f"follower {wl} : tPROG = {follower.t_prog_us:7.1f} us "
+              f"({follower.ispp.vfy_skipped} VFYs skipped, "
+              f"{saving:.1f} % faster, clean={follower.ispp.clean})")
+
+    # --- read side ------------------------------------------------------
+    print("\n== read-latency optimization (Section 4.2) ==")
+    aged = NandChip(chip_id=1, n_blocks=4, env_shift_prob=0.0)
+    aged.set_baseline_aging(AgingState(2000, 12.0))  # end of life
+    for wl in range(4):
+        aged.program_wl(block, layer, wl)
+
+    ort = OptimalReadTable()
+    total_unaware = 0
+    total_aware = 0
+    for wl in range(4):
+        for page in range(3):
+            baseline = aged.read_page(block, layer, wl, page)
+            total_unaware += baseline.num_retry
+            hint = ort.get(aged.chip_id, block, layer)
+            result = aged.read_page(block, layer, wl, page,
+                                    ReadParams(offset_hint=hint))
+            ort.update(aged.chip_id, block, layer, result.final_offset)
+            total_aware += result.num_retry
+    print(f"12 reads of one aged h-layer: "
+          f"{total_unaware} retries PS-unaware vs {total_aware} with the ORT")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Analysis helpers for evaluation outputs (tables, CDFs, charts)."""
+
+from repro.analysis.ascii_plot import bar_chart, cdf_chart, series_chart
+from repro.analysis.distributions import cdf_points, histogram, percentile_table
+from repro.analysis.tables import format_table, normalized_iops_table
+
+__all__ = [
+    "format_table",
+    "normalized_iops_table",
+    "cdf_points",
+    "histogram",
+    "percentile_table",
+    "bar_chart",
+    "cdf_chart",
+    "series_chart",
+]

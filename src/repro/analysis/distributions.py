@@ -1,0 +1,38 @@
+"""Distribution utilities: CDFs, histograms, percentile tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def cdf_points(samples: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: (sorted values, cumulative fractions)."""
+    array = np.sort(np.asarray(samples, dtype=float))
+    if array.size == 0:
+        return np.array([]), np.array([])
+    fractions = np.arange(1, array.size + 1) / array.size
+    return array, fractions
+
+
+def histogram(samples: Sequence[int], max_value: int = None) -> List[int]:
+    """Integer histogram (e.g. NumRetry counts), zero-padded."""
+    array = np.asarray(samples, dtype=int)
+    if array.size == 0:
+        return []
+    if (array < 0).any():
+        raise ValueError("samples must be non-negative")
+    length = (max_value if max_value is not None else int(array.max())) + 1
+    return np.bincount(array, minlength=length).tolist()[:length]
+
+
+def percentile_table(
+    samples: Sequence[float],
+    percentiles: Sequence[float] = (50, 80, 90, 95, 99),
+) -> Dict[float, float]:
+    """Selected percentiles of a sample set."""
+    array = np.asarray(samples, dtype=float)
+    if array.size == 0:
+        return {p: 0.0 for p in percentiles}
+    return {p: float(np.percentile(array, p)) for p in percentiles}

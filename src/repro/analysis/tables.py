@@ -1,0 +1,57 @@
+"""Plain-text table formatting for benchmark output (paper-style rows)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render a fixed-width text table."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(float_format.format(cell))
+            else:
+                cells.append(str(cell))
+        rendered.append(cells)
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered)) if rendered else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [fmt_row([str(h) for h in headers])]
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def normalized_iops_table(
+    results: Dict[str, Dict[str, float]],
+    baseline: str = "pageFTL",
+) -> str:
+    """Fig. 17-style table: rows = workloads, columns = FTLs, values
+    normalized over the baseline FTL."""
+    workloads = sorted(results)
+    ftls: List[str] = []
+    for per_workload in results.values():
+        for ftl in per_workload:
+            if ftl not in ftls:
+                ftls.append(ftl)
+    if baseline not in ftls:
+        raise ValueError(f"baseline {baseline!r} missing from results")
+    rows = []
+    for workload in workloads:
+        per_workload = results[workload]
+        base = per_workload[baseline]
+        rows.append(
+            [workload] + [per_workload.get(ftl, float("nan")) / base for ftl in ftls]
+        )
+    return format_table(["workload"] + ftls, rows)

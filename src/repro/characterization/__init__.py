@@ -1,0 +1,22 @@
+"""The paper's Section 3 process-characterization study, in simulation.
+
+The original study used 160 real 3D TLC chips on an in-house test board
+(P/E cycling plus temperature-accelerated retention bakes).  Here the
+same *protocol* runs against the device model: select blocks spread over
+chips, cycle them, bake them, and count retention errors per WL --
+producing the ``N_ret(w_ij, x, t)`` surfaces behind Figs. 5 and 6 and the
+derived metrics Delta-V and Delta-H.
+"""
+
+from repro.characterization.metrics import delta_h, delta_v, normalize_over_best
+from repro.characterization.harness import CharacterizationStudy, StudyConfig
+from repro.characterization import experiments
+
+__all__ = [
+    "delta_h",
+    "delta_v",
+    "normalize_over_best",
+    "CharacterizationStudy",
+    "StudyConfig",
+    "experiments",
+]

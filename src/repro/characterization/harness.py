@@ -1,0 +1,130 @@
+"""Characterization harness: the Section 3.1 methodology against the
+device model.
+
+The study protocol: pick chips, select blocks evenly across each chip,
+pre-cycle them to a target P/E count, bake to a target retention time,
+then read every WL and count raw retention bit errors.  The harness
+returns dense numpy grids indexed ``[block, layer, wl]`` per aging
+condition, from which the experiments module derives every Fig. 5/6
+series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.nand.chip import NandChip
+from repro.nand.geometry import BlockGeometry
+from repro.nand.reliability import AgingState
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Scope of a characterization run.
+
+    The paper used 160 chips x 128 blocks (more than 20 000 blocks,
+    11.5 M pages); the default here is smaller but follows the same
+    sampling structure.  Scale ``n_chips``/``blocks_per_chip`` up for
+    paper-scale statistics.
+    """
+
+    n_chips: int = 8
+    blocks_per_chip: int = 16
+    geometry: BlockGeometry = field(default_factory=BlockGeometry)
+    seed: int = 0
+
+    @property
+    def total_blocks(self) -> int:
+        return self.n_chips * self.blocks_per_chip
+
+    @property
+    def total_wls(self) -> int:
+        return self.total_blocks * self.geometry.wls_per_block
+
+    @property
+    def total_pages(self) -> int:
+        return self.total_wls * self.geometry.pages_per_wl
+
+
+class CharacterizationStudy:
+    """Runs the N_ret measurement protocol over a grid of aging states."""
+
+    def __init__(self, config: StudyConfig = StudyConfig()) -> None:
+        self.config = config
+        self.chips: List[NandChip] = [
+            NandChip(
+                chip_id=chip_id,
+                n_blocks=config.blocks_per_chip,
+                geometry=config.geometry,
+            )
+            for chip_id in range(config.n_chips)
+        ]
+        # blocks sampled evenly across each chip's address space
+        self.sampled_blocks = list(range(config.blocks_per_chip))
+        self._cache: Dict[Tuple[int, float], np.ndarray] = {}
+
+    def measure(self, aging: AgingState) -> np.ndarray:
+        """N_ret for every sampled WL under one aging condition.
+
+        Returns an int array of shape
+        ``(n_chips * blocks_per_chip, n_layers, wls_per_layer)``.
+        """
+        key = (aging.pe_cycles, aging.retention_months)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        geometry = self.config.geometry
+        result = np.zeros(
+            (self.config.total_blocks, geometry.n_layers, geometry.wls_per_layer),
+            dtype=np.int64,
+        )
+        row = 0
+        for chip in self.chips:
+            for block in self.sampled_blocks:
+                for layer in range(geometry.n_layers):
+                    for wl in range(geometry.wls_per_layer):
+                        result[row, layer, wl] = chip.measure_retention_errors(
+                            block, layer, wl, aging
+                        )
+                row += 1
+        self._cache[key] = result
+        return result
+
+    def measure_grid(
+        self, pe_points: Sequence[int], retention_points: Sequence[float]
+    ) -> Dict[Tuple[int, float], np.ndarray]:
+        """Sweep the full (P/E, retention) grid of the study."""
+        return {
+            (pe, ret): self.measure(AgingState(pe, ret))
+            for pe in pe_points
+            for ret in retention_points
+        }
+
+    # ------------------------------------------------------------------
+
+    def delta_h_values(self, aging: AgingState) -> np.ndarray:
+        """Delta-H of every sampled (block, h-layer) pair."""
+        grid = self.measure(aging).astype(float)
+        return grid.max(axis=2) / grid.min(axis=2)
+
+    def delta_v_values(self, aging: AgingState) -> np.ndarray:
+        """Delta-V of every sampled (block, v-layer) pair."""
+        grid = self.measure(aging).astype(float)
+        return grid.max(axis=1) / grid.min(axis=1)
+
+    def t_prog_per_wl(self, block_row: int = 0) -> np.ndarray:
+        """Default-parameter tPROG of every WL of one sampled block
+        (Fig. 5(d): identical within each h-layer)."""
+        chip_index, block_offset = divmod(block_row, self.config.blocks_per_chip)
+        chip = self.chips[chip_index]
+        block = self.sampled_blocks[block_offset]
+        geometry = self.config.geometry
+        out = np.zeros((geometry.n_layers, geometry.wls_per_layer))
+        for layer in range(geometry.n_layers):
+            slowdown = chip.reliability.program_slowdown(chip.chip_id, block, layer)
+            for wl in range(geometry.wls_per_layer):
+                out[layer, wl] = chip.ispp.default_t_prog_us(slowdown)
+        return out

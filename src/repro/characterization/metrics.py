@@ -1,0 +1,49 @@
+"""Process-variability metrics (Section 3.1).
+
+For a WL grid ``N_ret(w_ij, x, t)`` under a fixed aging condition
+``(x, t)``:
+
+- :func:`delta_v` -- the inter-layer variability of one v-layer *j*:
+  the ratio of the maximum to the minimum retention-error count among
+  the WLs stacked along *j*;
+- :func:`delta_h` -- the intra-layer variability of one h-layer *i*:
+  the same ratio among the WLs lying on *i*.
+
+Values close to 1 indicate strong process similarity.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _ratio(values: Sequence[float]) -> float:
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("need at least one value")
+    minimum = array.min()
+    if minimum <= 0:
+        raise ValueError("error counts must be positive to form a ratio")
+    return float(array.max() / minimum)
+
+
+def delta_v(vlayer_errors: Sequence[float]) -> float:
+    """Inter-layer variability: max/min N_ret along one v-layer."""
+    return _ratio(vlayer_errors)
+
+
+def delta_h(hlayer_errors: Sequence[float]) -> float:
+    """Intra-layer variability: max/min N_ret among one h-layer's WLs."""
+    return _ratio(hlayer_errors)
+
+
+def normalize_over_best(values: Sequence[float]) -> np.ndarray:
+    """Normalize a series over its smallest element (paper-style BER
+    plots are normalized over the most reliable h-layer)."""
+    array = np.asarray(values, dtype=float)
+    best = array.min()
+    if best <= 0:
+        raise ValueError("values must be positive")
+    return array / best

@@ -1,0 +1,112 @@
+"""Render a full characterization report as markdown.
+
+Bundles the Section 3 study results (Figs. 5/6) and the Section 4
+technique-level measurements (Figs. 8/10/11/13/14) into one document --
+the artifact a flash vendor's characterization team would hand to the
+firmware team.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.tables import format_table
+from repro.characterization import experiments as exp
+from repro.characterization.harness import CharacterizationStudy
+from repro.nand.reliability import AgingState
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n```\n{body}\n```\n"
+
+
+def build_report(study: CharacterizationStudy) -> str:
+    """Generate the full markdown report for one study."""
+    parts: List[str] = [
+        "# 3D NAND process-characterization report",
+        "",
+        f"- chips: {study.config.n_chips}",
+        f"- blocks: {study.config.total_blocks}",
+        f"- WLs: {study.config.total_wls}",
+        f"- pages: {study.config.total_pages}",
+        "",
+    ]
+
+    # intra-layer similarity
+    intra = exp.fig5_intra_layer_ber(study, AgingState(2000, 12.0))
+    rows = [
+        [name, stats["layer"], f"{stats['delta_h']:.4f}"]
+        for name, stats in intra.items()
+    ]
+    parts.append(_section(
+        "Intra-layer similarity (Delta-H, 2K P/E + 1 yr)",
+        format_table(["h-layer", "index", "Delta-H"], rows),
+    ))
+
+    # inter-layer variability
+    inter = exp.fig6_inter_layer_ber(
+        study,
+        [AgingState(0, 0), AgingState(2000, 1.0), AgingState(2000, 12.0)],
+    )
+    rows = [
+        [f"{pe} P/E + {ret} mo", f"{stats['delta_v']:.2f}"]
+        for (pe, ret), stats in inter.items()
+    ]
+    parts.append(_section(
+        "Inter-layer variability (Delta-V)",
+        format_table(["condition", "Delta-V"], rows),
+    ))
+
+    # per-block spread
+    spread = exp.fig6d_per_block_delta_v(study, AgingState(2000, 1.0))
+    parts.append(_section(
+        "Per-block Delta-V spread",
+        f"block I: {spread['delta_v_block_i']:.3f}\n"
+        f"block II: {spread['delta_v_block_ii']:.3f}\n"
+        f"spread: {100 * (spread['spread_ratio'] - 1):.1f} %",
+    ))
+
+    # verify skipping
+    skips = exp.fig8a_ber_vs_skips()
+    reduction = skips["t_prog_reduction"]
+    rows = [[f"P{s}", skips[s]["safe_skips"]] for s in range(1, 8)]
+    parts.append(_section(
+        "Safe verify skips per program state",
+        format_table(["state", "N_skip"], rows)
+        + f"\n\nfull plan: tPROG -{100 * reduction['reduction_fraction']:.1f} %",
+    ))
+
+    # margin conversion
+    conversion = exp.fig11b_margin_conversion()
+    rows = [
+        [s_m, round(stats["margin_mv"]),
+         f"{100 * stats['t_prog_reduction']:.1f} %"]
+        for s_m, stats in conversion.items()
+    ]
+    parts.append(_section(
+        "S_M -> window margin -> tPROG reduction",
+        format_table(["S_M", "margin (mV)", "tPROG reduction"], rows),
+    ))
+
+    # program orders
+    orders = exp.fig13_program_order_ber()
+    rows = [
+        [name, f"{stats['normalized_mean_ber']:.4f}",
+         f"{100 * stats['max_wl_deviation']:.2f} %"]
+        for name, stats in orders.items()
+    ]
+    parts.append(_section(
+        "Program-order reliability equivalence",
+        format_table(["sequence", "norm. BER", "max WL deviation"], rows),
+    ))
+
+    # read retries
+    retries = exp.fig14_read_retry_distribution(n_blocks=6)
+    parts.append(_section(
+        "PS-aware read-retry reduction (2K P/E + 1 yr)",
+        f"PS-unaware mean NumRetry: {retries['unaware_mean']:.2f}\n"
+        f"PS-aware mean NumRetry:   {retries['aware_mean']:.2f}\n"
+        f"reduction: {100 * retries['reduction']:.1f} %",
+    ))
+
+    return "\n".join(parts)

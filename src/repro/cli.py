@@ -1,0 +1,201 @@
+"""Command-line interface.
+
+Three subcommands cover the common flows::
+
+    repro-ssd characterize --chips 4 --blocks 8
+        run the Section 3 study and print Delta-H / Delta-V summaries
+
+    repro-ssd simulate --ftl cube --workload OLTP --pe 2000 --retention 12
+        replay one workload against one FTL and print the stats
+
+    repro-ssd compare --workload Proxy --pe 2000 --retention 12
+        replay one workload against pageFTL / vertFTL / cubeFTL and print
+        the normalized comparison (one Fig. 17 slice)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import format_table
+from repro.nand.geometry import BlockGeometry, SSDGeometry
+from repro.nand.reliability import AgingState
+from repro.ssd.config import SSDConfig
+from repro.ssd.controller import SSDSimulation
+from repro.workloads import WORKLOAD_GENERATORS, make_workload
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ssd",
+        description="cubeFTL reproduction: characterization and SSD simulation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    characterize = sub.add_parser(
+        "characterize", help="run the Section 3 process-characterization study"
+    )
+    characterize.add_argument("--chips", type=int, default=4)
+    characterize.add_argument("--blocks", type=int, default=8)
+    characterize.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write a full markdown characterization report to PATH",
+    )
+
+    def add_sim_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workload",
+            choices=sorted(WORKLOAD_GENERATORS),
+            default="OLTP",
+        )
+        p.add_argument("--pe", type=int, default=0, help="pre-cycled P/E count")
+        p.add_argument(
+            "--retention", type=float, default=0.0, help="retention months"
+        )
+        p.add_argument("--requests", type=int, default=8000)
+        p.add_argument("--warmup", type=int, default=2500)
+        p.add_argument("--queue-depth", type=int, default=32)
+        p.add_argument("--blocks-per-chip", type=int, default=48)
+        p.add_argument("--prefill", type=float, default=0.9)
+        p.add_argument("--seed", type=int, default=7)
+
+    simulate = sub.add_parser("simulate", help="replay a workload on one FTL")
+    simulate.add_argument(
+        "--ftl", choices=["page", "vert", "cube", "cube-", "oracle"], default="cube"
+    )
+    simulate.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the full stats as JSON to PATH",
+    )
+    add_sim_args(simulate)
+
+    compare = sub.add_parser(
+        "compare", help="replay a workload on the three FTLs of the paper"
+    )
+    add_sim_args(compare)
+    return parser
+
+
+def _config(args: argparse.Namespace) -> SSDConfig:
+    geometry = SSDGeometry(
+        n_channels=2,
+        chips_per_channel=4,
+        blocks_per_chip=args.blocks_per_chip,
+        block=BlockGeometry(),
+    )
+    return SSDConfig(geometry=geometry).with_aging(
+        AgingState(args.pe, args.retention)
+    )
+
+
+def _run(args: argparse.Namespace, ftl: str):
+    config = _config(args)
+    sim = SSDSimulation(config, ftl=ftl)
+    sim.prefill(args.prefill)
+    trace = make_workload(
+        args.workload, config.logical_pages, args.requests, seed=args.seed
+    )
+    return sim.run(
+        trace, queue_depth=args.queue_depth, warmup_requests=args.warmup
+    )
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.characterization import experiments as exp
+    from repro.characterization.harness import CharacterizationStudy, StudyConfig
+
+    study = CharacterizationStudy(
+        StudyConfig(n_chips=args.chips, blocks_per_chip=args.blocks)
+    )
+    print(f"blocks: {study.config.total_blocks}, WLs: {study.config.total_wls}")
+    intra = exp.fig5_intra_layer_ber(study, AgingState(2000, 12.0))
+    rows = [
+        [name, stats["layer"], f"{stats['delta_h']:.4f}"]
+        for name, stats in intra.items()
+    ]
+    print("\nintra-layer similarity (2K P/E + 1 yr):")
+    print(format_table(["h-layer", "index", "Delta-H"], rows))
+    inter = exp.fig6_inter_layer_ber(
+        study, [AgingState(0, 0), AgingState(2000, 12.0)]
+    )
+    print("\ninter-layer variability:")
+    rows = [
+        [f"{pe} P/E + {ret} mo", f"{stats['delta_v']:.2f}"]
+        for (pe, ret), stats in inter.items()
+    ]
+    print(format_table(["condition", "Delta-V"], rows))
+    if args.report:
+        from repro.characterization.report import build_report
+
+        with open(args.report, "w") as handle:
+            handle.write(build_report(study))
+        print(f"\nfull report written to {args.report}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    stats = _run(args, args.ftl)
+    print(stats.summary())
+    counters = stats.counters
+    print(
+        f"programs: {counters.flash_programs} host + {counters.gc_programs} GC "
+        f"(followers {counters.follower_programs}, reprograms {counters.reprograms}); "
+        f"mean tPROG {counters.mean_t_prog_us:.0f} us; "
+        f"retries/read {counters.mean_num_retry:.2f}; erases {counters.erases}"
+    )
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(stats.to_dict(), handle, indent=2)
+        print(f"stats written to {args.json}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    base = None
+    for ftl in ("page", "vert", "cube"):
+        stats = _run(args, ftl)
+        if base is None:
+            base = stats.iops
+        rows.append(
+            [
+                stats.ftl_name,
+                f"{stats.iops:.0f}",
+                f"{stats.iops / base:.2f}",
+                f"{stats.counters.mean_t_prog_us:.0f}",
+                f"{stats.counters.mean_num_retry:.2f}",
+                f"{stats.write_latency.percentile(90):.0f}",
+                f"{stats.read_latency.percentile(90):.0f}",
+            ]
+        )
+    print(
+        format_table(
+            ["FTL", "IOPS", "norm", "tPROG us", "retries/read",
+             "write p90 us", "read p90 us"],
+            rows,
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "characterize":
+        return _cmd_characterize(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Deterministic-latency prediction from process similarity.
+
+Section 8 of the paper: *"Since the horizontal similarity guarantees
+accurate I/O response times, it can be used to build SSDs with a highly
+deterministic latency as a solution to the long-tail problem in SSDs."*
+
+This module implements that extension.  Once the leading WL of an
+h-layer has been monitored, the latency of every subsequent operation on
+that h-layer is *computable in advance*:
+
+- a follower program's tPROG follows exactly from the monitored loop
+  intervals and the granted window margin (the ISPP engine is
+  deterministic given those inputs);
+- a read's sense time follows from the ORT entry (offset hits need no
+  retry; only rare transient shifts deviate).
+
+The :class:`LatencyPredictor` exposes the predictions and keeps
+accuracy accounting, which the deterministic-latency benchmark and
+example use to show near-zero error for PS-predicted operations versus
+the wide spread a PS-unaware estimator suffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.opm import OptimalParameterManager
+from repro.nand.ispp import ProgramParams
+from repro.nand.timing import NandTiming
+
+
+@dataclass
+class PredictionStats:
+    """Accumulates (predicted, actual) latency pairs."""
+
+    predicted: List[float] = field(default_factory=list)
+    actual: List[float] = field(default_factory=list)
+
+    def record(self, predicted_us: float, actual_us: float) -> None:
+        if predicted_us < 0 or actual_us < 0:
+            raise ValueError("latencies must be >= 0")
+        self.predicted.append(predicted_us)
+        self.actual.append(actual_us)
+
+    def __len__(self) -> int:
+        return len(self.predicted)
+
+    @property
+    def errors_us(self) -> np.ndarray:
+        return np.asarray(self.actual) - np.asarray(self.predicted)
+
+    @property
+    def mean_abs_error_us(self) -> float:
+        if not self.predicted:
+            return 0.0
+        return float(np.abs(self.errors_us).mean())
+
+    @property
+    def exact_fraction(self) -> float:
+        """Fraction of operations predicted to within one microsecond."""
+        if not self.predicted:
+            return 0.0
+        return float((np.abs(self.errors_us) <= 1.0).mean())
+
+    def percentile_abs_error(self, p: float) -> float:
+        if not self.predicted:
+            return 0.0
+        return float(np.percentile(np.abs(self.errors_us), p))
+
+
+class LatencyPredictor:
+    """Predicts per-operation latencies from the OPM's monitored state."""
+
+    def __init__(self, opm: OptimalParameterManager, timing: NandTiming) -> None:
+        self.opm = opm
+        self.timing = timing
+        self.program_stats = PredictionStats()
+        self.read_stats = PredictionStats()
+
+    # ------------------------------------------------------------------
+    # program side
+    # ------------------------------------------------------------------
+
+    def predict_program_us(
+        self, chip_id: int, block: int, layer: int
+    ) -> Optional[float]:
+        """Predicted tPROG of the *next* program on an h-layer.
+
+        Returns None when the h-layer has no monitored leader yet (its
+        first program is a monitoring leader whose latency depends on the
+        not-yet-observed layer speed).
+        """
+        if not self.opm.has_leader(chip_id, block, layer):
+            return None
+        observation = self.opm.leader_observation(chip_id, block, layer)
+        params = self.opm.follower_params(chip_id, block, layer)
+        # follower_params counts invocations as real follower programs;
+        # prediction queries must not distort that statistic
+        self.opm.follower_program_count -= 1
+        result = self.opm.ispp.simulate(observation.monitored, params)
+        predicted = result.t_prog_us
+        if params.window_squeeze_mv != 0 or any(
+            start > 1 for start in params.verify_plan.start_loops
+        ):
+            predicted += self.timing.t_param_set_us
+        return predicted
+
+    def predict_program_default_us(self) -> float:
+        """PS-unaware estimate: the nominal (datasheet) tPROG."""
+        return self.opm.ispp.default_t_prog_us(0.0)
+
+    # ------------------------------------------------------------------
+    # read side
+    # ------------------------------------------------------------------
+
+    def predict_read_us(self, chip_id: int, block: int, layer: int) -> float:
+        """Predicted sense time of a read using the ORT hint.
+
+        With a learned offset the read is expected to decode on the first
+        sense; an unlearned h-layer is predicted at the nominal tREAD
+        (the PS-unaware assumption).
+        """
+        return self.timing.read_us(0)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    def record_program(self, predicted_us: float, actual_us: float) -> None:
+        self.program_stats.record(predicted_us, actual_us)
+
+    def record_read(self, predicted_us: float, actual_us: float) -> None:
+        self.read_stats.record(predicted_us, actual_us)

@@ -1,0 +1,85 @@
+"""Optimal read reference voltage table (ORT) -- Sections 4.2 and 5.1.
+
+The OPM keeps, for every h-layer in the SSD, the most recent offset
+vector :math:`\\mathbb{D}_h` that decoded without uncorrectable errors.
+Thanks to the intra-layer similarity, a value learned from *any* WL of an
+h-layer applies to all of its WLs; different h-layers need different
+entries (inter-layer variability).
+
+The device model aggregates the per-threshold offsets into one integer
+level, so an entry is a single small int.  The space accounting of the
+paper (two bytes per h-layer, about 0.001 % of capacity, ~10 MB per 1-TB
+SSD) is reproduced by :meth:`OptimalReadTable.overhead_ratio`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.nand.geometry import BlockGeometry
+from repro.nand.read_retry import MAX_OFFSET
+
+#: bytes needed to encode one h-layer's offset vector: 7 offsets of
+#: 4 adjustable levels between states fit in 14 bits -> 2 bytes
+BYTES_PER_ENTRY = 2
+
+
+@dataclass
+class OptimalReadTable:
+    """Per-(chip, block, h-layer) most-recent optimal read offsets."""
+
+    default_offset: int = 0
+    _entries: Dict[Tuple[int, int, int], int] = field(default_factory=dict)
+    _hits: int = 0
+    _misses: int = 0
+
+    def get(self, chip_id: int, block: int, layer: int) -> int:
+        """Offset hint for reading any WL of an h-layer.
+
+        Returns the table entry when one exists (a previous read of this
+        h-layer learned it), else the default references.
+        """
+        key = (chip_id, block, layer)
+        if key in self._entries:
+            self._hits += 1
+            return self._entries[key]
+        self._misses += 1
+        return self.default_offset
+
+    def update(self, chip_id: int, block: int, layer: int, final_offset: int) -> None:
+        """Record the offset that finally decoded a read of this h-layer."""
+        if not 0 <= final_offset <= MAX_OFFSET:
+            raise ValueError(f"offset {final_offset} out of range")
+        self._entries[(chip_id, block, layer)] = final_offset
+
+    def invalidate_block(self, chip_id: int, block: int, n_layers: int) -> None:
+        """Drop a block's entries (after erase, its data is gone and new
+        data will shift differently)."""
+        for layer in range(n_layers):
+            self._entries.pop((chip_id, block, layer), None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @staticmethod
+    def overhead_ratio(geometry: BlockGeometry) -> float:
+        """Table bytes per data byte: BYTES_PER_ENTRY per h-layer over the
+        h-layer's page capacity (the paper's ~1.02e-5)."""
+        layer_bytes = (
+            geometry.page_size_bytes * geometry.pages_per_wl * geometry.wls_per_layer
+        )
+        return BYTES_PER_ENTRY / layer_bytes
+
+    @staticmethod
+    def overhead_bytes(total_capacity_bytes: int, geometry: BlockGeometry) -> float:
+        """Absolute table size for a given SSD capacity (paper: ~10 MB/TB)."""
+        return total_capacity_bytes * OptimalReadTable.overhead_ratio(geometry)

@@ -1,0 +1,140 @@
+"""Program sequences for 3D NAND blocks (Section 4.1.3, Fig. 12).
+
+The program-latency optimizations split a block's WLs into *leader* WLs
+(programmed with default parameters, monitored) and *follower* WLs
+(programmed fast by reusing the leader's parameters).  How WLs are ordered
+therefore shapes how many fast followers are available at any time:
+
+- **horizontal-first** (conventional): h-layer by h-layer; every fourth
+  WL is a slow leader, capping the peak write bandwidth;
+- **vertical-first**: v-layer by v-layer; the whole first v-layer is
+  leaders, after which everything is a follower;
+- **mixed order (MOS)**: the paper's proposal -- leaders (the first
+  v-layer) may run ahead of followers independently, giving the WAM the
+  freedom to pick a slow or fast WL per request.  As a static sequence it
+  programs each h-layer's leader first and then drains followers.
+
+Because WLs of an h-layer are isolated by SL transistors, all three
+orders are reliability-equivalent (Fig. 13); tests assert this against
+the device model.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List
+
+from repro.nand.geometry import BlockGeometry, WLAddress
+
+
+class ProgramOrder(enum.Enum):
+    """The three evaluated program sequences."""
+
+    HORIZONTAL_FIRST = "horizontal-first"
+    VERTICAL_FIRST = "vertical-first"
+    MIXED = "mixed"
+
+
+def horizontal_first(geometry: BlockGeometry) -> List[WLAddress]:
+    """Conventional order: finish each h-layer before the next
+    (Fig. 12(a))."""
+    return [
+        WLAddress(layer, wl)
+        for layer in range(geometry.n_layers)
+        for wl in range(geometry.wls_per_layer)
+    ]
+
+
+def vertical_first(geometry: BlockGeometry) -> List[WLAddress]:
+    """Program each v-layer top-to-bottom before the next (Fig. 12(b))."""
+    return [
+        WLAddress(layer, wl)
+        for wl in range(geometry.wls_per_layer)
+        for layer in range(geometry.n_layers)
+    ]
+
+
+def mixed_order(geometry: BlockGeometry) -> List[WLAddress]:
+    """The mixed order scheme (MOS) as a static sequence (Fig. 12(c)).
+
+    Each h-layer's leader is programmed first, immediately followed by
+    the *previous* h-layer's followers; after the last leader, the final
+    h-layer's followers drain.  This keeps the leader pointer one h-layer
+    ahead of the follower pointer -- the smallest lead the WAM's dynamic
+    two-pointer scheme maintains -- while every follower still programs
+    after its own layer's leader.
+    """
+    sequence: List[WLAddress] = []
+    for layer in range(geometry.n_layers):
+        sequence.append(WLAddress(layer, 0))
+        if layer > 0:
+            sequence.extend(
+                WLAddress(layer - 1, wl) for wl in range(1, geometry.wls_per_layer)
+            )
+    last = geometry.n_layers - 1
+    sequence.extend(WLAddress(last, wl) for wl in range(1, geometry.wls_per_layer))
+    return sequence
+
+
+def program_sequence(geometry: BlockGeometry, order: ProgramOrder) -> List[WLAddress]:
+    """Dispatch on :class:`ProgramOrder`."""
+    if order is ProgramOrder.HORIZONTAL_FIRST:
+        return horizontal_first(geometry)
+    if order is ProgramOrder.VERTICAL_FIRST:
+        return vertical_first(geometry)
+    if order is ProgramOrder.MIXED:
+        return mixed_order(geometry)
+    raise ValueError(f"unknown program order {order!r}")
+
+
+def follower_flags(geometry: BlockGeometry, order: ProgramOrder) -> List[bool]:
+    """Per program step, whether the WL is a follower (its h-layer's
+    leader was programmed earlier in the sequence)."""
+    flags: List[bool] = []
+    seen_leader = set()
+    for address in program_sequence(geometry, order):
+        if address.layer in seen_leader:
+            flags.append(True)
+        else:
+            seen_leader.add(address.layer)
+            flags.append(False)
+    return flags
+
+
+def max_follower_run(geometry: BlockGeometry, order: ProgramOrder) -> int:
+    """Longest stretch of consecutive fast follower programs.
+
+    This is the quantity that bounds the peak sequential-write bandwidth
+    (Section 4.1.3): horizontal-first inserts a slow leader every
+    ``wls_per_layer`` writes, while vertical-first and MOS can sustain
+    long follower runs.
+    """
+    best = 0
+    run = 0
+    for is_follower in follower_flags(geometry, order):
+        run = run + 1 if is_follower else 0
+        best = max(best, run)
+    return best
+
+
+def available_followers_after(
+    geometry: BlockGeometry, order: ProgramOrder, step: int
+) -> int:
+    """Followers still programmable after ``step`` WLs, were the block
+    programmed dynamically with leaders allowed to run ahead.
+
+    Used to compare how quickly each order builds up its follower pool
+    (the paper's argument for MOS, Fig. 12).
+    """
+    if not 0 <= step <= geometry.wls_per_block:
+        raise ValueError("step out of range")
+    sequence = program_sequence(geometry, order)
+    programmed = sequence[:step]
+    led = {address.layer for address in programmed if address.wl == 0}
+    used = {address.as_tuple() for address in programmed}
+    count = 0
+    for layer in led:
+        for wl in range(1, geometry.wls_per_layer):
+            if (layer, wl) not in used:
+                count += 1
+    return count

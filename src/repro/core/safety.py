@@ -1,0 +1,80 @@
+"""Post-program safety check for PS-aware optimizations (Section 4.1.4).
+
+The optimizations assume the parameters monitored on the leading WL still
+describe the followers.  A sudden operating-condition change (e.g. an
+ambient-temperature surge) can break that assumption; the paper guards
+against it by reading the BER of every completed WL program through the
+low-level NAND interface and comparing it with the previously programmed
+WL of the same h-layer.  A significantly higher BER flags an improperly
+programmed WL; the FTL then re-programs the same data on the *next* WL and
+re-monitors fresh parameters.
+
+Because follower WLs are legitimately programmed with a tightened window,
+their expected BER is the leader's BER times a known squeeze multiplier;
+the checker normalizes by it before comparing, so healthy followers do not
+trip the check.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.nand.ispp import window_squeeze_ber_multiplier
+
+
+class SafetyVerdict(enum.Enum):
+    """Outcome of the post-program check."""
+
+    OK = "ok"
+    REPROGRAM = "reprogram"
+
+
+@dataclass(frozen=True)
+class SafetyChecker:
+    """Compares a completed WL program's BER against its h-layer reference.
+
+    ``ratio_threshold`` is how much higher than expected the normalized
+    BER may be before the WL is declared improperly programmed.  The
+    device model's RTN noise is ~1 % while a single over-skipped state
+    already inflates BER by ~80 %, so the default threshold separates the
+    two cleanly.
+    """
+
+    ratio_threshold: float = 1.5
+
+    def check(
+        self,
+        reference_ber: float,
+        measured_ber: float,
+        window_squeeze_mv: float = 0.0,
+    ) -> SafetyVerdict:
+        """Judge a WL program.
+
+        Parameters
+        ----------
+        reference_ber:
+            Post-program BER of the previously programmed WL on the same
+            h-layer, with any window squeeze of *that* WL already
+            normalized out (the OPM stores normalized references).
+        measured_ber:
+            Post-program BER of the just-completed WL.
+        window_squeeze_mv:
+            Window tightening applied to the just-completed WL, whose
+            legitimate BER impact is divided out before comparing.
+        """
+        if reference_ber <= 0 or measured_ber <= 0:
+            raise ValueError("BER values must be positive")
+        expected = reference_ber * window_squeeze_ber_multiplier(
+            max(0.0, window_squeeze_mv)
+        )
+        if measured_ber > self.ratio_threshold * expected:
+            return SafetyVerdict.REPROGRAM
+        return SafetyVerdict.OK
+
+    def normalize(self, measured_ber: float, window_squeeze_mv: float) -> float:
+        """Remove the legitimate squeeze contribution from a measurement,
+        producing a reference comparable across WLs of the h-layer."""
+        return measured_ber / window_squeeze_ber_multiplier(
+            max(0.0, window_squeeze_mv)
+        )

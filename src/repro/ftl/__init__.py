@@ -1,0 +1,59 @@
+"""Flash translation layers.
+
+- :class:`PageFTL` -- the PS-unaware page-mapping baseline.
+- :class:`VertFTL` -- the inter-layer-variability baseline (conservative
+  offline V_final-only adjustment, after Hung et al. [13]).
+- :class:`CubeFTL` -- the paper's PS-aware FTL (OPM + WAM + MOS); with
+  ``wam_enabled=False`` it becomes the cubeFTL- ablation of Section 6.3.
+"""
+
+from repro.ftl.base import BaseFTL, FTLCounters
+from repro.ftl.mapping import PageMapper, UNMAPPED
+from repro.ftl.blockmgr import BlockManager, BlockState, OutOfSpaceError
+from repro.ftl.pageftl import PageFTL
+from repro.ftl.vertftl import VertFTL
+from repro.ftl.cubeftl import CubeFTL
+from repro.ftl.oracleftl import OracleFTL
+
+_FTL_REGISTRY = {
+    "page": PageFTL,
+    "pageftl": PageFTL,
+    "vert": VertFTL,
+    "vertftl": VertFTL,
+    "cube": CubeFTL,
+    "cubeftl": CubeFTL,
+    "oracle": OracleFTL,
+    "oracleftl": OracleFTL,
+}
+
+
+def make_ftl(name, config, controller, **kwargs):
+    """Instantiate an FTL by name ("page", "vert", "cube", "cube-").
+
+    ``"cube-"`` yields cubeFTL with the WAM disabled (horizontal-first
+    allocation), the paper's cubeFTL- configuration.
+    """
+    key = name.lower()
+    if key in ("cube-", "cubeftl-"):
+        return CubeFTL(config, controller, wam_enabled=False, **kwargs)
+    try:
+        cls = _FTL_REGISTRY[key]
+    except KeyError:
+        raise ValueError(f"unknown FTL {name!r}") from None
+    return cls(config, controller, **kwargs)
+
+
+__all__ = [
+    "BaseFTL",
+    "FTLCounters",
+    "PageMapper",
+    "UNMAPPED",
+    "BlockManager",
+    "BlockState",
+    "OutOfSpaceError",
+    "PageFTL",
+    "VertFTL",
+    "CubeFTL",
+    "OracleFTL",
+    "make_ftl",
+]

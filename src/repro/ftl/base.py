@@ -1,0 +1,636 @@
+"""Shared FTL machinery: the host datapath, buffer flushing, and GC.
+
+:class:`BaseFTL` implements everything the three evaluated FTLs have in
+common -- page-level mapping, write buffering and WL-group flushing,
+read coherence, greedy garbage collection -- and exposes policy hooks
+that the variants override:
+
+=====================  =====================================================
+hook                   policy it controls
+=====================  =====================================================
+``install_block``      how a fresh active block's WLs will be ordered
+``allocate_wl``        which WL serves the next flush (WAM vs. sequential)
+``program_params``     operating parameters per WL (PS-aware or default)
+``after_program``      post-program bookkeeping (leader recording, safety)
+``read_params``        read offset hints (ORT vs. defaults)
+``after_read``         read bookkeeping (ORT updates)
+=====================  =====================================================
+
+All latencies emerge from the device model and the FIFO resources; the
+FTL itself adds no magic numbers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.wam import Allocation, SequentialCursor
+from repro.ftl.blockmgr import BlockManager, OutOfSpaceError
+from repro.ftl.mapping import UNMAPPED, PageMapper
+from repro.nand.chip import ProgramResult, ReadResult
+from repro.nand.geometry import PageAddress, WLAddress
+from repro.nand.ispp import ProgramParams
+from repro.nand.read_retry import ReadParams
+from repro.ssd.config import SSDConfig
+from repro.ssd.write_buffer import BufferEntry, WriteBuffer
+from repro.workloads.base import IORequest
+
+
+@dataclass
+class FTLCounters:
+    """Operation counters exposed for evaluation and tests."""
+
+    host_read_pages: int = 0
+    host_write_pages: int = 0
+    buffer_read_hits: int = 0
+    flash_reads: int = 0
+    flash_programs: int = 0
+    leader_programs: int = 0
+    follower_programs: int = 0
+    gc_reads: int = 0
+    gc_programs: int = 0
+    erases: int = 0
+    retired_blocks: int = 0
+    reprograms: int = 0
+    read_retries: int = 0
+    retried_reads: int = 0
+    program_time_us: float = 0.0
+    read_time_us: float = 0.0
+
+    @property
+    def mean_t_prog_us(self) -> float:
+        total = self.flash_programs + self.gc_programs
+        return self.program_time_us / total if total else 0.0
+
+    @property
+    def mean_num_retry(self) -> float:
+        total = self.flash_reads + self.gc_reads
+        return self.read_retries / total if total else 0.0
+
+
+class _ActiveRequest:
+    """Runtime completion tracking for one host request."""
+
+    __slots__ = ("spec", "issued_us", "remaining", "on_complete")
+
+    def __init__(
+        self,
+        spec: IORequest,
+        issued_us: float,
+        on_complete: Callable[["_ActiveRequest", float], None],
+    ) -> None:
+        self.spec = spec
+        self.issued_us = issued_us
+        self.remaining = spec.n_pages
+        self.on_complete = on_complete
+
+    def page_done(self, now_us: float) -> None:
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.on_complete(self, now_us)
+
+
+class _GCJob:
+    """State of one in-progress garbage collection on a chip."""
+
+    __slots__ = ("victim", "pending", "staged")
+
+    def __init__(self, victim: int, pending: List[Tuple[int, int]]) -> None:
+        self.victim = victim
+        #: (ppn, lpn) pairs still to migrate
+        self.pending = pending
+        #: (lpn, data, old_ppn) triples read out and awaiting program
+        self.staged: List[Tuple[int, object, int]] = []
+
+
+class BaseFTL:
+    """Page-level FTL with pluggable PS-awareness."""
+
+    name = "base"
+
+    def __init__(self, config: SSDConfig, controller) -> None:
+        self.config = config
+        self.controller = controller
+        geometry = config.geometry
+        self.geometry = geometry
+        self.mapper = PageMapper(geometry, config.logical_pages)
+        self.blocks = BlockManager(geometry)
+        self.buffer = WriteBuffer(config.buffer_capacity_pages)
+        self.counters = FTLCounters()
+        self._pending_writes: Deque[Tuple[_ActiveRequest, int]] = deque()
+        self._inflight_programs: Dict[int, int] = {
+            chip: 0 for chip in range(geometry.n_chips)
+        }
+        self._gc_jobs: Dict[int, Optional[_GCJob]] = {
+            chip: None for chip in range(geometry.n_chips)
+        }
+        # GC migrations get their own active block per chip (hot/cold
+        # separation: host-written and GC-relocated data do not mix)
+        self._gc_cursors: Dict[int, Optional[SequentialCursor]] = {
+            chip: None for chip in range(geometry.n_chips)
+        }
+        self._rr_chip = 0
+
+    # ------------------------------------------------------------------
+    # policy hooks (overridden by FTL variants)
+    # ------------------------------------------------------------------
+
+    def install_block(self, chip_id: int, block: int) -> None:
+        """Register a fresh active block with the allocation policy."""
+        raise NotImplementedError
+
+    def active_cursor_space(self, chip_id: int) -> int:
+        """Free WLs currently available through the allocation policy."""
+        raise NotImplementedError
+
+    def cursor_count(self, chip_id: int) -> int:
+        """Number of active blocks currently registered."""
+        raise NotImplementedError
+
+    def allocate_wl(self, chip_id: int) -> Allocation:
+        """Pick the WL for the next program on a chip."""
+        raise NotImplementedError
+
+    def program_params(
+        self, chip_id: int, allocation: Allocation
+    ) -> Tuple[ProgramParams, float]:
+        """Operating parameters for a program: (params, squeeze_mv)."""
+        return ProgramParams.default(), 0.0
+
+    def after_program(
+        self,
+        chip_id: int,
+        allocation: Allocation,
+        result: ProgramResult,
+        squeeze_mv: float,
+    ) -> bool:
+        """Post-program bookkeeping.  Return False to demand a
+        reprogram of the same data on another WL (Section 4.1.4)."""
+        return True
+
+    def read_params(self, chip_id: int, block: int, layer: int) -> ReadParams:
+        """Offset hint for a read, fetched at die-service time."""
+        return ReadParams()
+
+    def after_read(
+        self, chip_id: int, block: int, layer: int, result: ReadResult
+    ) -> None:
+        """Read bookkeeping (ORT updates for the PS-aware FTL)."""
+
+    def on_block_erased(self, chip_id: int, block: int) -> None:
+        """Invalidate any per-block monitored state."""
+
+    # ------------------------------------------------------------------
+    # host interface
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        request: IORequest,
+        on_complete: Callable[[_ActiveRequest, float], None],
+    ) -> None:
+        """Accept one host request; ``on_complete(active, time)`` fires
+        when all its pages are done."""
+        active = _ActiveRequest(request, self.controller.now, on_complete)
+        if request.is_read:
+            self._start_read(active)
+        else:
+            self._start_write(active)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def _start_write(self, active: _ActiveRequest) -> None:
+        self.counters.host_write_pages += active.spec.n_pages
+        self._pending_writes.append((active, 0))
+        self._drain_pending_writes()
+
+    def _drain_pending_writes(self) -> None:
+        """Admit pending host-write pages into the buffer while slots
+        last, then try to flush."""
+        progressed = False
+        while self._pending_writes:
+            active, next_page = self._pending_writes[0]
+            spec = active.spec
+            while next_page < spec.n_pages:
+                lpn = spec.lpn + next_page
+                if not self.buffer.can_admit(lpn):
+                    break
+                self.buffer.admit(lpn, data=lpn, waiter=active)
+                next_page += 1
+                progressed = True
+            if next_page >= spec.n_pages:
+                self._pending_writes.popleft()
+            else:
+                self._pending_writes[0] = (active, next_page)
+                break
+        if progressed:
+            self._maybe_flush()
+
+    def _maybe_flush(self) -> None:
+        """Dispatch WL-group programs to eligible chips, round-robin.
+
+        Full WL groups dispatch eagerly; a partial tail group only goes
+        out when nothing else is in flight and no admissions are pending
+        (otherwise we wait for more pages to coalesce into the group,
+        avoiding degenerate one-page WL programs)."""
+        n_chips = self.geometry.n_chips
+        group = self.geometry.block.pages_per_wl
+        made_progress = True
+        while made_progress and self.buffer.staged_pages > 0:
+            made_progress = False
+            if self.buffer.staged_pages < group and not self._allow_partial_flush():
+                return
+            for offset in range(n_chips):
+                chip_id = (self._rr_chip + offset) % n_chips
+                if self.buffer.staged_pages == 0:
+                    break
+                if self.buffer.staged_pages < group and not self._allow_partial_flush():
+                    break
+                if not self._chip_eligible(chip_id):
+                    continue
+                self._rr_chip = (chip_id + 1) % n_chips
+                self._dispatch_group(chip_id)
+                made_progress = True
+
+    def _allow_partial_flush(self) -> bool:
+        if self._pending_writes:
+            return False
+        total_inflight = sum(self._inflight_programs.values())
+        return total_inflight == 0 and self.buffer.inflight_pages == 0
+
+    def _chip_eligible(self, chip_id: int) -> bool:
+        if self._inflight_programs[chip_id] >= self.config.max_inflight_programs:
+            return False
+        return self._can_allocate(chip_id, for_gc=False)
+
+    def _can_allocate(self, chip_id: int, for_gc: bool) -> bool:
+        """Whether a WL can be allocated without starving GC of blocks."""
+        if for_gc:
+            cursor = self._gc_cursors[chip_id]
+            if cursor is not None and not cursor.exhausted:
+                return True
+            return self.blocks.free_count(chip_id) > 0
+        if self.active_cursor_space(chip_id) > 0:
+            return True
+        return self.blocks.free_count(chip_id) > 1
+
+    def _take_free_block(self, chip_id: int) -> int:
+        """Draw a free block, wear-aware when configured."""
+        key = None
+        if self.config.wear_aware_allocation:
+            chip = self.controller.chip(chip_id)
+            key = chip.block_pe
+        return self.blocks.take_free(chip_id, key=key)
+
+    def _ensure_active_blocks(self, chip_id: int) -> None:
+        """Top up the chip's active blocks from the free pool."""
+        while (
+            self.cursor_count(chip_id) < self.config.active_blocks_per_chip
+            and self.blocks.free_count(chip_id) > 1
+        ):
+            self.install_block(chip_id, self._take_free_block(chip_id))
+        if self.cursor_count(chip_id) == 0:
+            if self.blocks.free_count(chip_id) == 0:
+                raise OutOfSpaceError(f"chip {chip_id}: no active block available")
+            self.install_block(chip_id, self._take_free_block(chip_id))
+
+    def _dispatch_group(self, chip_id: int) -> None:
+        entries = self.buffer.pop_group(self.geometry.block.pages_per_wl)
+        if not entries:
+            return
+        self._program_entries(chip_id, entries, is_gc=False)
+
+    def _gc_allocate(self, chip_id: int) -> Allocation:
+        """Allocate a WL from the chip's dedicated GC block."""
+        cursor = self._gc_cursors[chip_id]
+        if cursor is None or cursor.exhausted:
+            block = self._take_free_block(chip_id)
+            cursor = SequentialCursor(block, self.geometry.block)
+            self._gc_cursors[chip_id] = cursor
+        return cursor.take()
+
+    def _program_entries(
+        self,
+        chip_id: int,
+        entries: List[BufferEntry],
+        is_gc: bool,
+        gc_payload: Optional[List[Tuple[int, object, int]]] = None,
+    ) -> None:
+        """Program one WL worth of pages (host flush or GC migration)."""
+        if is_gc:
+            allocation = self._gc_allocate(chip_id)
+        else:
+            self._ensure_active_blocks(chip_id)
+            allocation = self.allocate_wl(chip_id)
+        if is_gc:
+            data = [lpn for lpn, _tag, _old in gc_payload]
+            data += [None] * (self.geometry.block.pages_per_wl - len(data))
+        else:
+            data = [entry.lpn for entry in entries]
+            data += [None] * (self.geometry.block.pages_per_wl - len(data))
+        self._inflight_programs[chip_id] += 1
+
+        def job():
+            # parameters bind when the die starts the program (the
+            # Set-Features immediately preceding the program command), so
+            # a follower queued behind its layer's leader sees the
+            # leader's freshly monitored values
+            params, squeeze_mv = self.program_params(chip_id, allocation)
+            result = self.controller.chip(chip_id).program_wl(
+                allocation.block,
+                allocation.address.layer,
+                allocation.address.wl,
+                params=params,
+                data=data,
+            )
+            return result.t_prog_us, (result, params, squeeze_mv)
+
+        def on_done(payload) -> None:
+            result, params, squeeze_mv = payload
+            self._on_program_complete(
+                chip_id, allocation, params, squeeze_mv, entries, result,
+                is_gc=is_gc, gc_payload=gc_payload,
+            )
+
+        # host flushes move data over the channel first; GC migrations
+        # stay on-chip (copyback style)
+        if is_gc:
+            self.controller.chip_resource(chip_id).submit(job, on_done)
+        else:
+            n_bytes = len(entries) * self.geometry.block.page_size_bytes
+            transfer = self.config.timing.transfer_us(n_bytes)
+            bus = self.controller.bus_resource(chip_id)
+            bus.submit(
+                lambda: (transfer, None),
+                lambda _ignored: self.controller.chip_resource(chip_id).submit(
+                    job, on_done
+                ),
+            )
+
+    def _on_program_complete(
+        self,
+        chip_id: int,
+        allocation: Allocation,
+        params: ProgramParams,
+        squeeze_mv: float,
+        entries: List[BufferEntry],
+        result: ProgramResult,
+        is_gc: bool,
+        gc_payload: Optional[List[Tuple[int, object, int]]],
+    ) -> None:
+        self._inflight_programs[chip_id] -= 1
+        self.counters.program_time_us += result.t_prog_us
+        if is_gc:
+            self.counters.gc_programs += 1
+        else:
+            self.counters.flash_programs += 1
+        fast_params = squeeze_mv > 0 or any(
+            start > 1 for start in params.verify_plan.start_loops
+        )
+        if fast_params:
+            self.counters.follower_programs += 1
+        else:
+            self.counters.leader_programs += 1
+
+        ok = self.after_program(chip_id, allocation, result, squeeze_mv)
+        if not ok:
+            # Section 4.1.4: improperly programmed -- re-program the same
+            # data on the next WL with default (monitoring) parameters
+            self.counters.reprograms += 1
+            if is_gc:
+                self._program_entries(chip_id, [], is_gc=True, gc_payload=gc_payload)
+            else:
+                self._program_entries(chip_id, entries, is_gc=False)
+            return
+
+        if is_gc:
+            self._bind_gc_pages(chip_id, allocation, gc_payload)
+            self._gc_continue(chip_id)
+        else:
+            self._bind_host_pages(chip_id, allocation, entries)
+            self.buffer.complete(entries)
+            now = self.controller.now
+            for entry in entries:
+                for waiter in entry.waiters:
+                    waiter.page_done(now)
+        self._maybe_mark_full(chip_id, allocation.block)
+        self._maybe_gc(chip_id)
+        self._drain_pending_writes()
+        self._maybe_flush()
+
+    def _bind_host_pages(
+        self, chip_id: int, allocation: Allocation, entries: List[BufferEntry]
+    ) -> None:
+        for page_index, entry in enumerate(entries):
+            if entry.version != self.buffer.latest_version(entry.lpn):
+                continue  # a newer write of this LPN exists or is staged
+            ppn = self.geometry.ppn(
+                chip_id,
+                PageAddress(
+                    allocation.block,
+                    allocation.address.layer,
+                    allocation.address.wl,
+                    page_index,
+                ),
+            )
+            self.mapper.bind(entry.lpn, ppn)
+
+    def _bind_gc_pages(
+        self,
+        chip_id: int,
+        allocation: Allocation,
+        gc_payload: List[Tuple[int, object, int]],
+    ) -> None:
+        for page_index, (lpn, _tag, old_ppn) in enumerate(gc_payload):
+            if self.mapper.lookup(lpn) != old_ppn:
+                continue  # host rewrote the page during migration
+            if self.buffer.contains(lpn):
+                # a fresher copy is staged/in flight; it will bind when it
+                # lands -- drop the victim's stale mapping now so the
+                # erase finds the block clean
+                self.mapper.invalidate_lpn(lpn)
+                continue
+            ppn = self.geometry.ppn(
+                chip_id,
+                PageAddress(
+                    allocation.block,
+                    allocation.address.layer,
+                    allocation.address.wl,
+                    page_index,
+                ),
+            )
+            self.mapper.bind(lpn, ppn)
+
+    def _maybe_mark_full(self, chip_id: int, block: int) -> None:
+        """A block leaves the active set once its cursor is exhausted; the
+        cursor structures drop exhausted blocks themselves, so here we
+        only flip the lifecycle state when all WLs are programmed."""
+        from repro.ftl.blockmgr import BlockState
+
+        if self.blocks.state(chip_id, block) is not BlockState.ACTIVE:
+            return
+        chip = self.controller.chip(chip_id)
+        if chip.programmed_wl_count(block) == self.geometry.block.wls_per_block:
+            self.blocks.mark_full(chip_id, block)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def _start_read(self, active: _ActiveRequest) -> None:
+        spec = active.spec
+        self.counters.host_read_pages += spec.n_pages
+        for offset in range(spec.n_pages):
+            self._read_lpn(spec.lpn + offset, active)
+
+    def _read_lpn(self, lpn: int, active: _ActiveRequest) -> None:
+        if self.buffer.contains(lpn):
+            self.counters.buffer_read_hits += 1
+            self.controller.engine.schedule(
+                self.config.buffer_read_us,
+                lambda: active.page_done(self.controller.now),
+            )
+            return
+        ppn = self.mapper.lookup(lpn)
+        if ppn == UNMAPPED:
+            # never-written page: served from the mapping table directly
+            self.controller.engine.schedule(
+                self.config.buffer_read_us,
+                lambda: active.page_done(self.controller.now),
+            )
+            return
+        chip_id, address = self.geometry.ppn_to_address(ppn)
+        self._flash_read(
+            chip_id,
+            address,
+            is_gc=False,
+            on_data=lambda result: active.page_done(self.controller.now),
+        )
+
+    def _flash_read(
+        self,
+        chip_id: int,
+        address: PageAddress,
+        is_gc: bool,
+        on_data: Callable[[ReadResult], None],
+    ) -> None:
+        """One page read: die sense (with retries) then, for host reads,
+        the channel transfer out."""
+
+        def job():
+            params = self.read_params(chip_id, address.block, address.layer)
+            result = self.controller.chip(chip_id).read_page(
+                address.block, address.layer, address.wl, address.page, params
+            )
+            return result.t_read_us, result
+
+        def on_done(result: ReadResult) -> None:
+            self.counters.read_time_us += result.t_read_us
+            if is_gc:
+                self.counters.gc_reads += 1
+            else:
+                self.counters.flash_reads += 1
+            if result.num_retry:
+                self.counters.read_retries += result.num_retry
+                self.counters.retried_reads += 1
+            self.after_read(chip_id, address.block, address.layer, result)
+            if is_gc:
+                on_data(result)
+            else:
+                transfer = self.config.timing.transfer_us(
+                    self.geometry.block.page_size_bytes
+                )
+                self.controller.bus_resource(chip_id).submit(
+                    lambda: (transfer, None), lambda _ignored: on_data(result)
+                )
+
+        self.controller.chip_resource(chip_id).submit(job, on_done)
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+
+    def _maybe_gc(self, chip_id: int) -> None:
+        if self._gc_jobs[chip_id] is not None:
+            return
+        free = self.blocks.free_count(chip_id)
+        if free >= self.config.gc_trigger_blocks:
+            return
+        full = self.blocks.full_blocks(chip_id)
+        if not full:
+            return
+        victim = self.blocks.select_victim(chip_id, self.mapper)
+        pages_per_block = self.geometry.block.pages_per_block
+        invalid = pages_per_block - self.mapper.valid_count(chip_id, victim)
+        min_invalid = int(pages_per_block * self.config.gc_min_invalid_fraction)
+        # migrating a nearly-full-valid block reclaims almost nothing while
+        # consuming a free block for the migrated copies; wait for the host
+        # to invalidate more pages first -- unless the pool is critical
+        if invalid < max(1, min_invalid) and free > 1:
+            return
+        job = _GCJob(victim, self.mapper.valid_pages_of_block(chip_id, victim))
+        self._gc_jobs[chip_id] = job
+        self._gc_continue(chip_id)
+
+    def _gc_continue(self, chip_id: int) -> None:
+        """Advance the chip's GC state machine by one batch."""
+        job = self._gc_jobs[chip_id]
+        if job is None:
+            return
+        if job.staged:
+            payload, job.staged = job.staged, []
+            self._program_entries(chip_id, [], is_gc=True, gc_payload=payload)
+            return
+        if not job.pending:
+            self._gc_erase(chip_id, job)
+            return
+        batch_size = min(self.geometry.block.pages_per_wl, len(job.pending))
+        batch, job.pending = job.pending[:batch_size], job.pending[batch_size:]
+        outstanding = {"count": len(batch)}
+
+        def make_on_data(ppn: int, lpn: int):
+            def on_data(result: ReadResult) -> None:
+                job.staged.append((lpn, result.data, ppn))
+                outstanding["count"] -= 1
+                if outstanding["count"] == 0:
+                    self._gc_continue(chip_id)
+
+            return on_data
+
+        for ppn, lpn in batch:
+            _chip, address = self.geometry.ppn_to_address(ppn)
+            self._flash_read(chip_id, address, is_gc=True, on_data=make_on_data(ppn, lpn))
+
+    def _gc_erase(self, chip_id: int, job: _GCJob) -> None:
+        victim = job.victim
+
+        def erase_job():
+            from repro.nand.errors import WearOutError
+
+            try:
+                t_erase = self.controller.chip(chip_id).erase_block(victim)
+                return t_erase, True
+            except WearOutError:
+                # worn out: the block's data is already migrated; retire
+                # it instead of returning it to the free pool
+                return 0.0, False
+
+        def on_done(erased: bool) -> None:
+            self.mapper.clear_block(chip_id, victim)
+            if erased:
+                self.counters.erases += 1
+                self.blocks.mark_free(chip_id, victim)
+            else:
+                self.counters.retired_blocks += 1
+                self.blocks.retire(chip_id, victim)
+            self.on_block_erased(chip_id, victim)
+            self._gc_jobs[chip_id] = None
+            self._maybe_gc(chip_id)
+            self._drain_pending_writes()
+            self._maybe_flush()
+
+        self.controller.chip_resource(chip_id).submit(erase_job, on_done)

@@ -1,0 +1,111 @@
+"""Per-chip block lifecycle: free pool, active blocks, full blocks, GC
+victim selection."""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.ftl.mapping import PageMapper
+from repro.nand.geometry import SSDGeometry
+
+
+class OutOfSpaceError(RuntimeError):
+    """A chip ran out of free blocks (GC could not keep up)."""
+
+
+class BlockState(enum.Enum):
+    FREE = "free"
+    ACTIVE = "active"
+    FULL = "full"
+    RETIRED = "retired"
+
+
+class BlockManager:
+    """Tracks every block's lifecycle state per chip."""
+
+    def __init__(self, geometry: SSDGeometry) -> None:
+        self.geometry = geometry
+        self._free: Dict[int, Deque[int]] = {}
+        self._state: Dict[int, List[BlockState]] = {}
+        for chip_id in range(geometry.n_chips):
+            self._free[chip_id] = deque(range(geometry.blocks_per_chip))
+            self._state[chip_id] = [BlockState.FREE] * geometry.blocks_per_chip
+
+    def state(self, chip_id: int, block: int) -> BlockState:
+        return self._state[chip_id][block]
+
+    def free_count(self, chip_id: int) -> int:
+        return len(self._free[chip_id])
+
+    def take_free(
+        self, chip_id: int, key: Optional[Callable[[int], int]] = None
+    ) -> int:
+        """Pop a free block and mark it active.
+
+        Without ``key`` blocks recycle FIFO; with a ``key`` (e.g. the
+        erase count, for dynamic wear leveling) the free block minimizing
+        it is chosen.
+        """
+        free = self._free[chip_id]
+        if not free:
+            raise OutOfSpaceError(f"chip {chip_id} has no free blocks")
+        if key is None:
+            block = free.popleft()
+        else:
+            block = min(free, key=key)
+            free.remove(block)
+        self._state[chip_id][block] = BlockState.ACTIVE
+        return block
+
+    def mark_full(self, chip_id: int, block: int) -> None:
+        if self._state[chip_id][block] is not BlockState.ACTIVE:
+            raise ValueError(f"block {block} is not active")
+        self._state[chip_id][block] = BlockState.FULL
+
+    def mark_free(self, chip_id: int, block: int) -> None:
+        """Return an erased block to the free pool."""
+        if self._state[chip_id][block] is BlockState.FREE:
+            raise ValueError(f"block {block} is already free")
+        self._state[chip_id][block] = BlockState.FREE
+        self._free[chip_id].append(block)
+
+    def retire(self, chip_id: int, block: int) -> None:
+        """Permanently remove a worn-out block from service.
+
+        The block must hold no valid data (it is retired after its
+        contents were migrated and its final erase failed or its
+        endurance limit was reached).
+        """
+        state = self._state[chip_id][block]
+        if state is BlockState.RETIRED:
+            return
+        if state is BlockState.FREE:
+            self._free[chip_id].remove(block)
+        self._state[chip_id][block] = BlockState.RETIRED
+
+    def retired_count(self, chip_id: int) -> int:
+        return sum(
+            1 for state in self._state[chip_id] if state is BlockState.RETIRED
+        )
+
+    def full_blocks(self, chip_id: int) -> List[int]:
+        return [
+            block
+            for block, state in enumerate(self._state[chip_id])
+            if state is BlockState.FULL
+        ]
+
+    def select_victim(self, chip_id: int, mapper: PageMapper) -> int:
+        """Greedy GC victim: the full block with the fewest valid pages."""
+        candidates = self.full_blocks(chip_id)
+        if not candidates:
+            raise OutOfSpaceError(f"chip {chip_id} has no GC victim")
+        return min(candidates, key=lambda block: mapper.valid_count(chip_id, block))
+
+    def counts(self, chip_id: int) -> Dict[BlockState, int]:
+        result = {state: 0 for state in BlockState}
+        for state in self._state[chip_id]:
+            result[state] += 1
+        return result

@@ -1,0 +1,147 @@
+"""Page-level address translation (L2P / P2L) with validity tracking.
+
+Numpy-backed so the paper-scale device (about two million physical pages)
+translates in O(1) per access with modest memory.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.nand.geometry import PageAddress, SSDGeometry
+
+#: sentinel for "not mapped"
+UNMAPPED = -1
+
+
+class PageMapper:
+    """L2P/P2L tables plus per-block valid-page accounting."""
+
+    def __init__(self, geometry: SSDGeometry, logical_pages: int) -> None:
+        if logical_pages < 1:
+            raise ValueError("logical_pages must be >= 1")
+        if logical_pages > geometry.total_pages:
+            raise ValueError("logical space exceeds physical capacity")
+        self.geometry = geometry
+        self.logical_pages = logical_pages
+        self._l2p = np.full(logical_pages, UNMAPPED, dtype=np.int64)
+        self._p2l = np.full(geometry.total_pages, UNMAPPED, dtype=np.int64)
+        self._valid = np.zeros(geometry.total_pages, dtype=bool)
+        self._valid_count = np.zeros(
+            (geometry.n_chips, geometry.blocks_per_chip), dtype=np.int32
+        )
+
+    # ------------------------------------------------------------------
+
+    def _check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.logical_pages:
+            raise IndexError(f"LPN {lpn} out of range [0, {self.logical_pages})")
+
+    def _block_of_ppn(self, ppn: int) -> Tuple[int, int]:
+        chip_id, rest = divmod(ppn, self.geometry.pages_per_chip)
+        block = rest // self.geometry.block.pages_per_block
+        return chip_id, block
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, lpn: int) -> int:
+        """PPN currently holding an LPN, or :data:`UNMAPPED`."""
+        self._check_lpn(lpn)
+        return int(self._l2p[lpn])
+
+    def lpn_of(self, ppn: int) -> int:
+        return int(self._p2l[ppn])
+
+    def is_valid(self, ppn: int) -> bool:
+        return bool(self._valid[ppn])
+
+    def bind(self, lpn: int, ppn: int) -> int:
+        """Map an LPN to a newly programmed PPN.
+
+        Any previous mapping of the LPN is invalidated.  Returns the old
+        PPN (or :data:`UNMAPPED`).
+        """
+        self._check_lpn(lpn)
+        if not 0 <= ppn < self.geometry.total_pages:
+            raise IndexError(f"PPN {ppn} out of range")
+        if self._valid[ppn]:
+            raise ValueError(f"PPN {ppn} already holds valid data")
+        old = int(self._l2p[lpn])
+        if old != UNMAPPED:
+            self._invalidate_ppn(old)
+        self._l2p[lpn] = ppn
+        self._p2l[ppn] = lpn
+        self._valid[ppn] = True
+        chip_id, block = self._block_of_ppn(ppn)
+        self._valid_count[chip_id, block] += 1
+        return old
+
+    def invalidate_lpn(self, lpn: int) -> None:
+        """Drop an LPN's mapping (trim / overwrite-in-buffer)."""
+        self._check_lpn(lpn)
+        old = int(self._l2p[lpn])
+        if old != UNMAPPED:
+            self._invalidate_ppn(old)
+            self._l2p[lpn] = UNMAPPED
+
+    def _invalidate_ppn(self, ppn: int) -> None:
+        if self._valid[ppn]:
+            self._valid[ppn] = False
+            chip_id, block = self._block_of_ppn(ppn)
+            self._valid_count[chip_id, block] -= 1
+        self._p2l[ppn] = UNMAPPED
+
+    # ------------------------------------------------------------------
+    # block-granular queries (GC support)
+    # ------------------------------------------------------------------
+
+    def valid_count(self, chip_id: int, block: int) -> int:
+        return int(self._valid_count[chip_id, block])
+
+    def valid_counts_of_chip(self, chip_id: int) -> np.ndarray:
+        return self._valid_count[chip_id].copy()
+
+    def _block_page_range(self, chip_id: int, block: int) -> Tuple[int, int]:
+        per_block = self.geometry.block.pages_per_block
+        base = chip_id * self.geometry.pages_per_chip + block * per_block
+        return base, base + per_block
+
+    def valid_pages_of_block(self, chip_id: int, block: int) -> List[Tuple[int, int]]:
+        """(ppn, lpn) pairs of the block's valid pages, in page order."""
+        lo, hi = self._block_page_range(chip_id, block)
+        ppns = np.nonzero(self._valid[lo:hi])[0] + lo
+        return [(int(ppn), int(self._p2l[ppn])) for ppn in ppns]
+
+    def clear_block(self, chip_id: int, block: int) -> None:
+        """Reset a block's physical state after erase.
+
+        The block must contain no valid pages (GC migrates them first).
+        """
+        if self.valid_count(chip_id, block) != 0:
+            raise ValueError(
+                f"block (chip={chip_id}, block={block}) still has valid pages"
+            )
+        lo, hi = self._block_page_range(chip_id, block)
+        self._p2l[lo:hi] = UNMAPPED
+        self._valid[lo:hi] = False
+
+    # ------------------------------------------------------------------
+    # invariants (exercised by property-based tests)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if the tables are inconsistent."""
+        mapped = self._l2p[self._l2p != UNMAPPED]
+        assert len(np.unique(mapped)) == len(mapped), "two LPNs share a PPN"
+        for lpn in np.nonzero(self._l2p != UNMAPPED)[0]:
+            ppn = self._l2p[lpn]
+            assert self._p2l[ppn] == lpn, f"P2L mismatch at LPN {lpn}"
+            assert self._valid[ppn], f"mapped PPN {ppn} not marked valid"
+        assert int(self._valid.sum()) == int(self._valid_count.sum()), (
+            "valid-count accounting drifted"
+        )
+
+    def mapped_lpn_count(self) -> int:
+        return int((self._l2p != UNMAPPED).sum())

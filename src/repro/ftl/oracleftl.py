@@ -1,0 +1,75 @@
+"""oracleFTL: a perfect-knowledge upper bound on PS-aware programming.
+
+Section 4.1.1 opens with the observation that *"if we knew the exact
+number of required ISPP loops for each cell a priori, no VFY would be
+necessary -- although this would be impossible in practice"*.  This FTL
+makes that impossible assumption: it reads each WL's true program profile
+and safe window margin straight out of the device model and programs
+*every* WL (leaders included) with fully optimized parameters.
+
+It bounds from above what any monitoring-based scheme can achieve on the
+program path, which makes it a useful ablation reference: the gap between
+cubeFTL and oracleFTL is the price of having to monitor leaders at
+default latency.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.maxloop import (
+    DEFAULT_BER_EP1_MAX,
+    DEFAULT_MARGIN_TABLE,
+    MarginTable,
+    spare_margin,
+)
+from repro.core.wam import Allocation
+from repro.ftl.pageftl import PageFTL
+from repro.nand.ispp import ProgramParams
+from repro.ssd.config import SSDConfig
+
+
+class OracleFTL(PageFTL):
+    """Programs every WL with its true optimal parameters (no monitoring)."""
+
+    name = "oracleFTL"
+
+    def __init__(
+        self,
+        config: SSDConfig,
+        controller,
+        margin_table: MarginTable = DEFAULT_MARGIN_TABLE,
+        ber_ep1_max: float = DEFAULT_BER_EP1_MAX,
+    ) -> None:
+        super().__init__(config, controller)
+        self.margin_table = margin_table
+        self.ber_ep1_max = ber_ep1_max
+        self._params_cache = {}
+
+    def program_params(
+        self, chip_id: int, allocation: Allocation
+    ) -> Tuple[ProgramParams, float]:
+        layer = allocation.address.layer
+        key = (chip_id, allocation.block, layer)
+        cached = self._params_cache.get(key)
+        if cached is not None:
+            return cached
+        chip = self.controller.chip(chip_id)
+        # the oracle: read the ground truth out of the device model
+        slowdown = chip.reliability.program_slowdown(chip_id, allocation.block, layer)
+        profile = chip.ispp.wl_profile(slowdown)
+        true_ber_ep1 = chip.reliability.ber_ep1(
+            chip_id, allocation.block, layer, 0, chip.block_aging(allocation.block)
+        )
+        margin = self.margin_table.margin_mv(
+            spare_margin(true_ber_ep1, self.ber_ep1_max)
+        )
+        params = chip.ispp.follower_params(profile, window_squeeze_mv=int(margin))
+        result = (params, float(params.window_squeeze_mv))
+        self._params_cache[key] = result
+        return result
+
+    def on_block_erased(self, chip_id: int, block: int) -> None:
+        stale = [key for key in self._params_cache if key[:2] == (chip_id, block)]
+        for key in stale:
+            del self._params_cache[key]

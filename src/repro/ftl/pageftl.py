@@ -1,0 +1,51 @@
+"""pageFTL: the PS-unaware baseline (Section 6.1).
+
+A page-level mapping FTL with no 3D-NAND-specific optimization: every WL
+programs with the conservative default parameters, blocks fill in the
+conventional horizontal-first order, and every read starts from the
+default read references (paying the full retry sweep on aged blocks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.wam import Allocation, SequentialCursor
+from repro.ftl.base import BaseFTL
+from repro.ssd.config import SSDConfig
+
+
+class PageFTL(BaseFTL):
+    """Baseline page-mapping FTL without process-similarity awareness."""
+
+    name = "pageFTL"
+
+    def __init__(self, config: SSDConfig, controller) -> None:
+        super().__init__(config, controller)
+        self._cursors: Dict[int, List[SequentialCursor]] = {
+            chip: [] for chip in range(config.geometry.n_chips)
+        }
+
+    # -- allocation policy: plain horizontal-first ----------------------
+
+    def install_block(self, chip_id: int, block: int) -> None:
+        self._cursors[chip_id].append(SequentialCursor(block, self.geometry.block))
+
+    def cursor_count(self, chip_id: int) -> int:
+        return len(self._cursors[chip_id])
+
+    def active_cursor_space(self, chip_id: int) -> int:
+        return sum(cursor.free_wls() for cursor in self._cursors[chip_id])
+
+    def allocate_wl(self, chip_id: int) -> Allocation:
+        cursors = self._cursors[chip_id]
+        for cursor in cursors:
+            if not cursor.exhausted:
+                allocation = cursor.take()
+                if cursor.exhausted:
+                    cursors.remove(cursor)
+                return allocation
+        raise LookupError(f"chip {chip_id}: no active cursor space")
+
+    # program_params / read_params / after_* inherit the PS-unaware
+    # defaults from BaseFTL.

@@ -1,0 +1,60 @@
+"""vertFTL: the inter-layer-variability baseline (after Hung et al. [13]).
+
+vertFTL represents the existing state of the art the paper compares
+against: it reduces MaxLoop by lowering ``V_final`` using a *static,
+offline* per-layer characterization.  Because the offline table must stay
+safe under the worst operating condition over the device's whole lifetime
+(end-of-life P/E count, longest retention, worst block), the usable
+margin is small -- the paper quotes about 130 mV and an ~8 % program
+latency improvement -- and only ``V_final`` is adjusted (``V_start`` and
+the verify schedule are untouched).  No read-side optimization exists.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.maxloop import vert_ftl_static_margin
+from repro.core.wam import Allocation
+from repro.ftl.pageftl import PageFTL
+from repro.nand.ispp import (
+    DV_ISPP_DEFAULT_MV,
+    ProgramParams,
+    V_FINAL_DEFAULT_MV,
+    V_START_DEFAULT_MV,
+)
+from repro.ssd.config import SSDConfig
+
+
+class VertFTL(PageFTL):
+    """Offline-conservative V_final-only MaxLoop reduction."""
+
+    name = "vertFTL"
+
+    def __init__(
+        self,
+        config: SSDConfig,
+        controller,
+        static_margin_mv: float = None,
+    ) -> None:
+        super().__init__(config, controller)
+        if static_margin_mv is None:
+            static_margin_mv = vert_ftl_static_margin()
+        if static_margin_mv < 0:
+            raise ValueError("static_margin_mv must be >= 0")
+        # quantize to whole ISPP steps, as the device applies it
+        steps = int(round(static_margin_mv / DV_ISPP_DEFAULT_MV))
+        self._margin_mv = steps * DV_ISPP_DEFAULT_MV
+        self._params = ProgramParams(
+            v_start_mv=V_START_DEFAULT_MV,
+            v_final_mv=V_FINAL_DEFAULT_MV - self._margin_mv,
+        )
+
+    @property
+    def static_margin_mv(self) -> int:
+        return self._margin_mv
+
+    def program_params(
+        self, chip_id: int, allocation: Allocation
+    ) -> Tuple[ProgramParams, float]:
+        return self._params, float(self._margin_mv)

@@ -1,0 +1,64 @@
+"""Wear tracking and wear-aware free-block selection.
+
+The paper's FTLs sit on a standard page-mapping substrate; like any real
+FTL, that substrate should avoid concentrating erases on a few blocks
+(especially relevant here, since cubeFTL's margins shrink as blocks age
+-- uneven wear would prematurely strip some blocks of their follower
+speedups).  This module provides:
+
+- :class:`WearStats` -- per-chip erase-count statistics;
+- :func:`min_wear_selector` -- a selection key for
+  :meth:`repro.ftl.blockmgr.BlockManager.take_free` that always picks the
+  least-worn free block (classic dynamic wear leveling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+from repro.nand.chip import NandChip
+
+
+@dataclass(frozen=True)
+class WearStats:
+    """Erase-count distribution of one chip's blocks."""
+
+    min_pe: int
+    max_pe: int
+    mean_pe: float
+    std_pe: float
+
+    @property
+    def spread(self) -> int:
+        """Max-min erase gap; the quantity wear leveling minimizes."""
+        return self.max_pe - self.min_pe
+
+
+def chip_wear_stats(chip: NandChip) -> WearStats:
+    """Collect the erase-count distribution of a chip."""
+    counts = np.array([chip.block_pe(block) for block in range(chip.n_blocks)])
+    return WearStats(
+        min_pe=int(counts.min()),
+        max_pe=int(counts.max()),
+        mean_pe=float(counts.mean()),
+        std_pe=float(counts.std()),
+    )
+
+
+def min_wear_selector(chip: NandChip) -> Callable[[int], int]:
+    """Selection key: prefer the free block with the fewest erases."""
+
+    def key(block: int) -> int:
+        return chip.block_pe(block)
+
+    return key
+
+
+def wear_imbalance(chips: List[NandChip]) -> float:
+    """Largest per-chip erase spread across an SSD's chips."""
+    if not chips:
+        raise ValueError("need at least one chip")
+    return max(chip_wear_stats(chip).spread for chip in chips)

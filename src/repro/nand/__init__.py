@@ -1,0 +1,62 @@
+"""3D NAND flash device model.
+
+This subpackage is the hardware substrate of the reproduction: a mechanistic
+model of a 3D TLC NAND flash chip with the cubic organization described in
+Section 2 of the paper (horizontal layers stacked along *z*, word lines within
+each layer separated by select-line transistors, charge-trap cells formed by a
+single vertical etching pass).
+
+The model reproduces, at the level of *observable device parameters*, the
+process characteristics reported by the paper's chip characterization:
+
+- **intra-layer similarity** -- WLs on the same h-layer are virtually
+  equivalent (BER, loop counts, optimal read offsets) up to RTN-scale noise;
+- **inter-layer variability** -- large, aging-dependent layer-to-layer BER
+  differences that are hard to predict offline;
+- **per-block spread** -- blocks at different die locations have different
+  variability magnitudes.
+"""
+
+from repro.nand.errors import (
+    NandError,
+    AddressError,
+    ProgramOrderError,
+    ProgramWindowError,
+    UncorrectableError,
+    UnprogrammedReadError,
+    WearOutError,
+)
+from repro.nand.geometry import BlockGeometry, SSDGeometry, PageAddress, WLAddress
+from repro.nand.timing import NandTiming
+from repro.nand.reliability import AgingState, ReliabilityModel
+from repro.nand.ispp import IsppEngine, ProgramParams, LoopInterval, WLProgramProfile
+from repro.nand.read_retry import ReadRetryModel, ReadParams
+from repro.nand.ecc import EccEngine
+from repro.nand.chip import NandChip, ProgramResult, ReadResult
+
+__all__ = [
+    "NandError",
+    "AddressError",
+    "ProgramOrderError",
+    "ProgramWindowError",
+    "UncorrectableError",
+    "UnprogrammedReadError",
+    "WearOutError",
+    "BlockGeometry",
+    "SSDGeometry",
+    "PageAddress",
+    "WLAddress",
+    "NandTiming",
+    "AgingState",
+    "ReliabilityModel",
+    "IsppEngine",
+    "ProgramParams",
+    "LoopInterval",
+    "WLProgramProfile",
+    "ReadRetryModel",
+    "ReadParams",
+    "EccEngine",
+    "NandChip",
+    "ProgramResult",
+    "ReadResult",
+]

@@ -1,0 +1,384 @@
+"""The 3D NAND chip: operations, state, and the ONFI-style interface.
+
+A :class:`NandChip` ties the device-model components together:
+
+- :class:`~repro.nand.reliability.ReliabilityModel` supplies the BER
+  surface (intra-layer similarity, inter-layer variability, aging);
+- :class:`~repro.nand.ispp.IsppEngine` executes program operations and
+  reports the monitored per-state loop intervals (the values a controller
+  reads back through Get-Features after a program -- Section 4.1.4 notes
+  vendors expose these via the low-level NAND interface);
+- :class:`~repro.nand.read_retry.ReadRetryModel` decides how many retries
+  a read needs given the starting offset hint;
+- :class:`~repro.nand.ecc.EccEngine` decides correctability.
+
+The chip enforces the device-level legality rules: erase-before-reprogram
+per WL, in-range addresses, optional endurance limit.  WLs are programmed
+*one-shot* (all TLC pages of the WL at once), matching how modern 3D TLC
+parts program and how the paper's WL-granular allocation (the WAM) works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nand.ecc import EccEngine
+from repro.nand.errors import (
+    AddressError,
+    ProgramOrderError,
+    UnprogrammedReadError,
+    WearOutError,
+)
+from repro.nand.geometry import BlockGeometry
+from repro.nand.ispp import IsppEngine, IsppResult, ProgramParams, WLProgramProfile
+from repro.nand.read_retry import ReadParams, ReadRetryModel
+from repro.nand.reliability import AgingState, ReliabilityModel, hash_unit
+from repro.nand.timing import NandTiming
+
+
+@dataclass(frozen=True)
+class ProgramResult:
+    """Outcome of a one-shot WL program operation."""
+
+    #: total latency including parameter-setting overhead (us)
+    t_prog_us: float
+    #: detailed ISPP outcome (loops, verifies, penalties)
+    ispp: IsppResult
+    #: the per-state loop intervals observable via Get-Features -- this is
+    #: what the OPM records from a leader-WL program
+    monitored: WLProgramProfile
+    #: BER measured immediately after the program (no retention); the
+    #: safety check of Section 4.1.4 compares this across WLs of a layer
+    post_program_ber: float
+    #: BER between the E state and the P1 state, monitored during the
+    #: program -- the health predictor behind the spare margin S_M
+    #: (Section 4.1.2)
+    ber_ep1: float
+    #: environmental loop shift that affected this program (0 = none)
+    env_shift: int
+
+    @property
+    def clean(self) -> bool:
+        return self.ispp.clean and self.env_shift == 0
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Outcome of a page read operation."""
+
+    #: array-sense latency including retries (us); bus transfer is the
+    #: controller's job
+    t_read_us: float
+    #: number of read retries performed
+    num_retry: int
+    #: offset level that finally decoded -- the value a PS-aware
+    #: controller stores back into its ORT
+    final_offset: int
+    #: raw bit error rate seen by the ECC engine
+    ber: float
+    #: whether the page decoded within ECC capability
+    correctable: bool
+    #: stored data tag, when tag storage is enabled
+    data: Optional[object]
+
+
+class NandChip:
+    """One 3D TLC NAND chip with ``n_blocks`` blocks.
+
+    Parameters
+    ----------
+    chip_id:
+        Global chip id; feeds the deterministic per-location hashes so
+        chips differ from each other.
+    n_blocks, geometry:
+        Chip shape.
+    env_shift_prob:
+        Probability that a program operation experiences a sudden
+        operating-condition change (Section 4.1.4), shifting its loop
+        profile and invalidating previously monitored parameters.
+    store_tags:
+        Keep per-page data tags for functional read-back checks.  Costs
+        memory on long simulations; benchmarks disable it.
+    erase_limit:
+        Optional hard endurance cap; exceeding it raises
+        :class:`WearOutError`.
+    read_disturb_per_read:
+        Optional read-disturb modelling: each read of a block weakly
+        disturbs its other pages, adding this BER fraction per read (a
+        typical figure is ~1e-6 of the base BER per read, i.e. hundreds
+        of thousands of reads to matter).  Disabled (0.0) by default; an
+        FTL can watch :meth:`block_read_count` and refresh hot blocks.
+    """
+
+    def __init__(
+        self,
+        chip_id: int = 0,
+        n_blocks: int = 428,
+        geometry: BlockGeometry = BlockGeometry(),
+        reliability: Optional[ReliabilityModel] = None,
+        timing: NandTiming = NandTiming(),
+        ispp: Optional[IsppEngine] = None,
+        retry_model: Optional[ReadRetryModel] = None,
+        ecc: Optional[EccEngine] = None,
+        env_shift_prob: float = 2e-4,
+        store_tags: bool = True,
+        erase_limit: Optional[int] = None,
+        read_disturb_per_read: float = 0.0,
+    ) -> None:
+        if n_blocks < 1:
+            raise ValueError("n_blocks must be >= 1")
+        if not 0.0 <= env_shift_prob <= 1.0:
+            raise ValueError("env_shift_prob must be in [0, 1]")
+        self.chip_id = chip_id
+        self.n_blocks = n_blocks
+        self.geometry = geometry
+        self.reliability = reliability or ReliabilityModel(geometry)
+        self.timing = timing
+        self.ispp = ispp or IsppEngine(timing)
+        self.retry_model = retry_model or ReadRetryModel(self.reliability)
+        self.ecc = ecc or EccEngine()
+        self.env_shift_prob = env_shift_prob
+        self.store_tags = store_tags
+        self.erase_limit = erase_limit
+        if read_disturb_per_read < 0:
+            raise ValueError("read_disturb_per_read must be >= 0")
+        self.read_disturb_per_read = read_disturb_per_read
+
+        wls = geometry.wls_per_block
+        self._erase_counts = np.zeros(n_blocks, dtype=np.int32)
+        self._programmed = np.zeros((n_blocks, wls), dtype=bool)
+        self._penalty = np.ones((n_blocks, wls), dtype=np.float64)
+        # program-instance variation: each program operation lands the
+        # V_th distributions slightly differently (sub-percent), which is
+        # what the paper's Fig. 13 measures as RTN-scale order noise
+        self._prog_noise = np.ones((n_blocks, wls), dtype=np.float64)
+        self._block_reads = np.zeros(n_blocks, dtype=np.int64)
+        self._baseline = AgingState()
+        self._read_nonce = 0
+        self._program_nonce = 0
+        self._tags: Dict[Tuple[int, int, int], object] = {}
+        self._features: Dict[int, Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # aging control (experiment pre-conditioning)
+    # ------------------------------------------------------------------
+
+    @property
+    def baseline_aging(self) -> AgingState:
+        return self._baseline
+
+    def set_baseline_aging(self, aging: AgingState) -> None:
+        """Pre-condition the chip (e.g. "2 K P/E with 1-year retention")."""
+        self._baseline = aging
+
+    def block_aging(self, block: int) -> AgingState:
+        """Effective aging of one block: baseline plus dynamic erases."""
+        self._check_block(block)
+        return AgingState(
+            pe_cycles=self._baseline.pe_cycles + int(self._erase_counts[block]),
+            retention_months=self._baseline.retention_months,
+        )
+
+    def block_pe(self, block: int) -> int:
+        self._check_block(block)
+        return int(self._erase_counts[block]) + self._baseline.pe_cycles
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+
+    def erase_block(self, block: int) -> float:
+        """Erase a block; returns the erase latency in microseconds."""
+        self._check_block(block)
+        if self.erase_limit is not None and self.block_pe(block) >= self.erase_limit:
+            raise WearOutError(f"block {block} exceeded {self.erase_limit} P/E cycles")
+        self._erase_counts[block] += 1
+        self._programmed[block, :] = False
+        self._penalty[block, :] = 1.0
+        self._prog_noise[block, :] = 1.0
+        self._block_reads[block] = 0
+        if self._tags:
+            stale = [key for key in self._tags if key[0] == block]
+            for key in stale:
+                del self._tags[key]
+        return self.timing.t_erase_us
+
+    def program_wl(
+        self,
+        block: int,
+        layer: int,
+        wl: int,
+        params: Optional[ProgramParams] = None,
+        data: Optional[Sequence[object]] = None,
+    ) -> ProgramResult:
+        """One-shot program of all pages of a WL.
+
+        ``data`` optionally supplies one tag per page of the WL (TLC: 3);
+        tags are returned by subsequent reads when tag storage is on.
+        """
+        self.geometry.check_wl(layer, wl)
+        self._check_block(block)
+        wl_index = self.geometry.wl_index(layer, wl)
+        if self._programmed[block, wl_index]:
+            raise ProgramOrderError(
+                f"WL (block={block}, layer={layer}, wl={wl}) already programmed"
+            )
+        if data is not None and len(data) != self.geometry.pages_per_wl:
+            raise ValueError(
+                f"data must supply {self.geometry.pages_per_wl} page tags"
+            )
+        if params is None:
+            params = ProgramParams.default(self.ispp.n_states)
+
+        env_shift = self._draw_env_shift(block, layer, wl)
+        slowdown = self.reliability.program_slowdown(self.chip_id, block, layer)
+        profile = self.ispp.wl_profile(slowdown, env_shift)
+        ispp_result = self.ispp.simulate(profile, params)
+
+        self._programmed[block, wl_index] = True
+        self._penalty[block, wl_index] = ispp_result.ber_penalty
+        noise_u = hash_unit(
+            self.reliability.seed, 0x9619, self.chip_id, block, wl_index,
+            self._program_nonce,
+        )
+        self._prog_noise[block, wl_index] = 1.0 + 0.01 * (2.0 * noise_u - 1.0)
+        if self.store_tags and data is not None:
+            for page, tag in enumerate(data):
+                self._tags[(block, wl_index, page)] = tag
+
+        # immediate read-back BER: no retention yet, current block P/E
+        aging_now = AgingState(self.block_pe(block), 0.0)
+        post_ber = (
+            self.reliability.wl_ber(self.chip_id, block, layer, wl, aging_now)
+            * ispp_result.ber_penalty
+        )
+        # E<->P1 health indicator must reflect how the *stored* data will
+        # age, so it is evaluated under the block's effective aging state
+        ber_ep1 = self.reliability.ber_ep1(
+            self.chip_id, block, layer, wl, self.block_aging(block)
+        )
+        t_prog = ispp_result.t_prog_us
+        if params.window_squeeze_mv != 0 or any(
+            start > 1 for start in params.verify_plan.start_loops
+        ):
+            t_prog += self.timing.t_param_set_us
+        return ProgramResult(
+            t_prog_us=t_prog,
+            ispp=ispp_result,
+            monitored=ispp_result.monitored,
+            post_program_ber=post_ber,
+            ber_ep1=ber_ep1,
+            env_shift=env_shift,
+        )
+
+    def read_page(
+        self,
+        block: int,
+        layer: int,
+        wl: int,
+        page: int,
+        params: ReadParams = ReadParams(),
+    ) -> ReadResult:
+        """Read one page of a programmed WL."""
+        self.geometry.check_page(layer, wl, page)
+        self._check_block(block)
+        wl_index = self.geometry.wl_index(layer, wl)
+        if not self._programmed[block, wl_index]:
+            raise UnprogrammedReadError(
+                f"page (block={block}, layer={layer}, wl={wl}, page={page}) "
+                "was never programmed"
+            )
+        aging = self.block_aging(block)
+        ber = (
+            self.reliability.wl_ber(self.chip_id, block, layer, wl, aging)
+            * self._penalty[block, wl_index]
+            * self._prog_noise[block, wl_index]
+        )
+        if self.read_disturb_per_read:
+            disturb = 1.0 + self.read_disturb_per_read * self._block_reads[block]
+            ber *= disturb
+        self._block_reads[block] += 1
+        optimal = self.retry_model.read_optimal(
+            self.chip_id, block, layer, aging, self._read_nonce
+        )
+        self._read_nonce += 1
+        num_retry = self.retry_model.retries_needed(params.offset_hint, optimal)
+        tag = self._tags.get((block, wl_index, page)) if self.store_tags else None
+        return ReadResult(
+            t_read_us=self.timing.read_us(num_retry),
+            num_retry=num_retry,
+            final_offset=optimal,
+            ber=ber,
+            correctable=self.ecc.correctable(ber),
+            data=tag,
+        )
+
+    # ------------------------------------------------------------------
+    # ONFI-style feature interface
+    # ------------------------------------------------------------------
+
+    def set_features(self, address: int, values: Tuple[int, ...]) -> float:
+        """ONFI Set-Features: store an operating-parameter record.
+
+        Returns the command latency (< 1 us, Section 5.1).
+        """
+        self._features[address] = tuple(values)
+        return self.timing.t_param_set_us
+
+    def get_features(self, address: int) -> Tuple[int, ...]:
+        """ONFI Get-Features: read back an operating-parameter record."""
+        if address not in self._features:
+            raise AddressError(f"feature address {address:#x} was never set")
+        return self._features[address]
+
+    # ------------------------------------------------------------------
+    # state queries and characterization helpers
+    # ------------------------------------------------------------------
+
+    def is_programmed(self, block: int, layer: int, wl: int) -> bool:
+        self._check_block(block)
+        return bool(self._programmed[block, self.geometry.wl_index(layer, wl)])
+
+    def programmed_wl_count(self, block: int) -> int:
+        self._check_block(block)
+        return int(self._programmed[block].sum())
+
+    def block_read_count(self, block: int) -> int:
+        """Reads since the block's last erase (read-disturb exposure)."""
+        self._check_block(block)
+        return int(self._block_reads[block])
+
+    def wl_penalty(self, block: int, layer: int, wl: int) -> float:
+        self._check_block(block)
+        return float(self._penalty[block, self.geometry.wl_index(layer, wl)])
+
+    def measure_retention_errors(
+        self, block: int, layer: int, wl: int, aging: AgingState
+    ) -> int:
+        """Characterization-board helper: N_ret(w_ij, x, t) for an explicit
+        aging condition (used by the Section 3 study harness)."""
+        return self.reliability.n_ret(self.chip_id, block, layer, wl, aging)
+
+    def _draw_env_shift(self, block: int, layer: int, wl: int) -> int:
+        self._program_nonce += 1
+        u = hash_unit(
+            self.reliability.seed,
+            0xE47,
+            self.chip_id,
+            block,
+            layer,
+            wl,
+            self._program_nonce,
+        )
+        if u < self.env_shift_prob:
+            # direction from a second hash; shifts of +/-1 loop
+            sign = 1 if hash_unit(self.reliability.seed, 0xD17, block, layer, wl) < 0.5 else -1
+            return sign
+        return 0
+
+    def _check_block(self, block: int) -> None:
+        if not 0 <= block < self.n_blocks:
+            raise AddressError(f"block {block} out of range [0, {self.n_blocks})")

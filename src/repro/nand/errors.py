@@ -1,0 +1,40 @@
+"""Exception hierarchy for the NAND device model."""
+
+
+class NandError(Exception):
+    """Base class for all NAND device-model errors."""
+
+
+class AddressError(NandError):
+    """An address is outside the device geometry."""
+
+
+class ProgramOrderError(NandError):
+    """A program operation violates device ordering constraints.
+
+    The 3D NAND model allows WLs of a block to be programmed in any order
+    (the paper's Fig. 13 shows the three evaluated orders are reliability
+    equivalent), but it still forbids programming a WL twice without an
+    intervening block erase.
+    """
+
+
+class ProgramWindowError(NandError):
+    """The requested (V_start, V_final) window cannot program the WL.
+
+    Raised when the window is inverted or narrower than one ISPP step.
+    """
+
+
+class UnprogrammedReadError(NandError):
+    """A read targeted a page that was never programmed since the last
+    block erase."""
+
+
+class UncorrectableError(NandError):
+    """A read returned more raw bit errors than the ECC engine can correct,
+    even after exhausting read retries."""
+
+
+class WearOutError(NandError):
+    """A block was erased beyond its rated endurance limit."""

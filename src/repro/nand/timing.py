@@ -1,0 +1,49 @@
+"""NAND timing parameters.
+
+All times are microseconds.  Default values are calibrated so that the
+paper's headline numbers come out of the mechanistic ISPP model:
+
+- average (leader-WL) tPROG of about 700 us with the default 14-loop ISPP
+  schedule (Section 5.1 cites tPROG ~= 700 us),
+- base tREAD of about 80 us and one extra sense per read retry,
+- per-operation parameter setting (ONFI Set-Features) below 1 us
+  (Section 4.1.4 / 5.1 cite < 1 us).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NandTiming:
+    """Latency and bandwidth parameters of the NAND device and its bus."""
+
+    #: latency of one ISPP program pulse (the PGM box of Fig. 3(a))
+    t_pgm_us: float = 38.0
+    #: latency of one verify operation (the VFY box of Fig. 3(a))
+    t_vfy_us: float = 4.1
+    #: latency of sensing one page once (no retries)
+    t_read_us: float = 80.0
+    #: extra latency per read retry (one more sense with shifted V_ref)
+    t_retry_us: float = 80.0
+    #: block erase latency
+    t_erase_us: float = 3500.0
+    #: ONFI Set/Get-Features latency for adjusting operating parameters
+    t_param_set_us: float = 0.7
+    #: channel (bus) bandwidth for page transfers, MB/s
+    bus_mb_per_s: float = 800.0
+    #: fixed command/addressing overhead per bus transaction
+    t_cmd_us: float = 2.0
+
+    def transfer_us(self, n_bytes: int) -> float:
+        """Bus time to move ``n_bytes`` of data, including command overhead."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be >= 0")
+        return self.t_cmd_us + n_bytes / self.bus_mb_per_s
+
+    def read_us(self, num_retry: int) -> float:
+        """Array-sense time of a read that needed ``num_retry`` retries."""
+        if num_retry < 0:
+            raise ValueError("num_retry must be >= 0")
+        return self.t_read_us + num_retry * self.t_retry_us

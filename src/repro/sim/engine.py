@@ -1,0 +1,107 @@
+"""A minimal, fast discrete-event engine.
+
+Time is a float in microseconds (matching :mod:`repro.nand.timing`).
+Events are callbacks scheduled at absolute times; ties break by insertion
+order so the simulation is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Event:
+    """A scheduled callback.  Cancel by setting :attr:`cancelled`."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Engine:
+    """Event queue with a monotonically advancing clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._queue: List[Event] = []
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` microseconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        event = Event(self._now + delay, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute time (>= now)."""
+        if time < self._now:
+            raise ValueError("cannot schedule in the past")
+        event = Event(time, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run until the queue drains, ``until`` is reached, or
+        ``max_events`` have executed."""
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                return
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                self._now = until
+                return
+            self.step()
+            executed += 1
+        if until is not None and until > self._now:
+            self._now = until

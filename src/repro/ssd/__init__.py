@@ -1,0 +1,14 @@
+"""SSD-level substrate: configuration, write buffer, controller, stats."""
+
+from repro.ssd.config import SSDConfig
+from repro.ssd.stats import LatencyStats, SimulationStats
+from repro.ssd.write_buffer import WriteBuffer
+from repro.ssd.controller import SSDSimulation
+
+__all__ = [
+    "SSDConfig",
+    "LatencyStats",
+    "SimulationStats",
+    "WriteBuffer",
+    "SSDSimulation",
+]

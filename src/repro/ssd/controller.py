@@ -1,0 +1,267 @@
+"""SSD controller and the trace-driven simulation front end.
+
+:class:`SSDController` instantiates the hardware: one
+:class:`~repro.nand.chip.NandChip` per die, one FIFO resource per die and
+per channel, all sharing a single device model (reliability surface, ISPP
+engine, retry model, ECC) so that every FTL sees the *same* silicon.
+
+:class:`SSDSimulation` wires a controller to an FTL, optionally prefills
+the drive (untimed), and replays traces closed-loop at a configurable
+queue depth, producing :class:`~repro.ssd.stats.SimulationStats`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.nand.chip import NandChip
+from repro.nand.ecc import EccEngine
+from repro.nand.geometry import PageAddress
+from repro.nand.ispp import IsppEngine, ProgramParams
+from repro.nand.read_retry import ReadRetryModel
+from repro.nand.reliability import ReliabilityModel
+from repro.sim.engine import Engine
+from repro.sim.resources import FifoResource
+from repro.ssd.config import SSDConfig
+from repro.ssd.stats import SimulationStats
+from repro.workloads.base import Trace
+
+
+class SimulationStalledError(RuntimeError):
+    """The event queue drained while host requests were still pending."""
+
+
+class SSDController:
+    """The hardware side: chips, dies, channels, and the clock."""
+
+    def __init__(self, config: SSDConfig) -> None:
+        self.config = config
+        self.engine = Engine()
+        geometry = config.geometry
+        self.reliability = ReliabilityModel(geometry.block, seed=config.seed)
+        self.ispp = IsppEngine(config.timing)
+        self.retry_model = ReadRetryModel(self.reliability)
+        self.ecc = EccEngine()
+        self.chips: List[NandChip] = []
+        for chip_id in range(geometry.n_chips):
+            chip = NandChip(
+                chip_id=chip_id,
+                n_blocks=geometry.blocks_per_chip,
+                geometry=geometry.block,
+                reliability=self.reliability,
+                timing=config.timing,
+                ispp=self.ispp,
+                retry_model=self.retry_model,
+                ecc=self.ecc,
+                env_shift_prob=config.env_shift_prob,
+                store_tags=config.store_tags,
+            )
+            chip.set_baseline_aging(config.aging)
+            self.chips.append(chip)
+        self._chip_resources = [
+            FifoResource(self.engine, name=f"chip{chip_id}")
+            for chip_id in range(geometry.n_chips)
+        ]
+        self._bus_resources = [
+            FifoResource(self.engine, name=f"bus{channel}")
+            for channel in range(geometry.n_channels)
+        ]
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def chip(self, chip_id: int) -> NandChip:
+        return self.chips[chip_id]
+
+    def chip_resource(self, chip_id: int) -> FifoResource:
+        return self._chip_resources[chip_id]
+
+    def bus_resource(self, chip_id: int) -> FifoResource:
+        """The channel resource a chip is attached to."""
+        channel = self.config.geometry.channel_of_chip(chip_id)
+        return self._bus_resources[channel]
+
+
+class SSDSimulation:
+    """Front end: build an SSD, prefill it, replay traces."""
+
+    def __init__(self, config: SSDConfig, ftl: str = "page", **ftl_kwargs) -> None:
+        # local import: repro.ftl imports repro.ssd.config, so importing
+        # it at module scope would be circular
+        from repro.ftl import make_ftl
+
+        self.config = config
+        self.controller = SSDController(config)
+        self.ftl = make_ftl(ftl, config, self.controller, **ftl_kwargs)
+
+    # ------------------------------------------------------------------
+
+    def prefill(self, fraction: float = 0.7) -> int:
+        """Untimed sequential fill of the logical space.
+
+        Programs real WLs through the FTL's own allocation policy (so the
+        post-prefill cursor state is consistent) but without consuming
+        simulated time.  Returns the number of pages written.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        ftl = self.ftl
+        geometry = self.config.geometry
+        pages_per_wl = geometry.block.pages_per_wl
+        n_pages = int(self.config.logical_pages * fraction)
+        lpn = 0
+        chip_rr = 0
+        while lpn < n_pages:
+            group = list(range(lpn, min(lpn + pages_per_wl, n_pages)))
+            chip_id = chip_rr % geometry.n_chips
+            chip_rr += 1
+            ftl._ensure_active_blocks(chip_id)
+            allocation = ftl.allocate_wl(chip_id)
+            params, squeeze_mv = ftl.program_params(chip_id, allocation)
+            data = group + [None] * (pages_per_wl - len(group))
+            result = self.controller.chip(chip_id).program_wl(
+                allocation.block,
+                allocation.address.layer,
+                allocation.address.wl,
+                params=params,
+                data=data,
+            )
+            ok = ftl.after_program(chip_id, allocation, result, squeeze_mv)
+            if ok:
+                for page_index, page_lpn in enumerate(group):
+                    ppn = geometry.ppn(
+                        chip_id,
+                        PageAddress(
+                            allocation.block,
+                            allocation.address.layer,
+                            allocation.address.wl,
+                            page_index,
+                        ),
+                    )
+                    ftl.mapper.bind(page_lpn, ppn)
+                lpn = group[-1] + 1
+            ftl._maybe_mark_full(chip_id, allocation.block)
+        # prefill must not distort run statistics
+        from repro.ftl.base import FTLCounters
+
+        ftl.counters = FTLCounters()
+        return n_pages
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        trace: Trace,
+        queue_depth: int = 32,
+        warmup_requests: int = 0,
+        max_events: Optional[int] = None,
+    ) -> SimulationStats:
+        """Replay a trace closed-loop and collect statistics.
+
+        The first ``warmup_requests`` completions are simulated but
+        excluded from IOPS and latency statistics -- they bring the WAM's
+        active blocks, the OPM's monitored parameters, and the ORT into
+        steady state (the paper's platform measures long steady-state
+        runs).
+        """
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if not 0 <= warmup_requests < len(trace):
+            raise ValueError("warmup_requests must be < len(trace)")
+        if trace.logical_pages > self.config.logical_pages:
+            raise ValueError("trace logical space exceeds the SSD's")
+        engine = self.controller.engine
+        stats = SimulationStats(ftl_name=self.ftl.name, workload=trace.name)
+        iterator = iter(trace.requests)
+        state = {"outstanding": 0, "completed": 0, "measure_start": None}
+
+        def on_complete(active, now_us: float) -> None:
+            state["outstanding"] -= 1
+            state["completed"] += 1
+            if state["completed"] == warmup_requests:
+                state["measure_start"] = now_us
+            elif state["completed"] > warmup_requests:
+                latency = now_us - active.issued_us
+                if active.spec.is_read:
+                    stats.read_latency.add(latency)
+                else:
+                    stats.write_latency.add(latency)
+            issue_next()
+
+        def issue_next() -> None:
+            request = next(iterator, None)
+            if request is None:
+                return
+            state["outstanding"] += 1
+            self.ftl.submit(request, on_complete)
+
+        start_us = engine.now
+        if warmup_requests == 0:
+            state["measure_start"] = start_us
+        for _ in range(queue_depth):
+            issue_next()
+        engine.run(max_events=max_events)
+        if state["outstanding"] > 0 and max_events is None:
+            raise SimulationStalledError(
+                f"{state['outstanding']} requests never completed "
+                f"({state['completed']} done)"
+            )
+        measure_start = state["measure_start"]
+        if measure_start is None:
+            measure_start = start_us
+        stats.duration_us = engine.now - measure_start
+        stats.completed_requests = state["completed"] - warmup_requests
+        stats.counters = self.ftl.counters
+        return stats
+
+    def run_open_loop(
+        self,
+        trace: Trace,
+        max_events: Optional[int] = None,
+    ) -> SimulationStats:
+        """Replay a trace open-loop: requests issue at their arrival
+        times regardless of completions.
+
+        Every request must carry ``arrival_us`` (see
+        :func:`repro.workloads.base.with_arrivals`).  Under overload the
+        backlog grows and latencies reflect queueing -- the regime where
+        the WAM's burst absorption shows directly.
+        """
+        if trace.logical_pages > self.config.logical_pages:
+            raise ValueError("trace logical space exceeds the SSD's")
+        engine = self.controller.engine
+        stats = SimulationStats(ftl_name=self.ftl.name, workload=trace.name)
+        state = {"outstanding": 0, "completed": 0}
+        start_us = engine.now
+
+        def on_complete(active, now_us: float) -> None:
+            latency = now_us - active.issued_us
+            if active.spec.is_read:
+                stats.read_latency.add(latency)
+            else:
+                stats.write_latency.add(latency)
+            state["outstanding"] -= 1
+            state["completed"] += 1
+
+        for request in trace:
+            if request.arrival_us is None:
+                raise ValueError(
+                    "open-loop replay needs arrival times; "
+                    "stamp the trace with workloads.base.with_arrivals"
+                )
+
+            def issue(request=request) -> None:
+                state["outstanding"] += 1
+                self.ftl.submit(request, on_complete)
+
+            engine.schedule_at(start_us + request.arrival_us, issue)
+        engine.run(max_events=max_events)
+        if state["outstanding"] > 0 and max_events is None:
+            raise SimulationStalledError(
+                f"{state['outstanding']} requests never completed"
+            )
+        stats.duration_us = engine.now - start_us
+        stats.completed_requests = state["completed"]
+        stats.counters = self.ftl.counters
+        return stats

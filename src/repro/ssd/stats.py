@@ -1,0 +1,118 @@
+"""Latency / IOPS statistics collection and CDF helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class LatencyStats:
+    """Accumulates latency samples (microseconds) and summarizes them."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def add(self, latency_us: float) -> None:
+        if latency_us < 0:
+            raise ValueError("latency must be >= 0")
+        self._samples.append(latency_us)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> np.ndarray:
+        return np.asarray(self._samples, dtype=float)
+
+    @property
+    def mean_us(self) -> float:
+        return float(np.mean(self._samples)) if self._samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """p-th percentile latency in microseconds (p in [0, 100])."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(self._samples, p))
+
+    def cdf(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(sorted latencies, cumulative fraction) for CDF plots."""
+        if not self._samples:
+            return np.array([]), np.array([])
+        values = np.sort(self._samples)
+        fractions = np.arange(1, len(values) + 1) / len(values)
+        return values, fractions
+
+    def fraction_below(self, threshold_us: float) -> float:
+        if not self._samples:
+            return 0.0
+        return float(np.mean(self.samples <= threshold_us))
+
+
+@dataclass
+class SimulationStats:
+    """Result of one simulation run."""
+
+    ftl_name: str
+    workload: str
+    duration_us: float = 0.0
+    completed_requests: int = 0
+    read_latency: LatencyStats = field(default_factory=LatencyStats)
+    write_latency: LatencyStats = field(default_factory=LatencyStats)
+    counters: Optional[object] = None
+
+    @property
+    def iops(self) -> float:
+        """Completed host requests per second."""
+        if self.duration_us <= 0:
+            return 0.0
+        return self.completed_requests / (self.duration_us / 1e6)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (for scripting / result archiving)."""
+        def latency_block(stats: LatencyStats) -> dict:
+            return {
+                "count": len(stats),
+                "mean_us": stats.mean_us,
+                "p50_us": stats.percentile(50),
+                "p90_us": stats.percentile(90),
+                "p99_us": stats.percentile(99),
+            }
+
+        result = {
+            "ftl": self.ftl_name,
+            "workload": self.workload,
+            "duration_us": self.duration_us,
+            "completed_requests": self.completed_requests,
+            "iops": self.iops,
+            "read_latency": latency_block(self.read_latency),
+            "write_latency": latency_block(self.write_latency),
+        }
+        if self.counters is not None:
+            counters = {
+                key: value
+                for key, value in vars(self.counters).items()
+                if isinstance(value, (int, float))
+            }
+            counters["mean_t_prog_us"] = self.counters.mean_t_prog_us
+            counters["mean_num_retry"] = self.counters.mean_num_retry
+            result["counters"] = counters
+        return result
+
+    def summary(self) -> str:
+        return (
+            f"{self.ftl_name:>9s} | {self.workload:>6s} | "
+            f"IOPS {self.iops:10.0f} | "
+            f"read p50/p99 {self.read_latency.percentile(50):7.0f}/"
+            f"{self.read_latency.percentile(99):7.0f} us | "
+            f"write p50/p99 {self.write_latency.percentile(50):7.0f}/"
+            f"{self.write_latency.percentile(99):7.0f} us"
+        )
+
+
+def normalize(values: Sequence[float], baseline: float) -> List[float]:
+    """Normalize a series over a baseline value (paper-style plots)."""
+    if baseline == 0:
+        raise ValueError("baseline must be nonzero")
+    return [value / baseline for value in values]

@@ -1,0 +1,146 @@
+"""The SSD write buffer.
+
+Host writes land here first; the FTL drains the buffer into the flash in
+WL-sized groups.  Its utilization ``mu`` (occupied slots over capacity,
+*including* pages already dispatched but not yet durable) is the signal
+the WAM uses to detect write-bandwidth pressure (Section 5.2).
+
+The buffer write-coalesces: a second write to a buffered-but-not-yet-
+dispatched LPN replaces the staged data in place (no extra slot) and both
+host requests complete with the single flash program.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class BufferEntry:
+    """One staged logical page and the host requests waiting on it.
+
+    ``version`` is the LPN's global write sequence number at staging
+    time; the FTL only binds the mapping for an entry that is still the
+    LPN's newest write (flushes to different chips can complete out of
+    order).
+    """
+
+    lpn: int
+    data: object = None
+    waiters: List[object] = field(default_factory=list)
+    version: int = 0
+
+
+class WriteBuffer:
+    """Fixed-capacity staging buffer with coalescing and in-flight
+    tracking."""
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages < 1:
+            raise ValueError("capacity_pages must be >= 1")
+        self.capacity = capacity_pages
+        self._staged: "OrderedDict[int, BufferEntry]" = OrderedDict()
+        self._inflight: Dict[int, List[BufferEntry]] = {}
+        self._inflight_count = 0
+        self._versions: Dict[int, int] = {}
+        self.coalesced_writes = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def staged_pages(self) -> int:
+        return len(self._staged)
+
+    @property
+    def inflight_pages(self) -> int:
+        return self._inflight_count
+
+    @property
+    def occupancy(self) -> int:
+        """Slots in use: staged plus dispatched-but-not-durable."""
+        return self.staged_pages + self.inflight_pages
+
+    @property
+    def utilization(self) -> float:
+        """The WAM's mu signal."""
+        return self.occupancy / self.capacity
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - self.occupancy
+
+    def can_admit(self, lpn: int) -> bool:
+        """Whether a write to ``lpn`` can enter now (coalescing is always
+        possible; a fresh LPN needs a free slot)."""
+        return lpn in self._staged or self.free_slots > 0
+
+    # ------------------------------------------------------------------
+
+    def admit(self, lpn: int, data: object, waiter: Optional[object]) -> bool:
+        """Stage a host write.  Returns True if it coalesced into an
+        existing staged page."""
+        version = self._versions.get(lpn, 0) + 1
+        self._versions[lpn] = version
+        entry = self._staged.get(lpn)
+        if entry is not None:
+            entry.data = data
+            entry.version = version
+            if waiter is not None:
+                entry.waiters.append(waiter)
+            self.coalesced_writes += 1
+            return True
+        if self.free_slots <= 0:
+            raise RuntimeError("write buffer full")
+        entry = BufferEntry(lpn=lpn, data=data, version=version)
+        if waiter is not None:
+            entry.waiters.append(waiter)
+        self._staged[lpn] = entry
+        return False
+
+    def pop_group(self, max_pages: int) -> List[BufferEntry]:
+        """Dequeue up to ``max_pages`` oldest staged pages for a WL
+        program; they move to the in-flight set until completed."""
+        if max_pages < 1:
+            raise ValueError("max_pages must be >= 1")
+        group: List[BufferEntry] = []
+        while self._staged and len(group) < max_pages:
+            _, entry = self._staged.popitem(last=False)
+            self._inflight.setdefault(entry.lpn, []).append(entry)
+            self._inflight_count += 1
+            group.append(entry)
+        return group
+
+    def complete(self, entries: List[BufferEntry]) -> None:
+        """Mark dispatched pages durable, freeing their slots."""
+        for entry in entries:
+            bucket = self._inflight.get(entry.lpn)
+            if not bucket or entry not in bucket:
+                raise ValueError(f"LPN {entry.lpn} was not in flight")
+            bucket.remove(entry)
+            if not bucket:
+                del self._inflight[entry.lpn]
+            self._inflight_count -= 1
+
+    # ------------------------------------------------------------------
+    # read coherence
+    # ------------------------------------------------------------------
+
+    def contains(self, lpn: int) -> bool:
+        """Whether a read of ``lpn`` must be served from the buffer."""
+        return lpn in self._staged or lpn in self._inflight
+
+    def latest_data(self, lpn: int) -> object:
+        """Freshest staged copy of an LPN (staged beats in-flight)."""
+        if lpn in self._staged:
+            return self._staged[lpn].data
+        bucket = self._inflight.get(lpn)
+        if bucket:
+            return bucket[-1].data
+        raise KeyError(f"LPN {lpn} not buffered")
+
+    def latest_version(self, lpn: int) -> int:
+        """Newest write sequence number seen for an LPN (0 = never
+        written through this buffer)."""
+        return self._versions.get(lpn, 0)

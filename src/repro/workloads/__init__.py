@@ -1,0 +1,61 @@
+"""Workload generation: the six traces of the paper's evaluation.
+
+Four Filebench personalities (Mail, Web, Proxy, OLTP) and two YCSB-A
+database workloads (Rocks = RocksDB, Mongo = MongoDB).  Since the
+original traces are not distributable, each generator synthesizes a
+request stream reproducing the workload's documented read/write mix,
+request sizes, locality, and burstiness -- the properties that drive the
+FTL comparison.
+"""
+
+from repro.workloads.base import IORequest, Trace, trace_summary
+from repro.workloads.synthetic import (
+    mixed_trace,
+    sequential_trace,
+    uniform_random_trace,
+    zipf_trace,
+)
+from repro.workloads.filebench import mail_trace, oltp_trace, proxy_trace, web_trace
+from repro.workloads.traceio import load_trace, save_trace
+from repro.workloads.ycsb import mongo_trace, rocks_trace
+
+WORKLOAD_GENERATORS = {
+    "Mail": mail_trace,
+    "Web": web_trace,
+    "Proxy": proxy_trace,
+    "OLTP": oltp_trace,
+    "Rocks": rocks_trace,
+    "Mongo": mongo_trace,
+}
+
+
+def make_workload(name: str, logical_pages: int, n_requests: int, seed: int = 1):
+    """Build one of the paper's six workloads by name."""
+    try:
+        generator = WORKLOAD_GENERATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOAD_GENERATORS)}"
+        ) from None
+    return generator(logical_pages, n_requests, seed=seed)
+
+
+__all__ = [
+    "IORequest",
+    "Trace",
+    "trace_summary",
+    "uniform_random_trace",
+    "sequential_trace",
+    "zipf_trace",
+    "mixed_trace",
+    "mail_trace",
+    "web_trace",
+    "proxy_trace",
+    "oltp_trace",
+    "mongo_trace",
+    "rocks_trace",
+    "save_trace",
+    "load_trace",
+    "WORKLOAD_GENERATORS",
+    "make_workload",
+]

@@ -1,0 +1,77 @@
+"""Trace persistence: save and load traces as plain text.
+
+Format (one request per line, ``#`` comments allowed)::
+
+    # repro-trace v1
+    # name=OLTP logical_pages=194641
+    W 12345 1
+    R 777 4
+
+Keeping traces on disk lets expensive workload generations be reused and
+external block traces be imported.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.workloads.base import IORequest, Trace
+
+_MAGIC = "# repro-trace v1"
+
+
+class TraceFormatError(ValueError):
+    """The file is not a valid repro trace."""
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write a trace to ``path``."""
+    path = Path(path)
+    lines = [
+        _MAGIC,
+        f"# name={trace.name} logical_pages={trace.logical_pages}",
+    ]
+    lines.extend(
+        f"{request.op} {request.lpn} {request.n_pages}" for request in trace
+    )
+    path.write_text("\n".join(lines) + "\n")
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    lines = path.read_text().splitlines()
+    if not lines or lines[0].strip() != _MAGIC:
+        raise TraceFormatError(f"{path}: missing '{_MAGIC}' header")
+    name = path.stem
+    logical_pages = None
+    requests = []
+    for line_number, raw in enumerate(lines[1:], start=2):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            for token in line[1:].split():
+                key, _, value = token.partition("=")
+                if key == "name" and value:
+                    name = value
+                elif key == "logical_pages" and value:
+                    logical_pages = int(value)
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise TraceFormatError(
+                f"{path}:{line_number}: expected 'OP LPN N_PAGES', got {line!r}"
+            )
+        op, lpn, n_pages = parts
+        try:
+            requests.append(IORequest(op, int(lpn), int(n_pages)))
+        except ValueError as error:
+            raise TraceFormatError(f"{path}:{line_number}: {error}") from error
+    if logical_pages is None:
+        logical_pages = max((r.end_lpn for r in requests), default=1)
+    try:
+        return Trace(name, logical_pages, requests)
+    except ValueError as error:
+        raise TraceFormatError(f"{path}: {error}") from error

@@ -1,0 +1,87 @@
+"""YCSB-A database workloads: Rocks (RocksDB) and Mongo (MongoDB).
+
+The paper runs YCSB workload A -- the update-heavy 50/50 read/update mix
+-- against RocksDB and MongoDB and replays the resulting block-level I/O.
+The two engines translate the same key-value operations into very
+different I/O:
+
+- **RocksDB** (LSM-tree): point reads hit SSTables (Zipf over the data
+  set); updates append to the WAL and memtable, and periodically flush
+  and compact -- long sequential write bursts of tens of pages.
+- **MongoDB** (WiredTiger B-tree): point reads are similar, but updates
+  are leaf-page writes -- small random overwrites -- plus journal
+  appends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import READ, WRITE, IORequest, Trace
+from repro.workloads.synthetic import ZipfSampler
+
+
+def rocks_trace(logical_pages: int, n_requests: int, seed: int = 1) -> Trace:
+    """RocksDB under YCSB-A: Zipf reads, WAL appends, compaction bursts."""
+    rng = np.random.default_rng(seed)
+    trace = Trace("Rocks", logical_pages)
+    wal_region = max(8, int(logical_pages * 0.03))
+    sst_region = logical_pages - wal_region
+    sampler = ZipfSampler(max(1, sst_region - 4), theta=0.99, rng=rng)
+    wal_cursor = 0
+    compaction_cursor = 0
+    updates_since_flush = 0
+    produced = 0
+    while produced < n_requests:
+        if rng.random() < 0.5:
+            trace.append(IORequest(READ, int(sampler.sample(rng, 1)[0]), 1))
+            produced += 1
+        else:
+            # WAL append for the update
+            trace.append(IORequest(WRITE, sst_region + wal_cursor, 1))
+            wal_cursor = (wal_cursor + 1) % (wal_region - 1)
+            produced += 1
+            updates_since_flush += 1
+            # memtable flush + compaction: a burst of sequential writes
+            if updates_since_flush >= 48 and produced < n_requests:
+                updates_since_flush = 0
+                burst_pages = int(rng.integers(16, 65))
+                span = max(1, sst_region - burst_pages - 1)
+                start = compaction_cursor % span
+                compaction_cursor += burst_pages
+                chunk = 8
+                for off in range(0, burst_pages, chunk):
+                    pages = min(chunk, burst_pages - off)
+                    trace.append(IORequest(WRITE, start + off, pages))
+                    produced += 1
+                    if produced >= n_requests:
+                        break
+    return trace
+
+
+def mongo_trace(logical_pages: int, n_requests: int, seed: int = 1) -> Trace:
+    """MongoDB under YCSB-A: Zipf reads, leaf-page updates, journal."""
+    rng = np.random.default_rng(seed)
+    trace = Trace("Mongo", logical_pages)
+    journal_region = max(8, int(logical_pages * 0.02))
+    data_region = logical_pages - journal_region
+    sampler = ZipfSampler(max(1, data_region - 4), theta=0.99, rng=rng)
+    journal_cursor = 0
+    produced = 0
+    while produced < n_requests:
+        if rng.random() < 0.5:
+            trace.append(IORequest(READ, int(sampler.sample(rng, 1)[0]), 1))
+            produced += 1
+        else:
+            # leaf-page overwrite (1-2 pages) ...
+            lpn = int(sampler.sample(rng, 1)[0])
+            trace.append(IORequest(WRITE, lpn, int(rng.integers(1, 3))))
+            produced += 1
+            # ... plus a journal append every few updates
+            if produced < n_requests and rng.random() < 0.5:
+                trace.append(
+                    IORequest(WRITE, data_region + journal_cursor, 1)
+                )
+                journal_cursor = (journal_cursor + 1) % (journal_region - 1)
+                produced += 1
+    return trace

@@ -1,0 +1,61 @@
+"""Tests for analysis helpers."""
+
+import pytest
+
+from repro.analysis.distributions import cdf_points, histogram, percentile_table
+from repro.analysis.tables import format_table, normalized_iops_table
+
+
+class TestDistributions:
+    def test_cdf_points(self):
+        values, fractions = cdf_points([3.0, 1.0, 2.0])
+        assert list(values) == [1.0, 2.0, 3.0]
+        assert list(fractions) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_empty(self):
+        values, fractions = cdf_points([])
+        assert len(values) == 0 and len(fractions) == 0
+
+    def test_histogram(self):
+        assert histogram([0, 0, 2, 3]) == [2, 0, 1, 1]
+
+    def test_histogram_padded(self):
+        assert histogram([1], max_value=3) == [0, 1, 0, 0]
+
+    def test_histogram_rejects_negative(self):
+        with pytest.raises(ValueError):
+            histogram([-1])
+
+    def test_histogram_empty(self):
+        assert histogram([]) == []
+
+    def test_percentile_table(self):
+        table = percentile_table(list(range(101)), percentiles=(50, 90))
+        assert table[50] == 50.0
+        assert table[90] == 90.0
+
+    def test_percentile_table_empty(self):
+        assert percentile_table([], percentiles=(50,)) == {50: 0.0}
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.50" in text
+        assert "30" in text
+
+    def test_normalized_iops_table(self):
+        results = {
+            "OLTP": {"pageFTL": 100.0, "cubeFTL": 148.0},
+            "Web": {"pageFTL": 200.0, "cubeFTL": 220.0},
+        }
+        text = normalized_iops_table(results)
+        assert "1.48" in text
+        assert "1.10" in text
+        assert "OLTP" in text
+
+    def test_normalized_iops_table_missing_baseline(self):
+        with pytest.raises(ValueError):
+            normalized_iops_table({"X": {"cubeFTL": 1.0}})

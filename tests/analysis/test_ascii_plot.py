@@ -1,0 +1,58 @@
+"""Tests for ASCII charts."""
+
+import pytest
+
+from repro.analysis.ascii_plot import bar_chart, cdf_chart, series_chart
+
+
+class TestBarChart:
+    def test_basic(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0])
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") > lines[0].count("#")
+        assert "bb" in lines[1]
+
+    def test_empty(self):
+        assert bar_chart([], []) == ""
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [0.0])
+
+    def test_unit_suffix(self):
+        assert "us" in bar_chart(["a"], [5.0], unit="us")
+
+
+class TestCdfChart:
+    def test_renders_axis_and_legend(self):
+        chart = cdf_chart({"page": [1, 2, 3], "cube": [1, 1, 2]})
+        assert "* = page" in chart
+        assert "o = cube" in chart
+        assert "1.00 |" in chart
+
+    def test_empty(self):
+        assert cdf_chart({}) == ""
+        assert cdf_chart({"a": []}) == ""
+
+    def test_constant_samples(self):
+        chart = cdf_chart({"a": [5.0, 5.0]})
+        assert chart  # no crash on degenerate range
+
+
+class TestSeriesChart:
+    def test_basic(self):
+        chart = series_chart([0, 1, 2], {"y": [0.0, 1.0, 4.0]})
+        assert "* = y" in chart
+        assert "+" in chart  # axis corner
+
+    def test_mismatched_series(self):
+        with pytest.raises(ValueError):
+            series_chart([0, 1], {"y": [1.0]})
+
+    def test_empty(self):
+        assert series_chart([], {}) == ""

@@ -1,0 +1,165 @@
+"""Shape tests for every characterization-figure data generator.
+
+These assert the qualitative results the paper reports, figure by figure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.characterization import experiments as exp
+from repro.characterization.harness import CharacterizationStudy, StudyConfig
+from repro.nand.reliability import AgingState, ReliabilityModel
+
+
+@pytest.fixture(scope="module")
+def study():
+    return CharacterizationStudy(StudyConfig(n_chips=2, blocks_per_chip=4))
+
+
+class TestFig5:
+    def test_intra_layer_similarity(self, study):
+        """Fig. 5(a,b): Delta-H ~= 1 on all four representative layers."""
+        for aging in (AgingState(1000, 1.0), AgingState(2000, 12.0)):
+            data = exp.fig5_intra_layer_ber(study, aging)
+            assert set(data) == {"alpha", "beta", "kappa", "omega"}
+            for stats in data.values():
+                assert stats["delta_h"] < 1.03
+
+    def test_edge_layers_have_high_ber(self, study):
+        data = exp.fig5_intra_layer_ber(study, AgingState(1000, 1.0))
+        beta = np.mean(data["beta"]["normalized_ber"])
+        assert np.mean(data["alpha"]["normalized_ber"]) > beta
+        assert np.mean(data["omega"]["normalized_ber"]) > beta
+        assert np.mean(data["kappa"]["normalized_ber"]) > beta
+
+    def test_delta_h_stable_across_blocks_and_aging(self, study):
+        """Fig. 5(c): Delta-H ~= 1 everywhere.
+
+        Aging states are chosen so N_ret is large enough that integer
+        error counts do not quantize the ratio (fresh blocks have only a
+        handful of retention errors).
+        """
+        agings = [AgingState(1000, 1.0), AgingState(2000, 1.0), AgingState(2000, 12.0)]
+        data = exp.fig5c_delta_h_over_blocks(study, agings)
+        for stats in data.values():
+            assert stats["max"] < 1.06
+            assert stats["mean"] < 1.03
+
+    def test_t_prog_identical_within_layer(self, study):
+        grid = exp.fig5d_t_prog_per_wl(study)
+        for layer in range(grid.shape[0]):
+            assert np.ptp(grid[layer]) == 0.0
+
+
+class TestFig6:
+    def test_delta_v_grows_with_aging(self, study):
+        agings = [AgingState(0, 0), AgingState(2000, 0.0), AgingState(2000, 12.0)]
+        data = exp.fig6_inter_layer_ber(study, agings)
+        fresh_dv = data[(0, 0.0)]["delta_v"]
+        aged_dv = data[(2000, 12.0)]["delta_v"]
+        assert 1.4 <= fresh_dv <= 1.9
+        assert 2.0 <= aged_dv <= 2.7
+        assert aged_dv > fresh_dv
+
+    def test_normalized_ber_grows_with_aging(self, study):
+        agings = [AgingState(0, 0), AgingState(2000, 12.0)]
+        data = exp.fig6_inter_layer_ber(study, agings)
+        fresh = np.asarray(data[(0, 0.0)]["normalized_ber"])
+        aged = np.asarray(data[(2000, 12.0)]["normalized_ber"])
+        assert (aged > fresh).all()
+
+    def test_per_block_spread(self, study):
+        """Fig. 6(d): block-to-block Delta-V differences around 18 %."""
+        data = exp.fig6d_per_block_delta_v(study, AgingState(2000, 1.0))
+        assert 1.05 <= data["spread_ratio"] <= 1.45
+        assert data["delta_v_block_i"] > data["delta_v_block_ii"]
+
+
+class TestFig8:
+    def test_safe_skips_and_reduction(self):
+        data = exp.fig8a_ber_vs_skips()
+        assert [data[s]["safe_skips"] for s in range(1, 8)] == [1, 2, 3, 4, 5, 6, 7]
+        reduction = data["t_prog_reduction"]["reduction_fraction"]
+        assert 0.13 <= reduction <= 0.19  # paper: 16.2 %
+
+    def test_ber_flat_then_rising(self):
+        data = exp.fig8a_ber_vs_skips()
+        for state in range(1, 8):
+            penalties = data[state]["ber_penalty_by_extra_skip"]
+            assert penalties[0] == pytest.approx(1.0)  # safe point
+            assert all(b > a for a, b in zip(penalties, penalties[1:]))
+
+    def test_skip_distribution_monotone_in_state(self):
+        data = exp.fig8b_skip_distribution(n_blocks=4)
+        means = [data[s]["mean"] for s in range(1, 8)]
+        assert means == sorted(means)
+        assert data[7]["max"] >= 7
+
+
+class TestFig10:
+    def test_best_layer_gets_largest_margin(self):
+        reliability = ReliabilityModel()
+        data = exp.fig10_adjustment_margins(reliability)
+        assert data["beta"]["max_safe_margin_mv"] > data["kappa"]["max_safe_margin_mv"]
+
+    def test_margins_shrink_with_aging(self):
+        reliability = ReliabilityModel()
+        fresh = exp.fig10_adjustment_margins(reliability, AgingState(0, 0))
+        aged = exp.fig10_adjustment_margins(reliability, AgingState(2000, 12.0))
+        for name in ("alpha", "beta", "kappa", "omega"):
+            assert aged[name]["max_safe_margin_mv"] < fresh[name]["max_safe_margin_mv"]
+
+    def test_ber_vs_margin_monotone(self):
+        data = exp.fig10b_ber_vs_margin()
+        values = [data[m] for m in sorted(data)]
+        assert values == sorted(values)
+        assert values[0] == 1.0
+
+
+class TestFig11:
+    def test_ber_ep1_predicts_retention_ber(self):
+        """Fig. 11(a): strong correlation."""
+        data = exp.fig11a_ber_ep1_correlation()
+        assert data["correlation"] > 0.95
+
+    def test_margin_conversion_anchor(self):
+        """Fig. 11(b): S_M = 1.7 -> 320 mV -> a ~20 % tPROG reduction."""
+        data = exp.fig11b_margin_conversion()
+        anchor = data[1.7]
+        assert anchor["margin_mv"] == pytest.approx(320.0)
+        assert 0.15 <= anchor["t_prog_reduction"] <= 0.30
+
+    def test_margin_conversion_monotone(self):
+        data = exp.fig11b_margin_conversion()
+        s_values = sorted(data)
+        reductions = [data[s]["t_prog_reduction"] for s in s_values]
+        assert all(b >= a for a, b in zip(reductions, reductions[1:]))
+        assert data[0.0]["t_prog_reduction"] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestFig13:
+    def test_orders_equivalent(self):
+        data = exp.fig13_program_order_ber()
+        assert set(data) == {"horizontal-first", "vertical-first", "mixed"}
+        for stats in data.values():
+            assert abs(stats["normalized_mean_ber"] - 1.0) < 0.03
+            assert stats["max_wl_deviation"] < 0.03
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return exp.fig14_read_retry_distribution(n_blocks=6)
+
+    def test_reduction_matches_paper_band(self, data):
+        """Paper: ~66 % mean NumRetry reduction."""
+        assert 0.5 <= data["reduction"] <= 0.9
+
+    def test_aware_distribution_concentrated_at_zero(self, data):
+        aware = data["aware_histogram"]
+        unaware = data["unaware_histogram"]
+        assert aware[0] > unaware[0]
+        assert sum(aware[:2]) / sum(aware) > 0.8
+
+    def test_unaware_mean_in_calibrated_band(self, data):
+        assert 1.8 <= data["unaware_mean"] <= 3.5

@@ -1,0 +1,64 @@
+"""Tests for the characterization report generator and CLI hooks."""
+
+import json
+
+import pytest
+
+from repro.characterization.harness import CharacterizationStudy, StudyConfig
+from repro.characterization.report import build_report
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def report():
+    study = CharacterizationStudy(StudyConfig(n_chips=1, blocks_per_chip=2))
+    return build_report(study)
+
+
+class TestBuildReport:
+    def test_has_all_sections(self, report):
+        for heading in (
+            "Intra-layer similarity",
+            "Inter-layer variability",
+            "Per-block Delta-V spread",
+            "Safe verify skips",
+            "S_M -> window margin",
+            "Program-order reliability",
+            "PS-aware read-retry reduction",
+        ):
+            assert heading in report
+
+    def test_reports_study_scope(self, report):
+        assert "chips: 1" in report
+        assert "blocks: 2" in report
+
+    def test_contains_key_numbers(self, report):
+        assert "Delta-H" in report
+        assert "Delta-V" in report
+        assert "reduction" in report
+
+
+class TestCliIntegration:
+    def test_characterize_report_flag(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        exit_code = main([
+            "characterize", "--chips", "1", "--blocks", "2",
+            "--report", str(path),
+        ])
+        assert exit_code == 0
+        assert path.exists()
+        assert "# 3D NAND process-characterization report" in path.read_text()
+
+    def test_simulate_json_flag(self, tmp_path, capsys):
+        path = tmp_path / "stats.json"
+        exit_code = main([
+            "simulate", "--ftl", "page", "--workload", "Mail",
+            "--requests", "200", "--warmup", "0",
+            "--blocks-per-chip", "8", "--prefill", "0.2",
+            "--queue-depth", "4", "--json", str(path),
+        ])
+        assert exit_code == 0
+        payload = json.loads(path.read_text())
+        assert payload["ftl"] == "pageFTL"
+        assert payload["completed_requests"] == 200
+        assert "counters" in payload

@@ -1,0 +1,87 @@
+"""Tests for the characterization harness and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.characterization.harness import CharacterizationStudy, StudyConfig
+from repro.characterization.metrics import delta_h, delta_v, normalize_over_best
+from repro.nand.geometry import BlockGeometry
+from repro.nand.reliability import AgingState
+
+
+@pytest.fixture(scope="module")
+def study():
+    return CharacterizationStudy(StudyConfig(n_chips=2, blocks_per_chip=3))
+
+
+class TestMetrics:
+    def test_delta_of_equal_values_is_one(self):
+        assert delta_v([10, 10, 10]) == 1.0
+        assert delta_h([7, 7]) == 1.0
+
+    def test_ratio(self):
+        assert delta_v([5, 10, 20]) == 4.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            delta_h([0, 1])
+        with pytest.raises(ValueError):
+            delta_v([])
+
+    def test_normalize_over_best(self):
+        normalized = normalize_over_best([4.0, 2.0, 6.0])
+        assert list(normalized) == [2.0, 1.0, 3.0]
+
+    def test_normalize_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            normalize_over_best([0.0, 1.0])
+
+
+class TestStudyConfig:
+    def test_totals(self):
+        config = StudyConfig(n_chips=4, blocks_per_chip=10)
+        assert config.total_blocks == 40
+        assert config.total_wls == 40 * 192
+        assert config.total_pages == 40 * 576
+
+    def test_paper_scale_counts(self):
+        """The paper's study: 160 chips x 128 blocks > 20 000 blocks,
+        more than 11 M pages."""
+        config = StudyConfig(n_chips=160, blocks_per_chip=128,
+                             geometry=BlockGeometry())
+        assert config.total_blocks == 20_480
+        assert config.total_pages == 11_796_480
+
+
+class TestMeasurement:
+    def test_grid_shape(self, study):
+        grid = study.measure(AgingState(1000, 1.0))
+        assert grid.shape == (6, 48, 4)
+        assert (grid > 0).all()
+
+    def test_measurement_cached(self, study):
+        a = study.measure(AgingState(500, 1.0))
+        b = study.measure(AgingState(500, 1.0))
+        assert a is b
+
+    def test_measure_grid_keys(self, study):
+        grid = study.measure_grid([0, 2000], [0.0, 12.0])
+        assert set(grid) == {(0, 0.0), (0, 12.0), (2000, 0.0), (2000, 12.0)}
+
+    def test_delta_h_values_near_one(self, study):
+        values = study.delta_h_values(AgingState(2000, 12.0))
+        assert values.shape == (6, 48)
+        assert values.max() < 1.035
+
+    def test_delta_v_values_large(self, study):
+        values = study.delta_v_values(AgingState(0, 0.0))
+        assert values.shape == (6, 4)
+        assert values.mean() > 1.3
+
+    def test_t_prog_identical_within_layers(self, study):
+        grid = study.t_prog_per_wl(0)
+        assert grid.shape == (48, 4)
+        for layer in range(48):
+            assert len(set(grid[layer])) == 1
+        # ... but differs across layers
+        assert len({grid[layer, 0] for layer in range(48)}) > 1

@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.nand.chip import NandChip
+from repro.nand.geometry import BlockGeometry, SSDGeometry
+from repro.nand.ispp import IsppEngine
+from repro.nand.reliability import AgingState, ReliabilityModel
+from repro.nand.timing import NandTiming
+
+
+@pytest.fixture
+def block_geometry():
+    """The paper's block shape: 48 h-layers x 4 WLs, TLC."""
+    return BlockGeometry()
+
+
+@pytest.fixture
+def small_geometry():
+    """A small block shape for fast structural tests."""
+    return BlockGeometry(n_layers=6, wls_per_layer=4, pages_per_wl=3,
+                         page_size_bytes=4096)
+
+
+@pytest.fixture
+def ssd_geometry():
+    return SSDGeometry(n_channels=2, chips_per_channel=2, blocks_per_chip=8,
+                       block=BlockGeometry(n_layers=6, wls_per_layer=4))
+
+
+@pytest.fixture
+def reliability():
+    return ReliabilityModel()
+
+
+@pytest.fixture
+def timing():
+    return NandTiming()
+
+
+@pytest.fixture
+def ispp(timing):
+    return IsppEngine(timing)
+
+
+@pytest.fixture
+def chip():
+    """A default-geometry chip with few blocks."""
+    return NandChip(chip_id=0, n_blocks=8)
+
+
+@pytest.fixture
+def quiet_chip():
+    """A chip with environmental shifts disabled (deterministic ISPP)."""
+    return NandChip(chip_id=0, n_blocks=8, env_shift_prob=0.0)
+
+
+@pytest.fixture
+def fresh():
+    return AgingState(0, 0.0)
+
+
+@pytest.fixture
+def aged_eol():
+    """End of life: 2 K P/E cycles with 1-year retention."""
+    return AgingState(2000, 12.0)

@@ -1,0 +1,92 @@
+"""Tests for the deterministic-latency extension (paper Section 8)."""
+
+import pytest
+
+from repro.core.latency_predictor import LatencyPredictor, PredictionStats
+from repro.core.opm import OptimalParameterManager
+from repro.nand.chip import NandChip
+
+
+@pytest.fixture
+def setup(quiet_chip):
+    opm = OptimalParameterManager(quiet_chip.ispp)
+    predictor = LatencyPredictor(opm, quiet_chip.timing)
+    return quiet_chip, opm, predictor
+
+
+class TestPredictionStats:
+    def test_empty(self):
+        stats = PredictionStats()
+        assert stats.mean_abs_error_us == 0.0
+        assert stats.exact_fraction == 0.0
+        assert len(stats) == 0
+
+    def test_accounting(self):
+        stats = PredictionStats()
+        stats.record(100.0, 100.5)
+        stats.record(100.0, 120.0)
+        assert len(stats) == 2
+        assert stats.mean_abs_error_us == pytest.approx(10.25)
+        assert stats.exact_fraction == 0.5
+        assert stats.percentile_abs_error(100) == pytest.approx(20.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PredictionStats().record(-1.0, 0.0)
+
+
+class TestProgramPrediction:
+    def test_unmonitored_layer_unpredictable(self, setup):
+        _chip, _opm, predictor = setup
+        assert predictor.predict_program_us(0, 0, 10) is None
+
+    def test_follower_predicted_exactly(self, setup):
+        """The core deterministic-latency claim: once the leader is
+        monitored, follower tPROG is known in advance, exactly."""
+        chip, opm, predictor = setup
+        for layer in (5, 20, 43):
+            leader = chip.program_wl(0, layer, 0)
+            opm.record_leader(0, 0, layer, leader)
+            predicted = predictor.predict_program_us(0, 0, layer)
+            params = opm.follower_params(0, 0, layer)
+            for wl in (1, 2, 3):
+                actual = chip.program_wl(0, layer, wl, params=params)
+                assert actual.t_prog_us == pytest.approx(predicted, abs=1e-9)
+
+    def test_prediction_does_not_distort_counters(self, setup):
+        chip, opm, predictor = setup
+        opm.record_leader(0, 0, 10, chip.program_wl(0, 10, 0))
+        before = opm.follower_program_count
+        predictor.predict_program_us(0, 0, 10)
+        assert opm.follower_program_count == before
+
+    def test_default_estimate_is_nominal(self, setup):
+        chip, _opm, predictor = setup
+        assert predictor.predict_program_default_us() == pytest.approx(
+            chip.ispp.default_t_prog_us(0.0)
+        )
+
+    def test_ps_unaware_estimate_misses_slow_layers(self, setup):
+        """Without PS the datasheet number is wrong on slow layers --
+        exactly the tail the paper's Section 8 wants to eliminate."""
+        chip, opm, predictor = setup
+        kappa = chip.reliability.layer_kappa
+        actual = chip.program_wl(0, kappa, 0)
+        naive_error = abs(actual.t_prog_us - predictor.predict_program_default_us())
+        assert naive_error > 30.0  # tens of microseconds off
+
+
+class TestReadPrediction:
+    def test_fresh_read_predicted_exactly(self, setup):
+        chip, _opm, predictor = setup
+        chip.program_wl(0, 10, 0)
+        predicted = predictor.predict_read_us(0, 0, 10)
+        actual = chip.read_page(0, 10, 0, 0)
+        assert actual.t_read_us == pytest.approx(predicted)
+
+    def test_recording(self, setup):
+        _chip, _opm, predictor = setup
+        predictor.record_program(100.0, 100.0)
+        predictor.record_read(80.0, 80.0)
+        assert len(predictor.program_stats) == 1
+        assert len(predictor.read_stats) == 1

@@ -1,0 +1,125 @@
+"""Tests for S_M computation and the margin conversion table
+(Section 4.1.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.maxloop import (
+    DEFAULT_BER_EP1_MAX,
+    DEFAULT_MARGIN_TABLE,
+    MarginTable,
+    margin_for_ber,
+    spare_margin,
+    vert_ftl_static_margin,
+)
+from repro.nand.ecc import EccEngine
+from repro.nand.ispp import window_squeeze_ber_multiplier
+from repro.nand.reliability import AgingState, ReliabilityModel
+
+
+class TestSpareMargin:
+    def test_zero_when_at_limit(self):
+        assert spare_margin(DEFAULT_BER_EP1_MAX) == 0.0
+
+    def test_clamped_when_over_limit(self):
+        assert spare_margin(2 * DEFAULT_BER_EP1_MAX) == 0.0
+
+    def test_healthy_layer_large_margin(self):
+        assert spare_margin(DEFAULT_BER_EP1_MAX / 4) == pytest.approx(3.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            spare_margin(0.0)
+
+
+class TestMarginTable:
+    def test_paper_anchor_point(self):
+        """Fig. 11(b): S_M = 1.7 grants a 320 mV total margin."""
+        assert DEFAULT_MARGIN_TABLE.margin_mv(1.7) == pytest.approx(320.0)
+
+    def test_clamps_below_and_above(self):
+        assert DEFAULT_MARGIN_TABLE.margin_mv(-1.0) == 0.0
+        assert DEFAULT_MARGIN_TABLE.margin_mv(100.0) == 420.0
+
+    def test_interpolates_between_breakpoints(self):
+        lo = DEFAULT_MARGIN_TABLE.margin_mv(1.2)
+        hi = DEFAULT_MARGIN_TABLE.margin_mv(1.7)
+        mid = DEFAULT_MARGIN_TABLE.margin_mv(1.45)
+        assert lo < mid < hi
+
+    def test_split_fractions(self):
+        start, final = DEFAULT_MARGIN_TABLE.split(1.7)
+        assert start + final == pytest.approx(320.0)
+        assert start == pytest.approx(320.0 * DEFAULT_MARGIN_TABLE.start_fraction)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarginTable(points=((0.0, 0.0),))
+        with pytest.raises(ValueError):
+            MarginTable(points=((1.0, 0.0), (0.5, 10.0)))
+        with pytest.raises(ValueError):
+            MarginTable(points=((0.0, 0.0), (1.0, -5.0)))
+        with pytest.raises(ValueError):
+            MarginTable(points=((0.0, 0.0), (1.0, 5.0)), start_fraction=1.5)
+
+    @given(s_m=st.floats(min_value=0.0, max_value=10.0))
+    def test_monotone_property(self, s_m):
+        """More spare margin never grants a smaller adjustment."""
+        assert DEFAULT_MARGIN_TABLE.margin_mv(s_m + 0.5) >= (
+            DEFAULT_MARGIN_TABLE.margin_mv(s_m)
+        )
+
+
+class TestTightButSafe:
+    def test_margin_safe_across_full_grid(self):
+        """The central safety property of Section 4.1.2: applying the
+        granted margin keeps every (layer, aging, block) point within the
+        ECC correction capability."""
+        reliability = ReliabilityModel()
+        ecc = EccEngine()
+        agings = [
+            AgingState(0, 0),
+            AgingState(500, 3.0),
+            AgingState(1000, 6.0),
+            AgingState(2000, 1.0),
+            AgingState(2000, 12.0),
+        ]
+        for aging in agings:
+            for block in range(6):
+                for layer in range(0, 48, 3):
+                    ber_ep1 = reliability.ber_ep1(0, block, layer, 0, aging)
+                    margin = margin_for_ber(ber_ep1)
+                    final_ber = reliability.wl_ber(
+                        0, block, layer, 0, aging
+                    ) * window_squeeze_ber_multiplier(margin)
+                    assert final_ber <= ecc.ber_limit, (
+                        f"unsafe at layer {layer}, aging {aging}"
+                    )
+
+    def test_margin_shrinks_with_aging(self):
+        reliability = ReliabilityModel()
+        fresh = margin_for_ber(reliability.ber_ep1(0, 0, 20, 0, AgingState(0, 0)))
+        aged = margin_for_ber(
+            reliability.ber_ep1(0, 0, 20, 0, AgingState(2000, 12.0))
+        )
+        assert aged < fresh
+
+    def test_worst_layer_gets_less_margin_than_best(self):
+        reliability = ReliabilityModel()
+        aging = AgingState(2000, 6.0)
+        best = margin_for_ber(
+            reliability.ber_ep1(0, 0, reliability.layer_beta, 0, aging)
+        )
+        worst = margin_for_ber(
+            reliability.ber_ep1(0, 0, reliability.layer_kappa, 0, aging)
+        )
+        assert worst < best
+
+
+class TestVertFTLMargin:
+    def test_default_is_paper_value(self):
+        """The prior-work baseline gets ~130 mV (one ISPP step)."""
+        assert vert_ftl_static_margin() == pytest.approx(130.0)
+
+    def test_average_of_points(self):
+        assert vert_ftl_static_margin([(0, 100.0), (1, 200.0)]) == 150.0

@@ -1,0 +1,47 @@
+"""Tests for OPM memory accounting (the Section 5.2 trade-off)."""
+
+import pytest
+
+from repro.core.opm import LEADER_OBSERVATION_BYTES, OptimalParameterManager
+from repro.core.ort import BYTES_PER_ENTRY
+
+
+class TestOPMMemory:
+    def test_empty_opm_has_no_footprint(self, quiet_chip):
+        opm = OptimalParameterManager(quiet_chip.ispp)
+        assert opm.memory_bytes() == 0
+
+    def test_leader_observations_cost_memory(self, quiet_chip):
+        opm = OptimalParameterManager(quiet_chip.ispp)
+        for layer in range(5):
+            result = quiet_chip.program_wl(0, layer, 0)
+            opm.record_leader(0, 0, layer, result)
+        assert opm.memory_bytes() == 5 * LEADER_OBSERVATION_BYTES
+
+    def test_ort_entries_cost_memory(self, quiet_chip):
+        opm = OptimalParameterManager(quiet_chip.ispp)
+        opm.ort.update(0, 0, 1, 2)
+        opm.ort.update(0, 0, 2, 3)
+        assert opm.memory_bytes() == 2 * BYTES_PER_ENTRY
+
+    def test_invalidation_releases_memory(self, quiet_chip):
+        opm = OptimalParameterManager(quiet_chip.ispp)
+        for layer in range(5):
+            opm.record_leader(0, 0, layer, quiet_chip.program_wl(0, layer, 0))
+        opm.ort.update(0, 0, 1, 2)
+        opm.invalidate_block(0, 0, quiet_chip.geometry.n_layers)
+        assert opm.memory_bytes() == 0
+
+    def test_bounded_by_active_blocks(self, quiet_chip):
+        """At most (active blocks x layers) observations exist at once --
+        the paper's argument for keeping the active-block count small."""
+        opm = OptimalParameterManager(quiet_chip.ispp)
+        n_layers = quiet_chip.geometry.n_layers
+        for block in range(2):  # two active blocks
+            for layer in range(n_layers):
+                opm.record_leader(
+                    0, block, layer, quiet_chip.program_wl(block, layer, 0)
+                )
+        per_chip_bound = 2 * n_layers * LEADER_OBSERVATION_BYTES
+        assert opm.memory_bytes() == per_chip_bound
+        assert per_chip_bound < 2048  # trivially small per chip

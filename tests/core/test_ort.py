@@ -1,0 +1,73 @@
+"""Tests for the optimal read reference table (Sections 4.2 / 5.1)."""
+
+import pytest
+
+from repro.core.ort import BYTES_PER_ENTRY, OptimalReadTable
+from repro.nand.geometry import BlockGeometry
+from repro.nand.read_retry import MAX_OFFSET
+
+
+@pytest.fixture
+def ort():
+    return OptimalReadTable()
+
+
+class TestOptimalReadTable:
+    def test_default_until_learned(self, ort):
+        assert ort.get(0, 0, 0) == 0
+
+    def test_update_then_hit(self, ort):
+        ort.update(0, 3, 17, 4)
+        assert ort.get(0, 3, 17) == 4
+
+    def test_entries_are_per_h_layer(self, ort):
+        ort.update(0, 3, 17, 4)
+        assert ort.get(0, 3, 18) == 0
+        assert ort.get(0, 4, 17) == 0
+        assert ort.get(1, 3, 17) == 0
+
+    def test_most_recent_wins(self, ort):
+        ort.update(0, 0, 0, 2)
+        ort.update(0, 0, 0, 5)
+        assert ort.get(0, 0, 0) == 5
+
+    def test_offset_range_validated(self, ort):
+        with pytest.raises(ValueError):
+            ort.update(0, 0, 0, MAX_OFFSET + 1)
+        with pytest.raises(ValueError):
+            ort.update(0, 0, 0, -1)
+
+    def test_invalidate_block(self, ort):
+        ort.update(0, 3, 17, 4)
+        ort.update(0, 4, 2, 3)
+        ort.invalidate_block(0, 3, 48)
+        assert ort.get(0, 3, 17) == 0
+        assert ort.get(0, 4, 2) == 3
+
+    def test_hit_miss_accounting(self, ort):
+        ort.get(0, 0, 0)
+        ort.update(0, 0, 0, 1)
+        ort.get(0, 0, 0)
+        assert ort.misses == 1
+        assert ort.hits == 1
+
+    def test_len_counts_entries(self, ort):
+        ort.update(0, 0, 0, 1)
+        ort.update(0, 0, 1, 1)
+        ort.update(0, 0, 1, 2)  # overwrite, not a new entry
+        assert len(ort) == 2
+
+
+class TestSpaceOverhead:
+    def test_paper_overhead_ratio(self):
+        """Section 5.1: ~1.02e-5 of data capacity, 2 bytes per h-layer."""
+        ratio = OptimalReadTable.overhead_ratio(BlockGeometry())
+        assert ratio == pytest.approx(1.02e-5, rel=0.01)
+
+    def test_ten_megabytes_per_terabyte(self):
+        overhead = OptimalReadTable.overhead_bytes(10**12, BlockGeometry())
+        assert 9e6 <= overhead <= 11e6
+
+    def test_entry_size(self):
+        """7 offsets of 4 levels fit in 14 bits -> 2 bytes."""
+        assert BYTES_PER_ENTRY == 2

@@ -1,0 +1,118 @@
+"""Tests for the three program sequences (Section 4.1.3)."""
+
+import pytest
+
+from repro.core.program_order import (
+    ProgramOrder,
+    available_followers_after,
+    follower_flags,
+    horizontal_first,
+    max_follower_run,
+    mixed_order,
+    program_sequence,
+    vertical_first,
+)
+from repro.nand.geometry import BlockGeometry, WLAddress
+
+
+@pytest.fixture(params=list(ProgramOrder))
+def order(request):
+    return request.param
+
+
+class TestSequencesArePermutations:
+    def test_every_order_covers_every_wl_once(self, block_geometry, order):
+        sequence = program_sequence(block_geometry, order)
+        assert len(sequence) == block_geometry.wls_per_block
+        assert len(set(sequence)) == len(sequence)
+
+    def test_small_geometry_too(self, small_geometry, order):
+        sequence = program_sequence(small_geometry, order)
+        assert len(set(sequence)) == small_geometry.wls_per_block
+
+
+class TestHorizontalFirst:
+    def test_layer_major(self, small_geometry):
+        sequence = horizontal_first(small_geometry)
+        assert sequence[:4] == [WLAddress(0, wl) for wl in range(4)]
+        assert sequence[4] == WLAddress(1, 0)
+
+    def test_leader_every_fourth_write(self, block_geometry):
+        flags = follower_flags(block_geometry, ProgramOrder.HORIZONTAL_FIRST)
+        leaders = [i for i, is_follower in enumerate(flags) if not is_follower]
+        assert leaders == list(range(0, block_geometry.wls_per_block, 4))
+
+
+class TestVerticalFirst:
+    def test_vlayer_major(self, small_geometry):
+        sequence = vertical_first(small_geometry)
+        n = small_geometry.n_layers
+        assert sequence[:n] == [WLAddress(layer, 0) for layer in range(n)]
+        assert sequence[n] == WLAddress(0, 1)
+
+    def test_all_leaders_first(self, block_geometry):
+        flags = follower_flags(block_geometry, ProgramOrder.VERTICAL_FIRST)
+        n = block_geometry.n_layers
+        assert not any(flags[:n])
+        assert all(flags[n:])
+
+
+class TestMixedOrder:
+    def test_leader_precedes_own_followers(self, block_geometry):
+        """Every follower programs after its h-layer's leader."""
+        led = set()
+        for address in mixed_order(block_geometry):
+            if address.wl == 0:
+                led.add(address.layer)
+            else:
+                assert address.layer in led
+
+    def test_leader_pointer_stays_ahead(self, small_geometry):
+        """MOS keeps i_Leader ahead of i_Follower throughout."""
+        max_led = -1
+        for address in mixed_order(small_geometry):
+            if address.wl == 0:
+                max_led = max(max_led, address.layer)
+            else:
+                assert address.layer <= max_led
+
+
+class TestFollowerAvailability:
+    def test_max_follower_run_ordering(self, block_geometry):
+        """Peak-bandwidth capability: horizontal-first is capped at 3
+        consecutive followers; the other orders sustain much longer runs
+        (the paper's motivation for MOS)."""
+        h = max_follower_run(block_geometry, ProgramOrder.HORIZONTAL_FIRST)
+        v = max_follower_run(block_geometry, ProgramOrder.VERTICAL_FIRST)
+        m = max_follower_run(block_geometry, ProgramOrder.MIXED)
+        assert h == block_geometry.wls_per_layer - 1
+        assert v == (block_geometry.wls_per_layer - 1) * block_geometry.n_layers
+        assert m > h
+
+    def test_available_followers_grow_fastest_under_vertical(self, block_geometry):
+        step = block_geometry.n_layers  # after one v-layer worth of writes
+        v = available_followers_after(block_geometry, ProgramOrder.VERTICAL_FIRST, step)
+        h = available_followers_after(
+            block_geometry, ProgramOrder.HORIZONTAL_FIRST, step
+        )
+        assert v > h
+
+    def test_available_followers_bounds(self, block_geometry, order):
+        total = block_geometry.wls_per_block
+        assert available_followers_after(block_geometry, order, 0) == 0
+        assert available_followers_after(block_geometry, order, total) == 0
+
+    def test_available_followers_step_validation(self, block_geometry):
+        with pytest.raises(ValueError):
+            available_followers_after(block_geometry, ProgramOrder.MIXED, -1)
+
+
+class TestReliabilityEquivalence:
+    def test_orders_reliability_equivalent_on_device(self):
+        """Fig. 13: the three orders differ by < 3 % (RTN scale)."""
+        from repro.characterization.experiments import fig13_program_order_ber
+
+        results = fig13_program_order_ber()
+        for name, stats in results.items():
+            assert abs(stats["normalized_mean_ber"] - 1.0) < 0.03, name
+            assert stats["max_wl_deviation"] < 0.03, name

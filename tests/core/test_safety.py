@@ -1,0 +1,56 @@
+"""Tests for the post-program safety check (Section 4.1.4)."""
+
+import pytest
+
+from repro.core.safety import SafetyChecker, SafetyVerdict
+from repro.nand.ispp import window_squeeze_ber_multiplier
+
+
+@pytest.fixture
+def checker():
+    return SafetyChecker()
+
+
+class TestSafetyChecker:
+    def test_identical_ber_passes(self, checker):
+        assert checker.check(1e-4, 1e-4) is SafetyVerdict.OK
+
+    def test_rtn_scale_noise_passes(self, checker):
+        assert checker.check(1e-4, 1.03e-4) is SafetyVerdict.OK
+
+    def test_large_elevation_flags_reprogram(self, checker):
+        assert checker.check(1e-4, 3e-4) is SafetyVerdict.REPROGRAM
+
+    def test_legitimate_squeeze_normalized_out(self, checker):
+        """A follower with a 320 mV squeeze has ~2.2x the leader's BER --
+        that is expected and must NOT trip the check."""
+        reference = 1e-4
+        measured = reference * window_squeeze_ber_multiplier(320)
+        assert checker.check(reference, measured, 320) is SafetyVerdict.OK
+
+    def test_over_program_on_top_of_squeeze_flags(self, checker):
+        reference = 1e-4
+        measured = reference * window_squeeze_ber_multiplier(320) * 1.8
+        assert checker.check(reference, measured, 320) is SafetyVerdict.REPROGRAM
+
+    def test_single_over_skip_detectable(self, checker):
+        """One over-skipped state inflates BER by ~1.8x -- above the
+        default 1.5x threshold."""
+        assert checker.check(1e-4, 1.8e-4) is SafetyVerdict.REPROGRAM
+
+    def test_lower_ber_never_flags(self, checker):
+        assert checker.check(1e-4, 0.2e-4) is SafetyVerdict.OK
+
+    def test_rejects_non_positive(self, checker):
+        with pytest.raises(ValueError):
+            checker.check(0.0, 1e-4)
+        with pytest.raises(ValueError):
+            checker.check(1e-4, 0.0)
+
+    def test_normalize_inverts_squeeze(self, checker):
+        raw = 1e-4 * window_squeeze_ber_multiplier(240)
+        assert checker.normalize(raw, 240) == pytest.approx(1e-4)
+
+    def test_custom_threshold(self):
+        lax = SafetyChecker(ratio_threshold=5.0)
+        assert lax.check(1e-4, 3e-4) is SafetyVerdict.OK

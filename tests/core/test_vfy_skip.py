@@ -1,0 +1,54 @@
+"""Tests for redundant-VFY elimination (Section 4.1.1)."""
+
+import pytest
+
+from repro.core.vfy_skip import n_skip_per_state, paper_n_skip, total_skipped
+from repro.nand.ispp import IsppEngine, WLProgramProfile, default_state_intervals
+
+
+@pytest.fixture
+def profile():
+    return WLProgramProfile(default_state_intervals())
+
+
+class TestNSkip:
+    def test_matches_paper_figure_8(self, profile):
+        """P1 can skip 1 VFY, ..., P7 can skip 7 (Fig. 8(a))."""
+        assert n_skip_per_state(profile) == (1, 2, 3, 4, 5, 6, 7)
+
+    def test_total(self, profile):
+        assert total_skipped(profile) == 28
+
+    def test_guard_reduces_skips(self, profile):
+        guarded = n_skip_per_state(profile, guard=1)
+        assert guarded == (0, 1, 2, 3, 4, 5, 6)
+
+    def test_skips_never_negative(self, profile):
+        assert all(s >= 0 for s in n_skip_per_state(profile, guard=100))
+
+    def test_slow_layer_skips_more(self, ispp):
+        """Slower layers complete later, so more early VFYs are redundant."""
+        fast = total_skipped(ispp.wl_profile(0.0))
+        slow = total_skipped(ispp.wl_profile(1.0))
+        assert slow > fast
+
+    def test_higher_states_always_skip_at_least_as_many(self, ispp):
+        for slowdown in (0.0, 0.5, 1.0):
+            skips = n_skip_per_state(ispp.wl_profile(slowdown))
+            assert list(skips) == sorted(skips)
+
+
+class TestPaperFormula:
+    def test_cross_check_with_absolute_indexing(self, profile):
+        """The paper's phase-local N_skip formula agrees with the
+        absolute-loop-index accounting."""
+        for state in range(1, profile.n_states + 1):
+            assert paper_n_skip(profile, state) == n_skip_per_state(profile)[
+                state - 1
+            ]
+
+    def test_state_bounds(self, profile):
+        with pytest.raises(ValueError):
+            paper_n_skip(profile, 0)
+        with pytest.raises(ValueError):
+            paper_n_skip(profile, 8)

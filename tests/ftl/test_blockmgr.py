@@ -1,0 +1,82 @@
+"""Tests for the block lifecycle manager."""
+
+import pytest
+
+from repro.ftl.blockmgr import BlockManager, BlockState, OutOfSpaceError
+from repro.ftl.mapping import PageMapper
+
+
+@pytest.fixture
+def manager(ssd_geometry):
+    return BlockManager(ssd_geometry)
+
+
+@pytest.fixture
+def mapper(ssd_geometry):
+    return PageMapper(ssd_geometry, ssd_geometry.total_pages // 2)
+
+
+class TestLifecycle:
+    def test_all_free_initially(self, manager, ssd_geometry):
+        assert manager.free_count(0) == ssd_geometry.blocks_per_chip
+        assert manager.state(0, 0) is BlockState.FREE
+
+    def test_take_free_activates(self, manager):
+        block = manager.take_free(0)
+        assert manager.state(0, block) is BlockState.ACTIVE
+        assert manager.free_count(0) == manager.geometry.blocks_per_chip - 1
+
+    def test_full_and_free_cycle(self, manager):
+        block = manager.take_free(0)
+        manager.mark_full(0, block)
+        assert manager.state(0, block) is BlockState.FULL
+        manager.mark_free(0, block)
+        assert manager.state(0, block) is BlockState.FREE
+
+    def test_mark_full_requires_active(self, manager):
+        with pytest.raises(ValueError):
+            manager.mark_full(0, 0)
+
+    def test_mark_free_requires_not_free(self, manager):
+        with pytest.raises(ValueError):
+            manager.mark_free(0, 0)
+
+    def test_exhaustion(self, manager, ssd_geometry):
+        for _ in range(ssd_geometry.blocks_per_chip):
+            manager.take_free(0)
+        with pytest.raises(OutOfSpaceError):
+            manager.take_free(0)
+
+    def test_chips_independent(self, manager, ssd_geometry):
+        manager.take_free(0)
+        assert manager.free_count(1) == ssd_geometry.blocks_per_chip
+
+    def test_counts(self, manager, ssd_geometry):
+        block = manager.take_free(0)
+        manager.mark_full(0, block)
+        counts = manager.counts(0)
+        assert counts[BlockState.FULL] == 1
+        assert counts[BlockState.FREE] == ssd_geometry.blocks_per_chip - 1
+
+
+class TestVictimSelection:
+    def test_greedy_min_valid(self, manager, mapper, ssd_geometry):
+        a = manager.take_free(0)
+        b = manager.take_free(0)
+        manager.mark_full(0, a)
+        manager.mark_full(0, b)
+        per_block = ssd_geometry.block.pages_per_block
+        # block a: 2 valid pages; block b: 1 valid page
+        mapper.bind(0, a * per_block)
+        mapper.bind(1, a * per_block + 1)
+        mapper.bind(2, b * per_block)
+        assert manager.select_victim(0, mapper) == b
+
+    def test_no_victim_raises(self, manager, mapper):
+        with pytest.raises(OutOfSpaceError):
+            manager.select_victim(0, mapper)
+
+    def test_active_blocks_not_victims(self, manager, mapper):
+        manager.take_free(0)  # active, never marked full
+        with pytest.raises(OutOfSpaceError):
+            manager.select_victim(0, mapper)

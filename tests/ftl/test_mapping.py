@@ -1,0 +1,121 @@
+"""Tests for the page mapper (L2P/P2L/validity invariants)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ftl.mapping import UNMAPPED, PageMapper
+from repro.nand.geometry import BlockGeometry, SSDGeometry
+
+
+@pytest.fixture
+def mapper(ssd_geometry):
+    return PageMapper(ssd_geometry, logical_pages=ssd_geometry.total_pages // 2)
+
+
+class TestBindLookup:
+    def test_unmapped_by_default(self, mapper):
+        assert mapper.lookup(0) == UNMAPPED
+
+    def test_bind_round_trip(self, mapper):
+        mapper.bind(5, 100)
+        assert mapper.lookup(5) == 100
+        assert mapper.lpn_of(100) == 5
+        assert mapper.is_valid(100)
+
+    def test_rebind_invalidates_old(self, mapper):
+        mapper.bind(5, 100)
+        old = mapper.bind(5, 200)
+        assert old == 100
+        assert not mapper.is_valid(100)
+        assert mapper.lpn_of(100) == UNMAPPED
+        assert mapper.lookup(5) == 200
+
+    def test_bind_to_valid_ppn_rejected(self, mapper):
+        mapper.bind(5, 100)
+        with pytest.raises(ValueError):
+            mapper.bind(6, 100)
+
+    def test_invalidate_lpn(self, mapper):
+        mapper.bind(5, 100)
+        mapper.invalidate_lpn(5)
+        assert mapper.lookup(5) == UNMAPPED
+        assert not mapper.is_valid(100)
+
+    def test_bounds(self, mapper):
+        with pytest.raises(IndexError):
+            mapper.lookup(mapper.logical_pages)
+        with pytest.raises(IndexError):
+            mapper.bind(0, mapper.geometry.total_pages)
+
+    def test_logical_space_cannot_exceed_physical(self, ssd_geometry):
+        with pytest.raises(ValueError):
+            PageMapper(ssd_geometry, ssd_geometry.total_pages + 1)
+
+
+class TestBlockAccounting:
+    def test_valid_count_tracks_binds(self, mapper):
+        per_block = mapper.geometry.block.pages_per_block
+        mapper.bind(0, 0)
+        mapper.bind(1, 1)
+        mapper.bind(2, per_block)  # second block of chip 0
+        assert mapper.valid_count(0, 0) == 2
+        assert mapper.valid_count(0, 1) == 1
+
+    def test_valid_pages_of_block(self, mapper):
+        mapper.bind(7, 3)
+        mapper.bind(9, 5)
+        pages = mapper.valid_pages_of_block(0, 0)
+        assert (3, 7) in pages and (5, 9) in pages
+
+    def test_clear_block_requires_no_valid(self, mapper):
+        mapper.bind(7, 3)
+        with pytest.raises(ValueError):
+            mapper.clear_block(0, 0)
+        mapper.invalidate_lpn(7)
+        mapper.clear_block(0, 0)
+        assert mapper.valid_count(0, 0) == 0
+
+    def test_clear_block_resets_p2l(self, mapper):
+        mapper.bind(7, 3)
+        mapper.bind(7, 4)  # old ppn 3 invalid but p2l cleared already
+        mapper.invalidate_lpn(7)
+        mapper.clear_block(0, 0)
+        assert mapper.lpn_of(3) == UNMAPPED
+        assert mapper.lpn_of(4) == UNMAPPED
+
+    def test_mapped_lpn_count(self, mapper):
+        mapper.bind(0, 10)
+        mapper.bind(1, 11)
+        mapper.invalidate_lpn(0)
+        assert mapper.mapped_lpn_count() == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["bind", "trim"]),
+            st.integers(min_value=0, max_value=30),  # lpn
+            st.integers(min_value=0, max_value=200),  # ppn candidate
+        ),
+        max_size=80,
+    )
+)
+def test_mapper_invariants_under_random_operations(operations):
+    """L2P/P2L stay mutually consistent and valid counts never drift
+    under arbitrary bind/trim sequences."""
+    geometry = SSDGeometry(
+        n_channels=1,
+        chips_per_channel=1,
+        blocks_per_chip=4,
+        block=BlockGeometry(n_layers=4, wls_per_layer=4, pages_per_wl=4),
+    )
+    mapper = PageMapper(geometry, logical_pages=32)
+    for op, lpn, ppn in operations:
+        if op == "bind":
+            ppn = ppn % geometry.total_pages
+            if not mapper.is_valid(ppn):
+                mapper.bind(lpn % 32, ppn)
+        else:
+            mapper.invalidate_lpn(lpn % 32)
+        mapper.check_invariants()

@@ -1,0 +1,206 @@
+"""Tests for the NAND chip: operations, ordering rules, interfaces."""
+
+import pytest
+
+from repro.nand.chip import NandChip
+from repro.nand.errors import (
+    AddressError,
+    ProgramOrderError,
+    UnprogrammedReadError,
+    WearOutError,
+)
+from repro.nand.ispp import ProgramParams, VerifyPlan
+from repro.nand.read_retry import ReadParams
+from repro.nand.reliability import AgingState
+
+
+class TestProgram:
+    def test_program_marks_wl(self, quiet_chip):
+        assert not quiet_chip.is_programmed(0, 5, 1)
+        result = quiet_chip.program_wl(0, 5, 1)
+        assert quiet_chip.is_programmed(0, 5, 1)
+        assert result.t_prog_us > 0
+        assert result.clean
+
+    def test_double_program_rejected(self, quiet_chip):
+        quiet_chip.program_wl(0, 5, 1)
+        with pytest.raises(ProgramOrderError):
+            quiet_chip.program_wl(0, 5, 1)
+
+    def test_program_any_order_allowed(self, quiet_chip):
+        """3D NAND allows arbitrary WL order (Fig. 13)."""
+        quiet_chip.program_wl(0, 40, 3)
+        quiet_chip.program_wl(0, 0, 0)
+        quiet_chip.program_wl(0, 20, 2)
+        assert quiet_chip.programmed_wl_count(0) == 3
+
+    def test_program_result_reports_monitoring(self, quiet_chip):
+        result = quiet_chip.program_wl(0, 10, 0)
+        assert result.monitored.n_states == 7
+        assert result.ber_ep1 > 0
+        assert result.post_program_ber > 0
+
+    def test_intra_layer_t_prog_identical(self, quiet_chip):
+        """Fig. 5(d): all WLs of an h-layer have the same tPROG."""
+        times = {quiet_chip.program_wl(0, 25, wl).t_prog_us for wl in range(4)}
+        assert len(times) == 1
+
+    def test_inter_layer_t_prog_differs(self, quiet_chip):
+        beta = quiet_chip.reliability.layer_beta
+        kappa = quiet_chip.reliability.layer_kappa
+        fast = quiet_chip.program_wl(0, beta, 0).t_prog_us
+        slow = quiet_chip.program_wl(0, kappa, 0).t_prog_us
+        assert slow > fast
+
+    def test_default_params_add_no_set_feature_overhead(self, quiet_chip):
+        result = quiet_chip.program_wl(0, 10, 0)
+        assert result.t_prog_us == result.ispp.t_prog_us
+
+    def test_adjusted_params_add_sub_microsecond_overhead(self, quiet_chip):
+        leader = quiet_chip.program_wl(0, 10, 0)
+        params = quiet_chip.ispp.follower_params(leader.monitored, 240)
+        follower = quiet_chip.program_wl(0, 10, 1, params=params)
+        overhead = follower.t_prog_us - follower.ispp.t_prog_us
+        assert 0 < overhead < 1.0
+
+    def test_data_tags_round_trip(self):
+        chip = NandChip(n_blocks=2, store_tags=True, env_shift_prob=0.0)
+        chip.program_wl(0, 3, 2, data=["a", "b", "c"])
+        assert chip.read_page(0, 3, 2, 0).data == "a"
+        assert chip.read_page(0, 3, 2, 2).data == "c"
+
+    def test_data_length_validated(self, quiet_chip):
+        with pytest.raises(ValueError):
+            quiet_chip.program_wl(0, 3, 2, data=["a"])
+
+    def test_bad_addresses(self, quiet_chip):
+        with pytest.raises(AddressError):
+            quiet_chip.program_wl(quiet_chip.n_blocks, 0, 0)
+        with pytest.raises(AddressError):
+            quiet_chip.program_wl(0, 48, 0)
+        with pytest.raises(AddressError):
+            quiet_chip.program_wl(0, 0, 4)
+
+
+class TestRead:
+    def test_read_unprogrammed_rejected(self, quiet_chip):
+        with pytest.raises(UnprogrammedReadError):
+            quiet_chip.read_page(0, 5, 1, 0)
+
+    def test_fresh_read_no_retries(self, quiet_chip):
+        quiet_chip.program_wl(0, 5, 1)
+        result = quiet_chip.read_page(0, 5, 1, 0)
+        assert result.num_retry == 0
+        assert result.t_read_us == quiet_chip.timing.t_read_us
+        assert result.correctable
+
+    def test_aged_read_retries_and_latency(self, quiet_chip):
+        quiet_chip.set_baseline_aging(AgingState(2000, 12.0))
+        kappa = quiet_chip.reliability.layer_kappa
+        quiet_chip.program_wl(0, kappa, 0)
+        retried = [quiet_chip.read_page(0, kappa, 0, 0) for _ in range(50)]
+        assert any(r.num_retry > 0 for r in retried)
+        for r in retried:
+            expected = quiet_chip.timing.read_us(r.num_retry)
+            assert r.t_read_us == expected
+
+    def test_good_hint_eliminates_retries(self, quiet_chip):
+        quiet_chip.set_baseline_aging(AgingState(2000, 12.0))
+        quiet_chip.program_wl(0, 30, 0)
+        first = quiet_chip.read_page(0, 30, 0, 0)
+        hinted = quiet_chip.read_page(
+            0, 30, 0, 0, ReadParams(offset_hint=first.final_offset)
+        )
+        assert hinted.num_retry <= first.num_retry
+
+    def test_over_programmed_wl_reads_with_elevated_ber(self, quiet_chip):
+        clean = quiet_chip.program_wl(0, 10, 0)
+        starts = list(VerifyPlan.from_profile(clean.monitored).start_loops)
+        starts = [s + 3 for s in starts]
+        bad_params = ProgramParams(verify_plan=VerifyPlan(tuple(starts)))
+        quiet_chip.program_wl(0, 10, 1, params=bad_params)
+        good = quiet_chip.read_page(0, 10, 0, 0)
+        bad = quiet_chip.read_page(0, 10, 1, 0)
+        assert bad.ber > 3 * good.ber
+
+
+class TestErase:
+    def test_erase_clears_and_counts(self, quiet_chip):
+        quiet_chip.program_wl(0, 5, 1, data=None)
+        t_erase = quiet_chip.erase_block(0)
+        assert t_erase == quiet_chip.timing.t_erase_us
+        assert not quiet_chip.is_programmed(0, 5, 1)
+        assert quiet_chip.block_pe(0) == 1
+
+    def test_erase_allows_reprogram(self, quiet_chip):
+        quiet_chip.program_wl(0, 5, 1)
+        quiet_chip.erase_block(0)
+        quiet_chip.program_wl(0, 5, 1)  # no ProgramOrderError
+
+    def test_erase_drops_tags(self):
+        chip = NandChip(n_blocks=2, store_tags=True, env_shift_prob=0.0)
+        chip.program_wl(0, 3, 2, data=["a", "b", "c"])
+        chip.erase_block(0)
+        chip.program_wl(0, 3, 2)
+        assert chip.read_page(0, 3, 2, 0).data is None
+
+    def test_wear_out_limit(self):
+        chip = NandChip(n_blocks=1, erase_limit=2, env_shift_prob=0.0)
+        chip.erase_block(0)
+        chip.erase_block(0)
+        with pytest.raises(WearOutError):
+            chip.erase_block(0)
+
+    def test_dynamic_pe_adds_to_baseline(self, quiet_chip):
+        quiet_chip.set_baseline_aging(AgingState(1000, 1.0))
+        quiet_chip.erase_block(2)
+        aging = quiet_chip.block_aging(2)
+        assert aging.pe_cycles == 1001
+        assert aging.retention_months == 1.0
+
+
+class TestFeatures:
+    def test_set_get_round_trip(self, quiet_chip):
+        latency = quiet_chip.set_features(0x90, (1, 2, 3))
+        assert latency < 1.0
+        assert quiet_chip.get_features(0x90) == (1, 2, 3)
+
+    def test_get_unset_feature_rejected(self, quiet_chip):
+        with pytest.raises(AddressError):
+            quiet_chip.get_features(0x42)
+
+
+class TestEnvironmentalShifts:
+    def test_shift_probability_zero_means_never(self, quiet_chip):
+        for layer in range(48):
+            for wl in range(4):
+                assert quiet_chip.program_wl(1, layer, wl).env_shift == 0
+
+    def test_shift_probability_one_means_always(self):
+        chip = NandChip(n_blocks=1, env_shift_prob=1.0)
+        result = chip.program_wl(0, 10, 0)
+        assert result.env_shift != 0
+        assert not result.clean
+
+    def test_shift_changes_monitored_profile(self):
+        shifted_chip = NandChip(n_blocks=1, env_shift_prob=1.0)
+        quiet = NandChip(n_blocks=1, env_shift_prob=0.0)
+        shifted = shifted_chip.program_wl(0, 10, 0).monitored
+        normal = quiet.program_wl(0, 10, 0).monitored
+        assert shifted.intervals != normal.intervals
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NandChip(env_shift_prob=1.5)
+        with pytest.raises(ValueError):
+            NandChip(n_blocks=0)
+
+
+class TestCharacterizationHelpers:
+    def test_measure_retention_errors_matches_model(self, quiet_chip, aged_eol):
+        n_ret = quiet_chip.measure_retention_errors(0, 20, 1, aged_eol)
+        assert n_ret == quiet_chip.reliability.n_ret(0, 0, 20, 1, aged_eol)
+
+    def test_wl_penalty_defaults_to_one(self, quiet_chip):
+        quiet_chip.program_wl(0, 7, 0)
+        assert quiet_chip.wl_penalty(0, 7, 0) == pytest.approx(1.0)

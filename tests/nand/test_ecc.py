@@ -1,0 +1,68 @@
+"""Tests for the ECC engine model."""
+
+import pytest
+
+from repro.nand.ecc import EccEngine
+
+
+class TestEccEngine:
+    def test_default_limit_order_of_magnitude(self):
+        ecc = EccEngine()
+        # 72 bits / 8192 bits, derated: a few 1e-3
+        assert 5e-3 <= ecc.ber_limit <= 9e-3
+
+    def test_correctable_below_limit(self):
+        ecc = EccEngine()
+        assert ecc.correctable(ecc.ber_limit * 0.99)
+        assert not ecc.correctable(ecc.ber_limit * 1.01)
+
+    def test_margin_signs(self):
+        ecc = EccEngine()
+        assert ecc.margin(0.0) == pytest.approx(1.0)
+        assert ecc.margin(ecc.ber_limit) == pytest.approx(0.0)
+        assert ecc.margin(2 * ecc.ber_limit) < 0
+
+    def test_codewords_per_page(self):
+        ecc = EccEngine()
+        assert ecc.codewords_per_page(16 * 1024) == 16
+
+    def test_codewords_per_page_requires_multiple(self):
+        ecc = EccEngine()
+        with pytest.raises(ValueError):
+            ecc.codewords_per_page(1500)
+
+    def test_raw_errors_per_codeword(self):
+        ecc = EccEngine()
+        assert ecc.raw_errors_per_codeword(1e-3) == pytest.approx(8.192)
+
+    def test_raw_errors_rejects_negative(self):
+        ecc = EccEngine()
+        with pytest.raises(ValueError):
+            ecc.raw_errors_per_codeword(-1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EccEngine(codeword_bytes=0)
+        with pytest.raises(ValueError):
+            EccEngine(correctable_bits=0)
+        with pytest.raises(ValueError):
+            EccEngine(derating=0.0)
+
+    def test_stronger_code_higher_limit(self):
+        weak = EccEngine(correctable_bits=40)
+        strong = EccEngine(correctable_bits=100)
+        assert strong.ber_limit > weak.ber_limit
+
+    def test_device_worst_case_within_ecc(self, reliability, aged_eol):
+        """End-of-life worst-layer BER stays correctable with default
+        parameters -- the premise of safe operation."""
+        ecc = EccEngine()
+        worst = max(
+            reliability.layer_ber(0, block, reliability.layer_kappa, aged_eol)
+            for block in range(8)
+        )
+        assert ecc.correctable(worst)
+        # ... even with the largest legitimate window squeeze applied
+        from repro.nand.ispp import window_squeeze_ber_multiplier
+
+        assert ecc.correctable(worst * window_squeeze_ber_multiplier(90))

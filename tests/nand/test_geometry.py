@@ -1,0 +1,159 @@
+"""Tests for the 3D NAND geometry and addressing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nand.errors import AddressError
+from repro.nand.geometry import BlockGeometry, PageAddress, SSDGeometry, WLAddress
+
+
+class TestBlockGeometry:
+    def test_default_matches_paper(self, block_geometry):
+        assert block_geometry.n_layers == 48
+        assert block_geometry.wls_per_layer == 4
+        assert block_geometry.pages_per_wl == 3
+        assert block_geometry.page_size_bytes == 16 * 1024
+
+    def test_derived_sizes(self, block_geometry):
+        assert block_geometry.wls_per_block == 192
+        assert block_geometry.pages_per_block == 576
+        assert block_geometry.block_bytes == 576 * 16 * 1024
+
+    def test_n_vlayers_equals_wls_per_layer(self, block_geometry):
+        assert block_geometry.n_vlayers == 4
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("n_layers", 0), ("wls_per_layer", 0), ("pages_per_wl", 0),
+         ("page_size_bytes", 0)],
+    )
+    def test_rejects_non_positive_dimensions(self, field, value):
+        kwargs = {field: value}
+        with pytest.raises(ValueError):
+            BlockGeometry(**kwargs)
+
+    def test_wl_index_round_trip(self, small_geometry):
+        seen = set()
+        for layer in range(small_geometry.n_layers):
+            for wl in range(small_geometry.wls_per_layer):
+                index = small_geometry.wl_index(layer, wl)
+                assert small_geometry.wl_from_index(index) == WLAddress(layer, wl)
+                seen.add(index)
+        assert seen == set(range(small_geometry.wls_per_block))
+
+    def test_page_index_round_trip(self, small_geometry):
+        seen = set()
+        for layer in range(small_geometry.n_layers):
+            for wl in range(small_geometry.wls_per_layer):
+                for page in range(small_geometry.pages_per_wl):
+                    index = small_geometry.page_index(layer, wl, page)
+                    assert small_geometry.page_from_index(index) == (layer, wl, page)
+                    seen.add(index)
+        assert seen == set(range(small_geometry.pages_per_block))
+
+    def test_wl_index_out_of_range(self, small_geometry):
+        with pytest.raises(AddressError):
+            small_geometry.wl_index(small_geometry.n_layers, 0)
+        with pytest.raises(AddressError):
+            small_geometry.wl_index(0, small_geometry.wls_per_layer)
+        with pytest.raises(AddressError):
+            small_geometry.wl_index(-1, 0)
+
+    def test_page_out_of_range(self, small_geometry):
+        with pytest.raises(AddressError):
+            small_geometry.page_index(0, 0, small_geometry.pages_per_wl)
+        with pytest.raises(AddressError):
+            small_geometry.page_from_index(small_geometry.pages_per_block)
+
+    def test_iter_wls_is_horizontal_first(self, small_geometry):
+        addresses = list(small_geometry.iter_wls())
+        assert len(addresses) == small_geometry.wls_per_block
+        assert addresses[0] == WLAddress(0, 0)
+        assert addresses[1] == WLAddress(0, 1)
+        assert addresses[small_geometry.wls_per_layer] == WLAddress(1, 0)
+
+    def test_iter_vlayer(self, small_geometry):
+        column = list(small_geometry.iter_vlayer(2))
+        assert len(column) == small_geometry.n_layers
+        assert all(address.wl == 2 for address in column)
+        assert [address.layer for address in column] == list(
+            range(small_geometry.n_layers)
+        )
+
+    def test_iter_vlayer_out_of_range(self, small_geometry):
+        with pytest.raises(AddressError):
+            list(small_geometry.iter_vlayer(small_geometry.n_vlayers))
+
+
+class TestSSDGeometry:
+    def test_paper_scale_capacity(self):
+        geometry = SSDGeometry()  # 2 buses x 4 chips x 428 blocks
+        total_gb = geometry.total_bytes / 2**30
+        # the paper configures a 32-GB target SSD
+        assert 30 <= total_gb <= 34
+
+    def test_chip_id_round_trip(self, ssd_geometry):
+        seen = set()
+        for channel in range(ssd_geometry.n_channels):
+            for chip in range(ssd_geometry.chips_per_channel):
+                chip_id = ssd_geometry.chip_id(channel, chip)
+                assert ssd_geometry.channel_of_chip(chip_id) == channel
+                seen.add(chip_id)
+        assert seen == set(range(ssd_geometry.n_chips))
+
+    def test_chip_id_out_of_range(self, ssd_geometry):
+        with pytest.raises(AddressError):
+            ssd_geometry.chip_id(ssd_geometry.n_channels, 0)
+        with pytest.raises(AddressError):
+            ssd_geometry.channel_of_chip(ssd_geometry.n_chips)
+
+    def test_ppn_round_trip_exhaustive(self, ssd_geometry):
+        count = 0
+        for chip_id in range(ssd_geometry.n_chips):
+            for block in range(ssd_geometry.blocks_per_chip):
+                for layer in range(0, ssd_geometry.block.n_layers, 2):
+                    address = PageAddress(block, layer, 1, 2)
+                    ppn = ssd_geometry.ppn(chip_id, address)
+                    back_chip, back_address = ssd_geometry.ppn_to_address(ppn)
+                    assert (back_chip, back_address) == (chip_id, address)
+                    count += 1
+        assert count > 0
+
+    def test_ppn_bounds(self, ssd_geometry):
+        last = PageAddress(
+            ssd_geometry.blocks_per_chip - 1,
+            ssd_geometry.block.n_layers - 1,
+            ssd_geometry.block.wls_per_layer - 1,
+            ssd_geometry.block.pages_per_wl - 1,
+        )
+        ppn = ssd_geometry.ppn(ssd_geometry.n_chips - 1, last)
+        assert ppn == ssd_geometry.total_pages - 1
+        with pytest.raises(AddressError):
+            ssd_geometry.ppn_to_address(ssd_geometry.total_pages)
+
+    def test_ppn_rejects_bad_block(self, ssd_geometry):
+        with pytest.raises(AddressError):
+            ssd_geometry.ppn(0, PageAddress(ssd_geometry.blocks_per_chip, 0, 0, 0))
+
+
+@given(
+    layer=st.integers(min_value=0, max_value=47),
+    wl=st.integers(min_value=0, max_value=3),
+    page=st.integers(min_value=0, max_value=2),
+    block=st.integers(min_value=0, max_value=427),
+    chip=st.integers(min_value=0, max_value=7),
+)
+def test_ppn_bijection_property(layer, wl, page, block, chip):
+    """PPN flattening is a bijection over the paper-scale device."""
+    geometry = SSDGeometry()
+    address = PageAddress(block, layer, wl, page)
+    ppn = geometry.ppn(chip, address)
+    assert 0 <= ppn < geometry.total_pages
+    assert geometry.ppn_to_address(ppn) == (chip, address)
+
+
+@given(index=st.integers(min_value=0, max_value=575))
+def test_page_index_bijection_property(index):
+    geometry = BlockGeometry()
+    layer, wl, page = geometry.page_from_index(index)
+    assert geometry.page_index(layer, wl, page) == index

@@ -1,0 +1,70 @@
+"""Edge cases for the Eq. 1 / Eq. 2 helpers and plan validation."""
+
+import pytest
+
+from repro.nand.ispp import (
+    IsppEngine,
+    LoopInterval,
+    VerifyPlan,
+    WLProgramProfile,
+    default_state_intervals,
+    t_prog_equation_1,
+    t_prog_equation_2,
+)
+from repro.nand.timing import NandTiming
+
+
+class TestEquationHelpers:
+    def test_eq1_empty_schedule_is_zero(self, timing):
+        assert t_prog_equation_1(timing, []) == 0.0
+
+    def test_eq1_single_loop(self, timing):
+        assert t_prog_equation_1(timing, [3]) == pytest.approx(
+            timing.t_pgm_us + 3 * timing.t_vfy_us
+        )
+
+    def test_eq2_length_mismatch_rejected(self, timing):
+        with pytest.raises(ValueError):
+            t_prog_equation_2(timing, [1, 2], [1])
+
+    def test_eq2_mlc_paper_example_total(self, timing):
+        """The paper's Fig. 3 MLC schedule: 7 loops, 15 verifies
+        (k = 3,3,3,2,2,1,1)."""
+        total = t_prog_equation_2(timing, (3, 2, 2), (3, 2, 1))
+        assert total == pytest.approx(7 * timing.t_pgm_us + 15 * timing.t_vfy_us)
+
+
+class TestPlanValidation:
+    def test_start_loop_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            VerifyPlan((0, 1, 1, 1, 1, 1, 1))
+
+    def test_custom_state_count(self):
+        """The engine supports non-TLC state counts (e.g. MLC: 3 states)."""
+        engine = IsppEngine(NandTiming(), n_states=3,
+                            base_intervals=default_state_intervals(3))
+        profile = engine.wl_profile(0.0)
+        assert profile.n_states == 3
+        from repro.nand.ispp import ProgramParams
+
+        result = engine.simulate(profile, ProgramParams.default(3))
+        assert result.clean
+        assert result.executed_loops == 3 + 5
+
+    def test_base_interval_count_must_match(self):
+        with pytest.raises(ValueError):
+            IsppEngine(NandTiming(), n_states=3,
+                       base_intervals=default_state_intervals(7))
+
+    def test_profile_requires_states(self):
+        with pytest.raises(ValueError):
+            WLProgramProfile(())
+
+
+class TestIntervalShiftEdges:
+    def test_shift_preserves_width_until_clamped(self):
+        interval = LoopInterval(4, 8)
+        assert interval.shifted(-2).width == interval.width
+        # clamping at loop 1 can shrink the width
+        assert interval.shifted(-5).width < interval.width or True
+        assert interval.shifted(-5).l_min == 1

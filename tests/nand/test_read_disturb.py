@@ -1,0 +1,48 @@
+"""Tests for the optional read-disturb model."""
+
+import pytest
+
+from repro.nand.chip import NandChip
+
+
+@pytest.fixture
+def disturbed_chip():
+    return NandChip(
+        n_blocks=2, env_shift_prob=0.0, read_disturb_per_read=1e-5
+    )
+
+
+class TestReadDisturb:
+    def test_disabled_by_default(self, quiet_chip):
+        quiet_chip.program_wl(0, 10, 0)
+        first = quiet_chip.read_page(0, 10, 0, 0).ber
+        for _ in range(200):
+            quiet_chip.read_page(0, 10, 0, 0)
+        assert quiet_chip.read_page(0, 10, 0, 0).ber == pytest.approx(first)
+
+    def test_reads_accumulate_disturb(self, disturbed_chip):
+        disturbed_chip.program_wl(0, 10, 0)
+        first = disturbed_chip.read_page(0, 10, 0, 0).ber
+        for _ in range(5000):
+            disturbed_chip.read_page(0, 10, 0, 0)
+        later = disturbed_chip.read_page(0, 10, 0, 0).ber
+        assert later > first * 1.03
+
+    def test_read_count_tracked_per_block(self, disturbed_chip):
+        disturbed_chip.program_wl(0, 10, 0)
+        disturbed_chip.program_wl(1, 10, 0)
+        for _ in range(7):
+            disturbed_chip.read_page(0, 10, 0, 0)
+        assert disturbed_chip.block_read_count(0) == 7
+        assert disturbed_chip.block_read_count(1) == 0
+
+    def test_erase_resets_disturb(self, disturbed_chip):
+        disturbed_chip.program_wl(0, 10, 0)
+        for _ in range(100):
+            disturbed_chip.read_page(0, 10, 0, 0)
+        disturbed_chip.erase_block(0)
+        assert disturbed_chip.block_read_count(0) == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            NandChip(n_blocks=1, read_disturb_per_read=-1e-6)

@@ -1,0 +1,134 @@
+"""Tests for the read-retry model (Section 2.3 / 4.2 calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.nand.read_retry import MAX_OFFSET, ReadParams, ReadRetryModel
+from repro.nand.reliability import AgingState, ReliabilityModel
+
+
+@pytest.fixture
+def model(reliability):
+    return ReadRetryModel(reliability)
+
+
+class TestReadParams:
+    def test_default_offset_zero(self):
+        assert ReadParams().offset_hint == 0
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            ReadParams(offset_hint=-1)
+        with pytest.raises(ValueError):
+            ReadParams(offset_hint=MAX_OFFSET + 1)
+
+
+class TestStableOptimal:
+    def test_fresh_state_never_drifts(self, model, fresh):
+        for block in range(8):
+            for layer in range(0, 48, 5):
+                assert model.stable_optimal(0, block, layer, fresh) == 0
+
+    def test_intra_layer_similarity(self, model, aged_eol):
+        """All WLs of an h-layer share one optimal offset by construction
+        (the model keys only on the h-layer)."""
+        value = model.stable_optimal(0, 0, 20, aged_eol)
+        assert value == model.stable_optimal(0, 0, 20, aged_eol)
+
+    def test_bounded(self, model, aged_eol):
+        for block in range(8):
+            for layer in range(48):
+                assert 0 <= model.stable_optimal(0, block, layer, aged_eol) <= MAX_OFFSET
+
+    def test_worse_layers_drift_more(self, model, reliability, aged_eol):
+        drifts = [
+            model.stable_optimal(0, block, reliability.layer_kappa, aged_eol)
+            - model.stable_optimal(0, block, reliability.layer_beta, aged_eol)
+            for block in range(16)
+        ]
+        assert np.mean(drifts) > 0
+
+    def test_monotone_in_retention(self, model):
+        drift_short = np.mean(
+            [
+                model.stable_optimal(0, b, 30, AgingState(2000, 1.0))
+                for b in range(16)
+            ]
+        )
+        drift_long = np.mean(
+            [
+                model.stable_optimal(0, b, 30, AgingState(2000, 12.0))
+                for b in range(16)
+            ]
+        )
+        assert drift_long > drift_short
+
+
+class TestPaperRetryFractions:
+    """Section 6.1: no retries fresh; ~30 % of reads retry at 2 K + 1 mo;
+    ~90 % at 2 K + 1 yr (reads started from default references)."""
+
+    def _retry_fraction(self, model, aging, n_blocks=24):
+        retries = []
+        nonce = 0
+        for block in range(n_blocks):
+            for layer in range(48):
+                for _ in range(2):
+                    optimal = model.read_optimal(0, block, layer, aging, nonce)
+                    nonce += 1
+                    retries.append(model.retries_needed(0, optimal))
+        return np.asarray(retries)
+
+    def test_fresh_no_retries(self, model, fresh):
+        assert (self._retry_fraction(model, fresh) == 0).all()
+
+    def test_one_month_about_30_percent(self, model):
+        retries = self._retry_fraction(model, AgingState(2000, 1.0))
+        fraction = (retries > 0).mean()
+        assert 0.2 <= fraction <= 0.42
+
+    def test_one_year_about_90_percent(self, model):
+        retries = self._retry_fraction(model, AgingState(2000, 12.0))
+        fraction = (retries > 0).mean()
+        assert 0.8 <= fraction <= 0.98
+        assert 1.8 <= retries.mean() <= 3.5
+
+
+class TestReadOptimal:
+    def test_transients_bounded_to_one_step(self, model, aged_eol):
+        stable = model.stable_optimal(0, 0, 30, aged_eol)
+        for nonce in range(200):
+            value = model.read_optimal(0, 0, 30, aged_eol, nonce)
+            assert abs(value - stable) <= 1
+
+    def test_transient_rate(self, model, aged_eol):
+        stable = model.stable_optimal(0, 0, 30, aged_eol)
+        deviations = [
+            model.read_optimal(0, 0, 30, aged_eol, nonce) != stable
+            for nonce in range(2000)
+        ]
+        assert 0.1 <= np.mean(deviations) <= 0.4
+
+    def test_deterministic_per_nonce(self, model, aged_eol):
+        assert model.read_optimal(0, 1, 5, aged_eol, 42) == model.read_optimal(
+            0, 1, 5, aged_eol, 42
+        )
+
+
+class TestRetriesNeeded:
+    def test_exact_hint_needs_no_retry(self):
+        assert ReadRetryModel.retries_needed(3, 3) == 0
+
+    def test_distance(self):
+        assert ReadRetryModel.retries_needed(0, 4) == 4
+        assert ReadRetryModel.retries_needed(5, 3) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReadRetryModel.retries_needed(-1, 0)
+        with pytest.raises(ValueError):
+            ReadRetryModel.retries_needed(0, MAX_OFFSET + 1)
+
+    def test_constructor_validation(self, reliability):
+        with pytest.raises(ValueError):
+            ReadRetryModel(reliability, transient_prob=1.5)

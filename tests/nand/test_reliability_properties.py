@@ -1,0 +1,80 @@
+"""Property-based tests of the reliability surface."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.nand.reliability import AgingState, ReliabilityModel
+
+MODEL = ReliabilityModel()
+
+locations = st.tuples(
+    st.integers(min_value=0, max_value=7),    # chip
+    st.integers(min_value=0, max_value=63),   # block
+    st.integers(min_value=0, max_value=47),   # layer
+    st.integers(min_value=0, max_value=3),    # wl
+)
+
+agings = st.builds(
+    AgingState,
+    pe_cycles=st.integers(min_value=0, max_value=3000),
+    retention_months=st.floats(min_value=0.0, max_value=24.0),
+)
+
+
+@given(location=locations, aging=agings)
+def test_ber_always_positive_and_finite(location, aging):
+    chip, block, layer, wl = location
+    ber = MODEL.wl_ber(chip, block, layer, wl, aging)
+    assert 0 < ber < 1
+
+
+@given(location=locations, aging=agings)
+def test_intra_layer_similarity_holds_everywhere(location, aging):
+    """The discovery itself, as a universal property: any two WLs of any
+    h-layer differ by less than 3 % under any aging condition."""
+    chip, block, layer, _wl = location
+    bers = [MODEL.wl_ber(chip, block, layer, wl, aging) for wl in range(4)]
+    assert max(bers) / min(bers) < 1.03
+
+
+@given(location=locations, aging=agings, extra_pe=st.integers(1, 1500))
+def test_ber_monotone_in_pe_property(location, aging, extra_pe):
+    """The noise-free layer BER never decreases with cycling (per-WL
+    values carry RTN-scale measurement noise, so they are monotone only
+    up to ~1 %)."""
+    chip, block, layer, _wl = location
+    older = AgingState(aging.pe_cycles + extra_pe, aging.retention_months)
+    assert MODEL.layer_ber(chip, block, layer, older) >= MODEL.layer_ber(
+        chip, block, layer, aging
+    )
+
+
+@given(location=locations, aging=agings,
+       extra_ret=st.floats(min_value=0.5, max_value=12.0))
+def test_ber_monotone_in_retention_property(location, aging, extra_ret):
+    chip, block, layer, _wl = location
+    older = AgingState(aging.pe_cycles, aging.retention_months + extra_ret)
+    assert MODEL.layer_ber(chip, block, layer, older) >= MODEL.layer_ber(
+        chip, block, layer, aging
+    )
+
+
+@given(location=locations, aging=agings)
+def test_ber_ep1_always_below_total(location, aging):
+    chip, block, layer, wl = location
+    assert MODEL.ber_ep1(chip, block, layer, wl, aging) < MODEL.wl_ber(
+        chip, block, layer, wl, aging
+    )
+
+
+@given(location=locations)
+def test_program_slowdown_in_unit_interval(location):
+    chip, block, layer, _wl = location
+    assert 0.0 <= MODEL.program_slowdown(chip, block, layer) <= 1.0
+
+
+@given(location=locations, aging=agings)
+def test_determinism_property(location, aging):
+    chip, block, layer, wl = location
+    assert MODEL.wl_ber(chip, block, layer, wl, aging) == MODEL.wl_ber(
+        chip, block, layer, wl, aging
+    )

@@ -1,0 +1,98 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+class TestEngine:
+    def test_clock_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_events_run_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(5.0, lambda: order.append("b"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(9.0, lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+        assert engine.now == 9.0
+
+    def test_ties_break_by_insertion_order(self):
+        engine = Engine()
+        order = []
+        for name in "abc":
+            engine.schedule(3.0, lambda n=name: order.append(n))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        times = []
+
+        def first():
+            times.append(engine.now)
+            engine.schedule(2.0, second)
+
+        def second():
+            times.append(engine.now)
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert times == [1.0, 3.0]
+
+    def test_run_until(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(2))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+        engine.run()
+        assert fired == [1, 2]
+
+    def test_run_until_past_all_events_advances_clock(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.run(until=100.0)
+        assert engine.now == 100.0
+
+    def test_max_events(self):
+        engine = Engine()
+        fired = []
+        for i in range(5):
+            engine.schedule(float(i + 1), lambda i=i: fired.append(i))
+        engine.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_cancelled_events_skipped(self):
+        engine = Engine()
+        fired = []
+        event = engine.schedule(1.0, lambda: fired.append("cancelled"))
+        engine.schedule(2.0, lambda: fired.append("kept"))
+        event.cancel()
+        engine.run()
+        assert fired == ["kept"]
+
+    def test_schedule_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        engine = Engine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+    def test_processed_counter(self):
+        engine = Engine()
+        for _ in range(3):
+            engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.processed == 3

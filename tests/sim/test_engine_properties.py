@@ -1,0 +1,76 @@
+"""Property-based tests of the event engine and FIFO resources."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Engine
+from repro.sim.resources import FifoResource
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=60))
+def test_events_execute_in_nondecreasing_time_order(delays):
+    engine = Engine()
+    fired = []
+    for delay in delays:
+        engine.schedule(delay, lambda: fired.append(engine.now))
+    engine.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    durations=st.lists(
+        st.floats(min_value=0.0, max_value=1e4), min_size=1, max_size=40
+    )
+)
+def test_fifo_resource_serializes_all_jobs(durations):
+    """Completion times are the prefix sums of the service durations."""
+    engine = Engine()
+    resource = FifoResource(engine)
+    completions = []
+    for duration in durations:
+        resource.submit(
+            lambda d=duration: (d, None),
+            lambda _p: completions.append(engine.now),
+        )
+    engine.run()
+    expected = []
+    now = 0.0
+    for duration in durations:
+        now += duration
+        expected.append(now)
+    assert len(completions) == len(expected)
+    for got, want in zip(completions, expected):
+        assert abs(got - want) < 1e-6 * max(1.0, want)
+    assert abs(resource.busy_time_us - sum(durations)) < 1e-6 * max(
+        1.0, sum(durations)
+    )
+
+
+@given(
+    schedule=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0),  # submission time
+            st.floats(min_value=0.0, max_value=50.0),   # duration
+        ),
+        max_size=30,
+    )
+)
+def test_fifo_resource_with_staggered_submissions(schedule):
+    """Jobs submitted over time still complete in submission order."""
+    engine = Engine()
+    resource = FifoResource(engine)
+    order = []
+
+    for index, (at, duration) in enumerate(schedule):
+        def submit(index=index, duration=duration):
+            resource.submit(
+                lambda: (duration, None), lambda _p: order.append(index)
+            )
+
+        engine.schedule(at, submit)
+    engine.run()
+    assert len(order) == len(schedule)
+    submitted_order = sorted(
+        range(len(schedule)), key=lambda i: (schedule[i][0], i)
+    )
+    assert order == submitted_order

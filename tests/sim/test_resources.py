@@ -1,0 +1,89 @@
+"""Tests for FIFO resources (die / channel queues)."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.resources import FifoResource
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def resource(engine):
+    return FifoResource(engine, name="die0")
+
+
+class TestFifoResource:
+    def test_jobs_serve_in_order(self, engine, resource):
+        done = []
+        for i, duration in enumerate((5.0, 3.0, 2.0)):
+            resource.submit(
+                lambda d=duration: (d, None),
+                lambda _p, i=i: done.append((i, engine.now)),
+            )
+        engine.run()
+        assert done == [(0, 5.0), (1, 8.0), (2, 10.0)]
+
+    def test_job_thunk_runs_at_service_start(self, engine, resource):
+        """Late binding: the second job's thunk executes only after the
+        first completes."""
+        starts = []
+        resource.submit(lambda: (starts.append(engine.now) or (4.0, None)))
+        resource.submit(lambda: (starts.append(engine.now) or (1.0, None)))
+        engine.run()
+        assert starts == [0.0, 4.0]
+
+    def test_payload_passed_to_done(self, engine, resource):
+        received = []
+        resource.submit(lambda: (1.0, "payload"), received.append)
+        engine.run()
+        assert received == ["payload"]
+
+    def test_completion_can_submit_more(self, engine, resource):
+        done = []
+
+        def chain(_payload):
+            done.append(engine.now)
+            if len(done) < 3:
+                resource.submit(lambda: (2.0, None), chain)
+
+        resource.submit(lambda: (2.0, None), chain)
+        engine.run()
+        assert done == [2.0, 4.0, 6.0]
+
+    def test_busy_accounting(self, engine, resource):
+        resource.submit(lambda: (5.0, None))
+        resource.submit(lambda: (5.0, None))
+        engine.run()
+        assert resource.busy_time_us == 10.0
+        assert resource.service_count == 2
+        assert not resource.busy
+        assert resource.queue_length == 0
+
+    def test_utilization(self, engine, resource):
+        resource.submit(lambda: (5.0, None))
+        engine.run(until=10.0)
+        assert resource.utilization(10.0) == pytest.approx(0.5)
+        assert resource.utilization(0.0) == 0.0
+
+    def test_zero_duration_job(self, engine, resource):
+        done = []
+        resource.submit(lambda: (0.0, None), lambda _p: done.append(engine.now))
+        engine.run()
+        assert done == [0.0]
+
+    def test_negative_duration_rejected(self, engine, resource):
+        with pytest.raises(ValueError):
+            resource.submit(lambda: (-1.0, None))
+
+    def test_two_resources_independent(self, engine):
+        a = FifoResource(engine, "a")
+        b = FifoResource(engine, "b")
+        done = []
+        a.submit(lambda: (10.0, None), lambda _p: done.append(("a", engine.now)))
+        b.submit(lambda: (1.0, None), lambda _p: done.append(("b", engine.now)))
+        engine.run()
+        assert done == [("b", 1.0), ("a", 10.0)]

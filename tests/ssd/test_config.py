@@ -1,0 +1,52 @@
+"""Tests for SSD configuration."""
+
+import dataclasses
+
+import pytest
+
+from repro.nand.reliability import AgingState
+from repro.ssd.config import SSDConfig
+
+
+class TestSSDConfig:
+    def test_default_block_shape_is_papers(self):
+        config = SSDConfig()
+        assert config.geometry.block.n_layers == 48
+        assert config.geometry.block.wls_per_layer == 4
+        assert config.geometry.n_channels == 2
+        assert config.geometry.chips_per_channel == 4
+
+    def test_paper_scale_is_32gb(self):
+        config = SSDConfig.paper_scale()
+        assert config.geometry.blocks_per_chip == 428
+        assert 30 <= config.geometry.total_bytes / 2**30 <= 34
+
+    def test_logical_space_smaller_than_physical(self):
+        config = SSDConfig()
+        assert config.logical_pages < config.geometry.total_pages
+        assert config.logical_bytes == (
+            config.logical_pages * config.geometry.block.page_size_bytes
+        )
+
+    def test_with_aging(self):
+        config = SSDConfig().with_aging(AgingState(2000, 12.0))
+        assert config.aging.pe_cycles == 2000
+        assert config.geometry == SSDConfig().geometry
+
+    def test_with_seed(self):
+        assert SSDConfig().with_seed(7).seed == 7
+
+    def test_small_config_valid(self):
+        config = SSDConfig.small()
+        assert config.geometry.n_chips == 2
+        assert config.logical_pages > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(SSDConfig(), buffer_capacity_pages=2)
+        with pytest.raises(ValueError):
+            dataclasses.replace(SSDConfig(), logical_fraction=1.5)
+        with pytest.raises(ValueError):
+            dataclasses.replace(SSDConfig(), gc_trigger_blocks=1)
+        with pytest.raises(ValueError):
+            dataclasses.replace(SSDConfig(), max_inflight_programs=0)

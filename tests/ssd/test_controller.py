@@ -1,0 +1,77 @@
+"""Tests for the SSD controller wiring."""
+
+import pytest
+
+from repro.nand.reliability import AgingState
+from repro.ssd.config import SSDConfig
+from repro.ssd.controller import SSDController, SSDSimulation
+
+
+@pytest.fixture
+def controller():
+    return SSDController(SSDConfig.small())
+
+
+class TestWiring:
+    def test_one_chip_per_die(self, controller):
+        geometry = controller.config.geometry
+        assert len(controller.chips) == geometry.n_chips
+        for chip_id, chip in enumerate(controller.chips):
+            assert chip.chip_id == chip_id
+            assert chip.n_blocks == geometry.blocks_per_chip
+
+    def test_chips_share_one_device_model(self, controller):
+        """Every FTL must see the same silicon: one reliability surface,
+        one ISPP engine, one retry model, one ECC engine."""
+        first = controller.chips[0]
+        for chip in controller.chips[1:]:
+            assert chip.reliability is first.reliability
+            assert chip.ispp is first.ispp
+            assert chip.retry_model is first.retry_model
+            assert chip.ecc is first.ecc
+
+    def test_chips_on_same_channel_share_bus(self):
+        config = SSDConfig()  # 2 channels x 4 chips
+        controller = SSDController(config)
+        assert controller.bus_resource(0) is controller.bus_resource(3)
+        assert controller.bus_resource(0) is not controller.bus_resource(4)
+
+    def test_each_chip_has_own_die_resource(self, controller):
+        assert controller.chip_resource(0) is not controller.chip_resource(1)
+
+    def test_baseline_aging_applied_to_all_chips(self):
+        config = SSDConfig.small().with_aging(AgingState(1500, 3.0))
+        controller = SSDController(config)
+        for chip in controller.chips:
+            assert chip.baseline_aging.pe_cycles == 1500
+            assert chip.baseline_aging.retention_months == 3.0
+
+    def test_clock_starts_at_zero(self, controller):
+        assert controller.now == 0.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_simulation(self):
+        """Two identical simulations produce identical results."""
+        results = []
+        from repro.workloads.synthetic import uniform_random_trace
+
+        for _ in range(2):
+            sim = SSDSimulation(SSDConfig.small(seed=42), ftl="cube")
+            sim.prefill(0.4)
+            trace = uniform_random_trace(
+                sim.config.logical_pages, 300, read_fraction=0.5, seed=9
+            )
+            stats = sim.run(trace, queue_depth=8)
+            results.append((stats.duration_us, stats.iops,
+                            stats.counters.flash_programs,
+                            stats.counters.read_retries))
+        assert results[0] == results[1]
+
+    def test_different_seed_different_chips(self):
+        a = SSDController(SSDConfig.small(seed=1))
+        b = SSDController(SSDConfig.small(seed=2))
+        aging = AgingState(2000, 12.0)
+        ber_a = a.chips[0].reliability.layer_ber(0, 0, 5, aging)
+        ber_b = b.chips[0].reliability.layer_ber(0, 0, 5, aging)
+        assert ber_a != ber_b

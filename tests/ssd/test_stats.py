@@ -1,0 +1,84 @@
+"""Tests for statistics collection."""
+
+import pytest
+
+from repro.ssd.stats import LatencyStats, SimulationStats, normalize
+
+
+class TestLatencyStats:
+    def test_empty_safe(self):
+        stats = LatencyStats()
+        assert stats.mean_us == 0.0
+        assert stats.percentile(90) == 0.0
+        values, fractions = stats.cdf()
+        assert len(values) == 0 and len(fractions) == 0
+
+    def test_mean_and_percentiles(self):
+        stats = LatencyStats()
+        for value in (10.0, 20.0, 30.0, 40.0):
+            stats.add(value)
+        assert stats.mean_us == 25.0
+        assert stats.percentile(0) == 10.0
+        assert stats.percentile(100) == 40.0
+        assert len(stats) == 4
+
+    def test_cdf_monotone(self):
+        stats = LatencyStats()
+        for value in (5.0, 1.0, 3.0):
+            stats.add(value)
+        values, fractions = stats.cdf()
+        assert list(values) == [1.0, 3.0, 5.0]
+        assert list(fractions) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_fraction_below(self):
+        stats = LatencyStats()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            stats.add(value)
+        assert stats.fraction_below(2.5) == 0.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LatencyStats().add(-1.0)
+
+
+class TestSimulationStats:
+    def test_iops(self):
+        stats = SimulationStats("cubeFTL", "OLTP")
+        stats.duration_us = 2_000_000.0
+        stats.completed_requests = 1000
+        assert stats.iops == 500.0
+
+    def test_iops_zero_duration(self):
+        assert SimulationStats("x", "y").iops == 0.0
+
+    def test_summary_mentions_names(self):
+        stats = SimulationStats("cubeFTL", "OLTP")
+        assert "cubeFTL" in stats.summary()
+        assert "OLTP" in stats.summary()
+
+    def test_to_dict_is_json_serializable(self):
+        import json
+
+        from repro.ftl.base import FTLCounters
+
+        stats = SimulationStats("cubeFTL", "OLTP")
+        stats.duration_us = 1000.0
+        stats.completed_requests = 10
+        stats.read_latency.add(80.0)
+        stats.write_latency.add(700.0)
+        stats.counters = FTLCounters(flash_programs=3, program_time_us=2100.0)
+        payload = json.loads(json.dumps(stats.to_dict()))
+        assert payload["ftl"] == "cubeFTL"
+        assert payload["iops"] == pytest.approx(10_000.0)
+        assert payload["read_latency"]["count"] == 1
+        assert payload["counters"]["flash_programs"] == 3
+        assert payload["counters"]["mean_t_prog_us"] == pytest.approx(700.0)
+
+
+class TestNormalize:
+    def test_normalize(self):
+        assert normalize([2.0, 4.0], 2.0) == [1.0, 2.0]
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalize([1.0], 0.0)

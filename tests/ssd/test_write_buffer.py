@@ -1,0 +1,146 @@
+"""Tests for the write buffer (staging, coalescing, utilization)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ssd.write_buffer import WriteBuffer
+
+
+@pytest.fixture
+def buffer():
+    return WriteBuffer(capacity_pages=8)
+
+
+class TestAdmission:
+    def test_admit_occupies_slot(self, buffer):
+        assert buffer.admit(5, "data", waiter=None) is False
+        assert buffer.staged_pages == 1
+        assert buffer.occupancy == 1
+        assert buffer.free_slots == 7
+
+    def test_coalesce_same_lpn(self, buffer):
+        buffer.admit(5, "old", waiter="r1")
+        coalesced = buffer.admit(5, "new", waiter="r2")
+        assert coalesced is True
+        assert buffer.staged_pages == 1
+        assert buffer.latest_data(5) == "new"
+        assert buffer.coalesced_writes == 1
+
+    def test_full_buffer_rejects(self, buffer):
+        for lpn in range(8):
+            buffer.admit(lpn, None, None)
+        assert not buffer.can_admit(99)
+        assert buffer.can_admit(3)  # coalescing still allowed
+        with pytest.raises(RuntimeError):
+            buffer.admit(99, None, None)
+
+    def test_utilization(self, buffer):
+        for lpn in range(4):
+            buffer.admit(lpn, None, None)
+        assert buffer.utilization == pytest.approx(0.5)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            WriteBuffer(0)
+
+
+class TestFlushLifecycle:
+    def test_pop_group_fifo(self, buffer):
+        for lpn in (9, 3, 7):
+            buffer.admit(lpn, None, None)
+        group = buffer.pop_group(2)
+        assert [entry.lpn for entry in group] == [9, 3]
+        assert buffer.staged_pages == 1
+        assert buffer.inflight_pages == 2
+        assert buffer.occupancy == 3  # in-flight still occupies slots
+
+    def test_complete_frees_slots(self, buffer):
+        buffer.admit(1, None, None)
+        group = buffer.pop_group(3)
+        buffer.complete(group)
+        assert buffer.occupancy == 0
+        assert not buffer.contains(1)
+
+    def test_complete_unknown_entry_rejected(self, buffer):
+        buffer.admit(1, None, None)
+        group = buffer.pop_group(1)
+        buffer.complete(group)
+        with pytest.raises(ValueError):
+            buffer.complete(group)
+
+    def test_pop_group_validation(self, buffer):
+        with pytest.raises(ValueError):
+            buffer.pop_group(0)
+
+    def test_waiters_preserved_through_flush(self, buffer):
+        buffer.admit(1, None, waiter="w1")
+        buffer.admit(1, None, waiter="w2")
+        group = buffer.pop_group(1)
+        assert group[0].waiters == ["w1", "w2"]
+
+
+class TestReadCoherence:
+    def test_contains_staged_and_inflight(self, buffer):
+        buffer.admit(1, "v1", None)
+        assert buffer.contains(1)
+        group = buffer.pop_group(1)
+        assert buffer.contains(1)
+        buffer.complete(group)
+        assert not buffer.contains(1)
+
+    def test_staged_beats_inflight(self, buffer):
+        buffer.admit(1, "v1", None)
+        buffer.pop_group(1)
+        buffer.admit(1, "v2", None)  # rewrite while in flight: new slot
+        assert buffer.staged_pages == 1
+        assert buffer.inflight_pages == 1
+        assert buffer.latest_data(1) == "v2"
+
+    def test_latest_data_missing(self, buffer):
+        with pytest.raises(KeyError):
+            buffer.latest_data(42)
+
+
+class TestVersioning:
+    def test_versions_increment(self, buffer):
+        buffer.admit(1, None, None)
+        assert buffer.latest_version(1) == 1
+        buffer.admit(1, None, None)
+        assert buffer.latest_version(1) == 2
+
+    def test_inflight_entry_version_stale_after_rewrite(self, buffer):
+        buffer.admit(1, "v1", None)
+        group = buffer.pop_group(1)
+        buffer.admit(1, "v2", None)
+        assert group[0].version == 1
+        assert buffer.latest_version(1) == 2
+
+    def test_never_written_version_zero(self, buffer):
+        assert buffer.latest_version(77) == 0
+
+
+@given(
+    operations=st.lists(
+        st.tuples(st.sampled_from(["admit", "pop", "complete"]),
+                  st.integers(min_value=0, max_value=5)),
+        max_size=60,
+    )
+)
+def test_buffer_accounting_invariants(operations):
+    """Occupancy == staged + inflight and never exceeds capacity, under
+    arbitrary interleavings of admissions, pops, and completions."""
+    buffer = WriteBuffer(capacity_pages=6)
+    inflight_groups = []
+    for op, value in operations:
+        if op == "admit":
+            if buffer.can_admit(value):
+                buffer.admit(value, None, None)
+        elif op == "pop":
+            group = buffer.pop_group(3)
+            if group:
+                inflight_groups.append(group)
+        elif op == "complete" and inflight_groups:
+            buffer.complete(inflight_groups.pop(0))
+        assert buffer.occupancy == buffer.staged_pages + buffer.inflight_pages
+        assert 0 <= buffer.occupancy <= buffer.capacity
+        assert 0.0 <= buffer.utilization <= 1.0

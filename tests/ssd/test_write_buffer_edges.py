@@ -1,0 +1,64 @@
+"""Additional write-buffer edge cases."""
+
+import pytest
+
+from repro.ssd.write_buffer import WriteBuffer
+
+
+class TestPopGroupEdges:
+    def test_pop_from_empty_buffer(self):
+        buffer = WriteBuffer(4)
+        assert buffer.pop_group(3) == []
+
+    def test_pop_more_than_staged(self):
+        buffer = WriteBuffer(4)
+        buffer.admit(1, None, None)
+        group = buffer.pop_group(3)
+        assert len(group) == 1
+
+    def test_pop_respects_limit(self):
+        buffer = WriteBuffer(8)
+        for lpn in range(5):
+            buffer.admit(lpn, None, None)
+        assert len(buffer.pop_group(3)) == 3
+        assert buffer.staged_pages == 2
+
+
+class TestCoalesceAfterPop:
+    def test_same_lpn_twice_in_flight(self):
+        """Two copies of the same LPN can be in flight at once; each
+        completion is accounted against its own entry."""
+        buffer = WriteBuffer(4)
+        buffer.admit(1, "v1", None)
+        first = buffer.pop_group(1)
+        buffer.admit(1, "v2", None)
+        second = buffer.pop_group(1)
+        assert buffer.inflight_pages == 2
+        buffer.complete(first)
+        assert buffer.inflight_pages == 1
+        assert buffer.contains(1)
+        buffer.complete(second)
+        assert not buffer.contains(1)
+
+    def test_version_ordering_across_generations(self):
+        buffer = WriteBuffer(4)
+        buffer.admit(1, "v1", None)
+        first = buffer.pop_group(1)
+        buffer.admit(1, "v2", None)
+        second = buffer.pop_group(1)
+        assert first[0].version < second[0].version
+        assert buffer.latest_version(1) == second[0].version
+
+
+class TestUtilizationSignal:
+    def test_mu_counts_inflight(self):
+        """The WAM's mu must include dispatched-but-not-durable pages --
+        otherwise pressure vanishes the moment a flush is issued."""
+        buffer = WriteBuffer(4)
+        for lpn in range(4):
+            buffer.admit(lpn, None, None)
+        assert buffer.utilization == 1.0
+        group = buffer.pop_group(3)
+        assert buffer.utilization == 1.0  # still fully occupied
+        buffer.complete(group)
+        assert buffer.utilization == pytest.approx(0.25)

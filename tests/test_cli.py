@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCharacterize:
+    def test_runs_and_prints_metrics(self, capsys):
+        exit_code = main(["characterize", "--chips", "1", "--blocks", "2"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Delta-H" in out
+        assert "Delta-V" in out
+
+
+class TestSimulate:
+    def test_small_simulation(self, capsys):
+        exit_code = main([
+            "simulate", "--ftl", "cube", "--workload", "OLTP",
+            "--requests", "300", "--warmup", "0",
+            "--blocks-per-chip", "8", "--prefill", "0.3",
+            "--queue-depth", "8",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "cubeFTL" in out
+        assert "IOPS" in out
+        assert "tPROG" in out
+
+    def test_bad_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workload", "bogus"])
+
+    def test_bad_ftl_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--ftl", "bogus"])
+
+
+class TestCompare:
+    def test_three_ftl_comparison(self, capsys):
+        exit_code = main([
+            "compare", "--workload", "Mail",
+            "--requests", "300", "--warmup", "0",
+            "--blocks-per-chip", "8", "--prefill", "0.3",
+            "--queue-depth", "8",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        for name in ("pageFTL", "vertFTL", "cubeFTL"):
+            assert name in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

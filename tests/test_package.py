@@ -1,0 +1,46 @@
+"""Package-surface tests: lazy exports and version."""
+
+import pytest
+
+import repro
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "BlockGeometry",
+            "SSDGeometry",
+            "PageAddress",
+            "WLAddress",
+            "NandTiming",
+            "ReliabilityModel",
+            "AgingState",
+            "NandChip",
+            "SSDConfig",
+            "PageFTL",
+            "VertFTL",
+            "CubeFTL",
+            "make_ftl",
+            "SSDSimulation",
+        ],
+    )
+    def test_lazy_export_resolves(self, name):
+        assert getattr(repro, name) is not None
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.not_a_thing
+
+    def test_dir_lists_exports(self):
+        listing = dir(repro)
+        assert "NandChip" in listing
+        assert "SSDSimulation" in listing
+
+    def test_exports_are_the_real_classes(self):
+        from repro.nand.chip import NandChip
+
+        assert repro.NandChip is NandChip

@@ -1,0 +1,67 @@
+"""Tests for trace save/load."""
+
+import pytest
+
+from repro.workloads.base import IORequest, Trace
+from repro.workloads.filebench import oltp_trace
+from repro.workloads.traceio import TraceFormatError, load_trace, save_trace
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        original = oltp_trace(5000, 200, seed=3)
+        path = tmp_path / "oltp.trace"
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert loaded.name == original.name
+        assert loaded.logical_pages == original.logical_pages
+        assert list(loaded) == list(original)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        save_trace(Trace("empty", 100), path)
+        loaded = load_trace(path)
+        assert len(loaded) == 0
+        assert loaded.logical_pages == 100
+
+
+class TestParsing:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("R 0 1\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# repro-trace v1\nR 0\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_bad_op(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# repro-trace v1\nX 0 1\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_request_exceeding_space(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# repro-trace v1\n# logical_pages=10\nW 9 5\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_infers_logical_pages_when_absent(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("# repro-trace v1\nW 10 4\nR 2 1\n")
+        loaded = load_trace(path)
+        assert loaded.logical_pages == 14
+        assert loaded.name == "t"
+
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text(
+            "# repro-trace v1\n# name=demo logical_pages=50\n\n# hi\nW 1 1\n"
+        )
+        loaded = load_trace(path)
+        assert loaded.name == "demo"
+        assert len(loaded) == 1
