@@ -12,14 +12,9 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.characterization.harness import CharacterizationStudy, StudyConfig
-from repro.characterization.metrics import delta_h, delta_v, normalize_over_best
-from repro.core.maxloop import (
-    DEFAULT_BER_EP1_MAX,
-    DEFAULT_MARGIN_TABLE,
-    MarginTable,
-    spare_margin,
-)
+from repro.characterization.harness import CharacterizationStudy
+from repro.characterization.metrics import delta_h, delta_v
+from repro.core.maxloop import DEFAULT_MARGIN_TABLE, MarginTable
 from repro.core.ort import OptimalReadTable
 from repro.core.program_order import ProgramOrder, program_sequence
 from repro.core.vfy_skip import n_skip_per_state
@@ -30,7 +25,7 @@ from repro.nand.ispp import (
     VerifyPlan,
     window_squeeze_ber_multiplier,
 )
-from repro.nand.read_retry import ReadParams, ReadRetryModel
+from repro.nand.read_retry import ReadParams
 from repro.nand.reliability import AgingState, ReliabilityModel
 from repro.nand.timing import NandTiming
 

@@ -20,6 +20,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.tables import format_table
+from repro.faults import CAMPAIGNS, get_campaign
 from repro.nand.geometry import BlockGeometry, SSDGeometry
 from repro.nand.reliability import AgingState
 from repro.ssd.config import SSDConfig
@@ -62,6 +63,12 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--blocks-per-chip", type=int, default=48)
         p.add_argument("--prefill", type=float, default=0.9)
         p.add_argument("--seed", type=int, default=7)
+        p.add_argument(
+            "--faults",
+            choices=sorted(CAMPAIGNS),
+            default="none",
+            help="fault-injection campaign (default: none)",
+        )
 
     simulate = sub.add_parser("simulate", help="replay a workload on one FTL")
     simulate.add_argument(
@@ -89,8 +96,10 @@ def _config(args: argparse.Namespace) -> SSDConfig:
         blocks_per_chip=args.blocks_per_chip,
         block=BlockGeometry(),
     )
-    return SSDConfig(geometry=geometry).with_aging(
-        AgingState(args.pe, args.retention)
+    return (
+        SSDConfig(geometry=geometry)
+        .with_aging(AgingState(args.pe, args.retention))
+        .with_faults(get_campaign(args.faults))
     )
 
 
@@ -149,6 +158,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"mean tPROG {counters.mean_t_prog_us:.0f} us; "
         f"retries/read {counters.mean_num_retry:.2f}; erases {counters.erases}"
     )
+    recovery = stats.recovery
+    if recovery is not None and recovery.any():
+        print(
+            f"recovery: {recovery.program_fails} program fails, "
+            f"{recovery.erase_fails} erase fails, "
+            f"{recovery.blocks_retired} blocks retired, "
+            f"{recovery.scrubs} scrubs, "
+            f"{recovery.ort_invalidations} ORT invalidations, "
+            f"{recovery.recovered_reads} recovered reads, "
+            f"{recovery.uncorrectable_after_recovery} uncorrectable"
+        )
     if args.json:
         import json
 

@@ -28,7 +28,6 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.opm import OptimalParameterManager
-from repro.nand.ispp import ProgramParams
 from repro.nand.timing import NandTiming
 
 

@@ -191,6 +191,13 @@ class OptimalParameterManager:
         """Offset hint for a read, from the ORT (Section 4.2)."""
         return ReadParams(offset_hint=self.ort.get(chip_id, block, layer))
 
+    def invalidate_read_entry(self, chip_id: int, block: int, layer: int) -> bool:
+        """Drop one h-layer's ORT entry after its offset hint failed to
+        decode a read (graceful ORT degradation: the next read of the
+        h-layer starts from the paper-default references and relearns).
+        Returns whether an entry existed."""
+        return self.ort.invalidate_entry(chip_id, block, layer)
+
     def note_read(
         self, chip_id: int, block: int, layer: int, result: ReadResult
     ) -> None:

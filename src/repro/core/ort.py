@@ -53,6 +53,14 @@ class OptimalReadTable:
             raise ValueError(f"offset {final_offset} out of range")
         self._entries[(chip_id, block, layer)] = final_offset
 
+    def invalidate_entry(self, chip_id: int, block: int, layer: int) -> bool:
+        """Drop one h-layer's entry (its cached offset proved stale --
+        e.g. an uncorrectable hint-started read).  Returns whether an
+        entry existed; subsequent reads fall back to the default
+        references and relearn the optimum through the full retry sweep.
+        """
+        return self._entries.pop((chip_id, block, layer), None) is not None
+
     def invalidate_block(self, chip_id: int, block: int, n_layers: int) -> None:
         """Drop a block's entries (after erase, its data is gone and new
         data will shift differently)."""

@@ -189,6 +189,17 @@ class WLAllocationManager:
         """Register an erased block as a new active block."""
         self.cursors(chip_id).append(ActiveBlockCursor(block, self.geometry))
 
+    def discard_block(self, chip_id: int, block: int) -> bool:
+        """Drop a block's cursor without exhausting it (the block left
+        service early, e.g. after a program-status failure).  Returns
+        whether a cursor was removed."""
+        cursors = self.cursors(chip_id)
+        for index, cursor in enumerate(cursors):
+            if cursor.block == block:
+                del cursors[index]
+                return True
+        return False
+
     def free_wls(self, chip_id: int) -> int:
         return sum(cursor.free_wls() for cursor in self.cursors(chip_id))
 

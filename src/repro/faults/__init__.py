@@ -1,0 +1,21 @@
+"""Fault injection and recovery accounting.
+
+- :class:`FaultCampaign` -- declarative, seeded fault-campaign config
+  (part of :class:`~repro.ssd.config.SSDConfig`);
+- :class:`FaultInjector` -- per-operation deterministic fault decisions,
+  consumed by :class:`~repro.nand.chip.NandChip`;
+- :class:`RecoveryCounters` -- the FTL's record of what it survived.
+"""
+
+from repro.faults.campaign import CAMPAIGNS, FaultCampaign, get_campaign
+from repro.faults.counters import RecoveryCounters
+from repro.faults.injector import FaultInjector, InjectionCounters
+
+__all__ = [
+    "CAMPAIGNS",
+    "FaultCampaign",
+    "FaultInjector",
+    "InjectionCounters",
+    "RecoveryCounters",
+    "get_campaign",
+]

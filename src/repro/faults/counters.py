@@ -1,0 +1,39 @@
+"""Recovery accounting: what the FTL survived and how.
+
+:class:`RecoveryCounters` is owned by the FTL (like
+:class:`~repro.ftl.base.FTLCounters`) and surfaced through
+:meth:`~repro.ssd.stats.SimulationStats.to_dict` /
+:meth:`~repro.ssd.stats.SimulationStats.summary` so every experiment can
+report the fault-handling work behind its performance numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RecoveryCounters:
+    """Error-recovery event counters for one simulation run."""
+
+    #: WL programs that reported a program-status failure
+    program_fails: int = 0
+    #: block erases that failed (transient grown faults + grown-bad onsets)
+    erase_fails: int = 0
+    #: blocks permanently retired (wear-out, erase failure, program failure)
+    blocks_retired: int = 0
+    #: pages refreshed because a read saw low remaining ECC margin
+    scrubs: int = 0
+    #: stale ORT entries dropped after an uncorrectable hint-started read
+    ort_invalidations: int = 0
+    #: uncorrectable reads rescued by the conservative nominal re-read
+    recovered_reads: int = 0
+    #: reads still uncorrectable after exhausting the bounded recovery
+    #: re-reads (handed to the host as device-level read errors)
+    uncorrectable_after_recovery: int = 0
+
+    def any(self) -> bool:
+        return any(vars(self).values())
+
+    def to_dict(self) -> dict:
+        return dict(vars(self))

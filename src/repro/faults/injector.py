@@ -1,0 +1,183 @@
+"""Deterministic, seeded fault injection for the NAND device model.
+
+The :class:`FaultInjector` is created by the
+:class:`~repro.ssd.controller.SSDController` from the config's
+:class:`~repro.faults.campaign.FaultCampaign` and shared by every chip.
+Each query is a pure function of ``(campaign seed, operation identity)``
+via :func:`repro.nand.reliability.hash_unit`, so identical configs
+replay identical fault sequences -- the property the seeded-determinism
+regression test pins down.
+
+The injector only *decides* faults; the chip turns the decisions into
+failure statuses / perturbed observables, and the FTL recovers.  With no
+injector attached (the default) the device model takes no extra draws
+and behaves bit-for-bit like the fault-free seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.faults.campaign import FaultCampaign
+from repro.nand.reliability import hash_unit
+
+# domain-separation tags for the hash draws (arbitrary, fixed)
+_TAG_PROGRAM = 0xFA01
+_TAG_ERASE = 0xFA02
+_TAG_GROWN = 0xFA03
+_TAG_SPIKE = 0xFA04
+_TAG_SKEW = 0xFA05
+_TAG_SKEW_SIGN = 0xFA06
+_TAG_STUCK = 0xFA07
+
+
+@dataclass
+class InjectionCounters:
+    """How many faults the injector actually fired (diagnostics)."""
+
+    program_fails: int = 0
+    erase_fails: int = 0
+    grown_bad_trips: int = 0
+    ber_spikes: int = 0
+    ort_skews: int = 0
+    stuck_ops: int = 0
+
+
+class FaultInjector:
+    """Seeded per-operation fault decisions for one campaign."""
+
+    def __init__(self, campaign: FaultCampaign) -> None:
+        self.campaign = campaign
+        self.seed = campaign.seed
+        self.injected = InjectionCounters()
+        #: chip_id -> {block: onset erase count}
+        self._grown_bad: Dict[int, Dict[int, int]] = {}
+        #: targeted skews planted by tests: (chip, block, layer) -> steps
+        self._forced_skews: Dict[Tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # program / erase faults
+    # ------------------------------------------------------------------
+
+    def program_fails(
+        self, chip_id: int, block: int, wl_index: int, nonce: int
+    ) -> bool:
+        """Whether this WL program reports a program-status failure."""
+        p = self.campaign.program_fail_prob
+        if p <= 0.0:
+            return False
+        u = hash_unit(self.seed, _TAG_PROGRAM, chip_id, block, wl_index, nonce)
+        if u < p:
+            self.injected.program_fails += 1
+            return True
+        return False
+
+    def grown_bad_blocks(self, chip_id: int, n_blocks: int) -> Dict[int, int]:
+        """The chip's grown-bad blocks: ``{block: onset erase count}``."""
+        table = self._grown_bad.get(chip_id)
+        if table is None:
+            table = {}
+            count = min(self.campaign.grown_bad_per_chip, n_blocks)
+            draw = 0
+            while len(table) < count:
+                u = hash_unit(self.seed, _TAG_GROWN, chip_id, draw)
+                block = int(u * n_blocks) % n_blocks
+                draw += 1
+                if block in table:
+                    continue
+                table[block] = self.campaign.grown_bad_onset_erases
+            self._grown_bad[chip_id] = table
+        return table
+
+    def erase_fails(
+        self, chip_id: int, block: int, n_blocks: int, erase_count: int
+    ) -> bool:
+        """Whether this block erase fails.
+
+        A grown-bad block fails permanently from its onset erase count
+        on; any block can additionally fail transiently with
+        ``erase_fail_prob``.
+        """
+        onset = self.grown_bad_blocks(chip_id, n_blocks).get(block)
+        if onset is not None and erase_count >= onset:
+            self.injected.grown_bad_trips += 1
+            self.injected.erase_fails += 1
+            return True
+        p = self.campaign.erase_fail_prob
+        if p <= 0.0:
+            return False
+        u = hash_unit(self.seed, _TAG_ERASE, chip_id, block, erase_count)
+        if u < p:
+            self.injected.erase_fails += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # read faults
+    # ------------------------------------------------------------------
+
+    def ber_multiplier(self, chip_id: int, block: int, nonce: int) -> float:
+        """Transient raw-BER multiplier for one read (1.0 = no spike)."""
+        p = self.campaign.ber_spike_prob
+        if p <= 0.0:
+            return 1.0
+        u = hash_unit(self.seed, _TAG_SPIKE, chip_id, block, nonce)
+        if u < p:
+            self.injected.ber_spikes += 1
+            return self.campaign.ber_spike_factor
+        return 1.0
+
+    def ort_skew(
+        self, chip_id: int, block: int, layer: int, epoch: int, read_nonce: int
+    ) -> int:
+        """Offset-level skew of an h-layer's optimal read offset.
+
+        Re-drawn per block-erase ``epoch`` *and* per read-phase window
+        (``read_nonce // ort_skew_phase_reads``): within one phase the
+        skew is stable, so it behaves like a real shift of the optimum,
+        and a phase transition models read-disturb / retention drift that
+        strands previously learned ORT hints mid-epoch -- the stale-ORT
+        hazard.  Erasing the block (new epoch) clears the skew with the
+        data.
+        """
+        forced = self._forced_skews.get((chip_id, block, layer))
+        if forced is not None:
+            return forced
+        p = self.campaign.ort_skew_prob
+        if p <= 0.0:
+            return 0
+        phase = read_nonce // self.campaign.ort_skew_phase_reads
+        u = hash_unit(self.seed, _TAG_SKEW, chip_id, block, layer, epoch, phase)
+        if u >= p:
+            return 0
+        self.injected.ort_skews += 1
+        sign_u = hash_unit(
+            self.seed, _TAG_SKEW_SIGN, chip_id, block, layer, epoch, phase
+        )
+        sign = 1 if sign_u < 0.5 else -1
+        return sign * self.campaign.ort_skew_steps
+
+    def force_ort_skew(
+        self, chip_id: int, block: int, layer: int, steps: int
+    ) -> None:
+        """Plant a targeted stale-offset fault (test hook)."""
+        self._forced_skews[(chip_id, block, layer)] = steps
+
+    def clear_forced_skews(self) -> None:
+        self._forced_skews.clear()
+
+    # ------------------------------------------------------------------
+    # latency faults
+    # ------------------------------------------------------------------
+
+    def latency_factor(self, chip_id: int, nonce: int) -> float:
+        """Service-time multiplier for one die operation (stuck die)."""
+        p = self.campaign.stuck_die_prob
+        if p <= 0.0:
+            return 1.0
+        u = hash_unit(self.seed, _TAG_STUCK, chip_id, nonce)
+        if u < p:
+            self.injected.stuck_ops += 1
+            return self.campaign.stuck_latency_factor
+        return 1.0

@@ -23,14 +23,16 @@ FTL itself adds no magic numbers.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.wam import Allocation, SequentialCursor
-from repro.ftl.blockmgr import BlockManager, OutOfSpaceError
+from repro.faults.counters import RecoveryCounters
+from repro.ftl.blockmgr import BlockManager, BlockState, OutOfSpaceError
 from repro.ftl.mapping import UNMAPPED, PageMapper
 from repro.nand.chip import ProgramResult, ReadResult
-from repro.nand.geometry import PageAddress, WLAddress
+from repro.nand.errors import EraseFailError, ProgramFailError, WearOutError
+from repro.nand.geometry import PageAddress
 from repro.nand.ispp import ProgramParams
 from repro.nand.read_retry import ReadParams
 from repro.ssd.config import SSDConfig
@@ -119,6 +121,11 @@ class BaseFTL:
         self.blocks = BlockManager(geometry)
         self.buffer = WriteBuffer(config.buffer_capacity_pages)
         self.counters = FTLCounters()
+        self.recovery = RecoveryCounters()
+        # fault injector shared with the chips; None on fault-free runs,
+        # which keeps every recovery path dormant (zero behavioral drift)
+        self.faults = getattr(controller, "faults", None)
+        self._scrubbed_lpns: set = set()
         self._pending_writes: Deque[Tuple[_ActiveRequest, int]] = deque()
         self._inflight_programs: Dict[int, int] = {
             chip: 0 for chip in range(geometry.n_chips)
@@ -181,6 +188,23 @@ class BaseFTL:
 
     def on_block_erased(self, chip_id: int, block: int) -> None:
         """Invalidate any per-block monitored state."""
+
+    def discard_block(self, chip_id: int, block: int) -> None:
+        """Remove any allocation cursor referencing ``block``.
+
+        Called when a block leaves service early (program-status
+        failure): its remaining free WLs must never be allocated.
+        Variants extend this for their own cursor structures.
+        """
+        cursor = self._gc_cursors[chip_id]
+        if cursor is not None and cursor.block == block:
+            self._gc_cursors[chip_id] = None
+
+    def on_uncorrectable(self, chip_id: int, block: int, layer: int) -> bool:
+        """Read-recovery hook: drop any cached read parameters of the
+        h-layer before the conservative re-read.  Returns True when a
+        stale entry existed (counted as an ORT invalidation)."""
+        return False
 
     # ------------------------------------------------------------------
     # host interface
@@ -340,17 +364,27 @@ class BaseFTL:
             # a follower queued behind its layer's leader sees the
             # leader's freshly monitored values
             params, squeeze_mv = self.program_params(chip_id, allocation)
-            result = self.controller.chip(chip_id).program_wl(
-                allocation.block,
-                allocation.address.layer,
-                allocation.address.wl,
-                params=params,
-                data=data,
-            )
+            try:
+                result = self.controller.chip(chip_id).program_wl(
+                    allocation.block,
+                    allocation.address.layer,
+                    allocation.address.wl,
+                    params=params,
+                    data=data,
+                )
+            except ProgramFailError as fail:
+                # the failed attempt still occupied the die
+                return fail.t_us, (None, params, squeeze_mv)
             return result.t_prog_us, (result, params, squeeze_mv)
 
         def on_done(payload) -> None:
             result, params, squeeze_mv = payload
+            if result is None:
+                self._on_program_fail(
+                    chip_id, allocation, entries, is_gc=is_gc,
+                    gc_payload=gc_payload,
+                )
+                return
             self._on_program_complete(
                 chip_id, allocation, params, squeeze_mv, entries, result,
                 is_gc=is_gc, gc_payload=gc_payload,
@@ -396,6 +430,16 @@ class BaseFTL:
         else:
             self.counters.leader_programs += 1
 
+        if self.blocks.is_failing(chip_id, allocation.block):
+            # a sibling in-flight program on this block reported FAIL
+            # while ours was executing; the block is leaving service, so
+            # its pages must not be mapped -- rewrite on a fresh WL
+            if is_gc:
+                self._program_entries(chip_id, [], is_gc=True, gc_payload=gc_payload)
+            else:
+                self._program_entries(chip_id, entries, is_gc=False)
+            return
+
         ok = self.after_program(chip_id, allocation, result, squeeze_mv)
         if not ok:
             # Section 4.1.4: improperly programmed -- re-program the same
@@ -421,6 +465,39 @@ class BaseFTL:
         self._maybe_gc(chip_id)
         self._drain_pending_writes()
         self._maybe_flush()
+
+    def _on_program_fail(
+        self,
+        chip_id: int,
+        allocation: Allocation,
+        entries: List[BufferEntry],
+        is_gc: bool,
+        gc_payload: Optional[List[Tuple[int, object, int]]],
+    ) -> None:
+        """A program reported a FAIL status: the in-flight data never
+        landed.  Pull the block out of service (its remaining WLs are
+        suspect) and re-dispatch the same data to a fresh WL; the block's
+        already-written pages are migrated by prioritized GC and the
+        block is then retired."""
+        self._inflight_programs[chip_id] -= 1
+        self.recovery.program_fails += 1
+        self.note_program_fail(chip_id, allocation.block)
+        if is_gc:
+            self._program_entries(chip_id, [], is_gc=True, gc_payload=gc_payload)
+        else:
+            self._program_entries(chip_id, entries, is_gc=False)
+        self._maybe_gc(chip_id)
+
+    def note_program_fail(self, chip_id: int, block: int) -> None:
+        """Route a failed block toward retirement: drop its allocation
+        cursors, freeze it FULL, and flag it for prioritized GC."""
+        self.discard_block(chip_id, block)
+        state = self.blocks.state(chip_id, block)
+        if state is BlockState.ACTIVE:
+            self.blocks.mark_full(chip_id, block)
+            state = BlockState.FULL
+        if state is BlockState.FULL:
+            self.blocks.mark_failing(chip_id, block)
 
     def _bind_host_pages(
         self, chip_id: int, allocation: Allocation, entries: List[BufferEntry]
@@ -504,12 +581,36 @@ class BaseFTL:
             )
             return
         chip_id, address = self.geometry.ppn_to_address(ppn)
-        self._flash_read(
-            chip_id,
-            address,
-            is_gc=False,
-            on_data=lambda result: active.page_done(self.controller.now),
-        )
+
+        def on_data(result: ReadResult, lpn: int = lpn, ppn: int = ppn) -> None:
+            if self.faults is not None:
+                self._maybe_scrub(lpn, ppn, result)
+            active.page_done(self.controller.now)
+
+        self._flash_read(chip_id, address, is_gc=False, on_data=on_data)
+
+    def _maybe_scrub(self, lpn: int, ppn: int, result: ReadResult) -> None:
+        """Background scrub: a read that decoded with little ECC margin
+        left gets its page migrated (re-admitted through the write
+        buffer) before it degrades into an uncorrectable read.
+
+        Each LPN is scrubbed at most once per run: the device model ties
+        retention to the baseline aging state, so a refreshed copy can
+        land in a region with the same marginal BER and re-trigger."""
+        if not result.correctable:
+            return
+        if self.controller.ecc.margin(result.ber) >= self.config.scrub_margin_threshold:
+            return
+        if lpn in self._scrubbed_lpns:
+            return
+        if self.mapper.lookup(lpn) != ppn:
+            return  # the host rewrote the page while the read was in flight
+        if self.buffer.contains(lpn) or not self.buffer.can_admit(lpn):
+            return
+        self._scrubbed_lpns.add(lpn)
+        self.buffer.admit(lpn, data=lpn, waiter=None)
+        self.recovery.scrubs += 1
+        self._maybe_flush()
 
     def _flash_read(
         self,
@@ -529,24 +630,88 @@ class BaseFTL:
             return result.t_read_us, result
 
         def on_done(result: ReadResult) -> None:
-            self.counters.read_time_us += result.t_read_us
-            if is_gc:
-                self.counters.gc_reads += 1
-            else:
-                self.counters.flash_reads += 1
-            if result.num_retry:
-                self.counters.read_retries += result.num_retry
-                self.counters.retried_reads += 1
+            self._account_read(result, is_gc)
+            if self.faults is not None and not result.correctable:
+                self._recover_read(
+                    chip_id, address, is_gc, on_data,
+                    self.config.read_recovery_attempts,
+                )
+                return
             self.after_read(chip_id, address.block, address.layer, result)
-            if is_gc:
-                on_data(result)
+            self._deliver_read(chip_id, result, is_gc, on_data)
+
+        self.controller.chip_resource(chip_id).submit(job, on_done)
+
+    def _account_read(self, result: ReadResult, is_gc: bool) -> None:
+        self.counters.read_time_us += result.t_read_us
+        if is_gc:
+            self.counters.gc_reads += 1
+        else:
+            self.counters.flash_reads += 1
+        if result.num_retry:
+            self.counters.read_retries += result.num_retry
+            self.counters.retried_reads += 1
+
+    def _deliver_read(
+        self,
+        chip_id: int,
+        result: ReadResult,
+        is_gc: bool,
+        on_data: Callable[[ReadResult], None],
+    ) -> None:
+        if is_gc:
+            on_data(result)
+        else:
+            transfer = self.config.timing.transfer_us(
+                self.geometry.block.page_size_bytes
+            )
+            self.controller.bus_resource(chip_id).submit(
+                lambda: (transfer, None), lambda _ignored: on_data(result)
+            )
+
+    def _recover_read(
+        self,
+        chip_id: int,
+        address: PageAddress,
+        is_gc: bool,
+        on_data: Callable[[ReadResult], None],
+        attempts_left: int,
+    ) -> None:
+        """Bounded re-read with conservative nominal parameters after an
+        uncorrectable read.
+
+        Any cached read hint for the h-layer is dropped first (the hint
+        may be why the retry sweep never reached the optimum -- graceful
+        ORT degradation), then the page is re-sensed starting from the
+        paper-default references with the full retry search available."""
+        if self.on_uncorrectable(chip_id, address.block, address.layer):
+            self.recovery.ort_invalidations += 1
+
+        def job():
+            result = self.controller.chip(chip_id).read_page(
+                address.block,
+                address.layer,
+                address.wl,
+                address.page,
+                ReadParams(),
+            )
+            return result.t_read_us, result
+
+        def on_done(result: ReadResult) -> None:
+            self._account_read(result, is_gc)
+            if result.correctable:
+                self.recovery.recovered_reads += 1
+                self.after_read(chip_id, address.block, address.layer, result)
+                self._deliver_read(chip_id, result, is_gc, on_data)
+            elif attempts_left > 1:
+                self._recover_read(
+                    chip_id, address, is_gc, on_data, attempts_left - 1
+                )
             else:
-                transfer = self.config.timing.transfer_us(
-                    self.geometry.block.page_size_bytes
-                )
-                self.controller.bus_resource(chip_id).submit(
-                    lambda: (transfer, None), lambda _ignored: on_data(result)
-                )
+                # data loss in a real device; the simulation completes the
+                # request and records the escape
+                self.recovery.uncorrectable_after_recovery += 1
+                self._deliver_read(chip_id, result, is_gc, on_data)
 
         self.controller.chip_resource(chip_id).submit(job, on_done)
 
@@ -558,20 +723,25 @@ class BaseFTL:
         if self._gc_jobs[chip_id] is not None:
             return
         free = self.blocks.free_count(chip_id)
-        if free >= self.config.gc_trigger_blocks:
+        if (
+            free >= self.config.gc_trigger_blocks
+            and self.blocks.failing_count(chip_id) == 0
+        ):
             return
         full = self.blocks.full_blocks(chip_id)
         if not full:
             return
         victim = self.blocks.select_victim(chip_id, self.mapper)
-        pages_per_block = self.geometry.block.pages_per_block
-        invalid = pages_per_block - self.mapper.valid_count(chip_id, victim)
-        min_invalid = int(pages_per_block * self.config.gc_min_invalid_fraction)
-        # migrating a nearly-full-valid block reclaims almost nothing while
-        # consuming a free block for the migrated copies; wait for the host
-        # to invalidate more pages first -- unless the pool is critical
-        if invalid < max(1, min_invalid) and free > 1:
-            return
+        if not self.blocks.is_failing(chip_id, victim):
+            pages_per_block = self.geometry.block.pages_per_block
+            invalid = pages_per_block - self.mapper.valid_count(chip_id, victim)
+            min_invalid = int(pages_per_block * self.config.gc_min_invalid_fraction)
+            # migrating a nearly-full-valid block reclaims almost nothing
+            # while consuming a free block for the migrated copies; wait for
+            # the host to invalidate more pages first -- unless the pool is
+            # critical (failing victims skip this: they must leave service)
+            if invalid < max(1, min_invalid) and free > 1:
+                return
         job = _GCJob(victim, self.mapper.valid_pages_of_block(chip_id, victim))
         self._gc_jobs[chip_id] = job
         self._gc_continue(chip_id)
@@ -607,26 +777,37 @@ class BaseFTL:
 
     def _gc_erase(self, chip_id: int, job: _GCJob) -> None:
         victim = job.victim
+        failing = self.blocks.is_failing(chip_id, victim)
 
         def erase_job():
-            from repro.nand.errors import WearOutError
-
+            if failing:
+                # a program already failed on this block: skip the erase
+                # attempt and send it straight to the grown-bad table
+                return 0.0, "program_fail"
             try:
                 t_erase = self.controller.chip(chip_id).erase_block(victim)
-                return t_erase, True
+                return t_erase, "erased"
             except WearOutError:
                 # worn out: the block's data is already migrated; retire
                 # it instead of returning it to the free pool
-                return 0.0, False
+                return 0.0, "wear"
+            except EraseFailError as fail:
+                # erase reported a FAIL status: grown bad block
+                return fail.t_us, "erase_fail"
 
-        def on_done(erased: bool) -> None:
+        def on_done(outcome: str) -> None:
             self.mapper.clear_block(chip_id, victim)
-            if erased:
+            if outcome == "erased":
                 self.counters.erases += 1
                 self.blocks.mark_free(chip_id, victim)
             else:
+                if outcome == "erase_fail":
+                    self.recovery.erase_fails += 1
+                if outcome != "wear":
+                    # wear retirement is normal endurance, not recovery
+                    self.recovery.blocks_retired += 1
                 self.counters.retired_blocks += 1
-                self.blocks.retire(chip_id, victim)
+                self.blocks.retire(chip_id, victim, reason=outcome)
             self.on_block_erased(chip_id, victim)
             self._gc_jobs[chip_id] = None
             self._maybe_gc(chip_id)

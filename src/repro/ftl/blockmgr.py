@@ -1,11 +1,10 @@
-"""Per-chip block lifecycle: free pool, active blocks, full blocks, GC
-victim selection."""
+"""Per-chip block lifecycle: free pool, active blocks, full blocks,
+failing blocks, GC victim selection, and the grown-bad-block table."""
 
 from __future__ import annotations
 
 import enum
-from collections import deque
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.ftl.mapping import PageMapper
 from repro.nand.geometry import SSDGeometry
@@ -22,16 +21,112 @@ class BlockState(enum.Enum):
     RETIRED = "retired"
 
 
+class _FreePool:
+    """FIFO pool of free blocks with O(1) amortized take, O(1) removal,
+    and single-scan keyed selection.
+
+    Blocks live in an append-only order list with a position index;
+    removals tombstone their slot (``None``) and the list compacts once
+    tombstones dominate.  Iteration order (oldest first) matches the
+    original deque semantics, including the first-minimum tie-break of
+    keyed selection.
+    """
+
+    __slots__ = ("_order", "_head", "_pos")
+
+    def __init__(self, blocks) -> None:
+        self._order: List[Optional[int]] = list(blocks)
+        self._head = 0
+        self._pos: Dict[int, int] = {
+            block: index for index, block in enumerate(self._order)
+        }
+
+    def __len__(self) -> int:
+        return len(self._pos)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._pos
+
+    def __iter__(self):
+        """Live blocks, oldest first."""
+        for index in range(self._head, len(self._order)):
+            block = self._order[index]
+            if block is not None:
+                yield block
+
+    def append(self, block: int) -> None:
+        if block in self._pos:
+            raise ValueError(f"block {block} is already in the free pool")
+        self._pos[block] = len(self._order)
+        self._order.append(block)
+
+    def remove(self, block: int) -> None:
+        index = self._pos.pop(block)
+        self._order[index] = None
+        self._maybe_compact()
+
+    def take_fifo(self) -> int:
+        """Pop the oldest free block."""
+        while True:
+            block = self._order[self._head]
+            self._head += 1
+            if block is not None:
+                del self._pos[block]
+                self._maybe_compact()
+                return block
+
+    def take_min(self, key: Callable[[int], int]) -> int:
+        """Pop the block minimizing ``key`` (oldest wins ties)."""
+        best: Optional[int] = None
+        best_key = None
+        for block in self:
+            block_key = key(block)
+            if best is None or block_key < best_key:
+                best, best_key = block, block_key
+        assert best is not None
+        self.remove(best)
+        return best
+
+    def _maybe_compact(self) -> None:
+        """Rebuild once dead slots (tombstones + consumed head prefix)
+        outnumber live entries."""
+        if len(self._order) - len(self._pos) <= max(8, len(self._pos)):
+            return
+        self._order = [block for block in self]
+        self._head = 0
+        self._pos = {block: index for index, block in enumerate(self._order)}
+
+    def check_invariants(self) -> None:
+        live = [block for block in self]
+        assert len(live) == len(self._pos)
+        for block in live:
+            assert self._order[self._pos[block]] == block
+
+
 class BlockManager:
-    """Tracks every block's lifecycle state per chip."""
+    """Tracks every block's lifecycle state per chip.
+
+    Beyond the FREE/ACTIVE/FULL cycle the manager keeps two fault-
+    related structures:
+
+    - the **failing set**: FULL blocks flagged for prioritized GC and
+      retirement (e.g. after a program-status failure) -- they still
+      hold valid data, so they are migrated before being retired;
+    - the **grown-bad table**: retired blocks with the reason they left
+      service (``"wear"``, ``"erase_fail"``, ``"program_fail"``).
+    """
 
     def __init__(self, geometry: SSDGeometry) -> None:
         self.geometry = geometry
-        self._free: Dict[int, Deque[int]] = {}
+        self._free: Dict[int, _FreePool] = {}
         self._state: Dict[int, List[BlockState]] = {}
+        self._failing: Dict[int, Set[int]] = {}
+        self._retired_reasons: Dict[int, Dict[int, str]] = {}
         for chip_id in range(geometry.n_chips):
-            self._free[chip_id] = deque(range(geometry.blocks_per_chip))
+            self._free[chip_id] = _FreePool(range(geometry.blocks_per_chip))
             self._state[chip_id] = [BlockState.FREE] * geometry.blocks_per_chip
+            self._failing[chip_id] = set()
+            self._retired_reasons[chip_id] = {}
 
     def state(self, chip_id: int, block: int) -> BlockState:
         return self._state[chip_id][block]
@@ -46,16 +141,15 @@ class BlockManager:
 
         Without ``key`` blocks recycle FIFO; with a ``key`` (e.g. the
         erase count, for dynamic wear leveling) the free block minimizing
-        it is chosen.
+        it is chosen, oldest first on ties.
         """
         free = self._free[chip_id]
         if not free:
             raise OutOfSpaceError(f"chip {chip_id} has no free blocks")
         if key is None:
-            block = free.popleft()
+            block = free.take_fifo()
         else:
-            block = min(free, key=key)
-            free.remove(block)
+            block = free.take_min(key)
         self._state[chip_id][block] = BlockState.ACTIVE
         return block
 
@@ -66,29 +160,75 @@ class BlockManager:
 
     def mark_free(self, chip_id: int, block: int) -> None:
         """Return an erased block to the free pool."""
-        if self._state[chip_id][block] is BlockState.FREE:
+        state = self._state[chip_id][block]
+        if state is BlockState.FREE:
             raise ValueError(f"block {block} is already free")
+        if state is BlockState.RETIRED:
+            raise ValueError(f"block {block} is retired")
         self._state[chip_id][block] = BlockState.FREE
+        self._failing[chip_id].discard(block)
         self._free[chip_id].append(block)
 
-    def retire(self, chip_id: int, block: int) -> None:
-        """Permanently remove a worn-out block from service.
+    # ------------------------------------------------------------------
+    # failing blocks and retirement
+    # ------------------------------------------------------------------
+
+    def mark_failing(self, chip_id: int, block: int) -> None:
+        """Flag a FULL block for prioritized migration and retirement.
+
+        Used when an operation on the block reported a failure status
+        while it still holds valid data: GC migrates the data first,
+        then retires the block instead of erasing it.
+        """
+        if self._state[chip_id][block] is not BlockState.FULL:
+            raise ValueError(f"block {block} is not full")
+        self._failing[chip_id].add(block)
+
+    def is_failing(self, chip_id: int, block: int) -> bool:
+        return block in self._failing[chip_id]
+
+    def failing_count(self, chip_id: int) -> int:
+        return len(self._failing[chip_id])
+
+    def failing_blocks(self, chip_id: int) -> List[int]:
+        return sorted(self._failing[chip_id])
+
+    def retire(self, chip_id: int, block: int, reason: str = "wear") -> None:
+        """Permanently remove a block from service.
 
         The block must hold no valid data (it is retired after its
         contents were migrated and its final erase failed or its
-        endurance limit was reached).
+        endurance limit was reached).  Retiring an ACTIVE block is an
+        error: active blocks are still wired into allocation cursors and
+        must be discarded from them (and marked full) first.
         """
         state = self._state[chip_id][block]
         if state is BlockState.RETIRED:
             return
+        if state is BlockState.ACTIVE:
+            raise ValueError(
+                f"block {block} is active; discard it from the allocation "
+                "cursors and mark it full before retiring"
+            )
         if state is BlockState.FREE:
             self._free[chip_id].remove(block)
+        self._failing[chip_id].discard(block)
         self._state[chip_id][block] = BlockState.RETIRED
+        self._retired_reasons[chip_id][block] = reason
 
     def retired_count(self, chip_id: int) -> int:
         return sum(
             1 for state in self._state[chip_id] if state is BlockState.RETIRED
         )
+
+    def grown_bad_table(self, chip_id: int) -> Dict[int, str]:
+        """Retired blocks and why they left service (the bad-block table
+        a production FTL persists)."""
+        return dict(self._retired_reasons[chip_id])
+
+    # ------------------------------------------------------------------
+    # GC victim selection
+    # ------------------------------------------------------------------
 
     def full_blocks(self, chip_id: int) -> List[int]:
         return [
@@ -98,7 +238,18 @@ class BlockManager:
         ]
 
     def select_victim(self, chip_id: int, mapper: PageMapper) -> int:
-        """Greedy GC victim: the full block with the fewest valid pages."""
+        """Greedy GC victim: the full block with the fewest valid pages.
+
+        Failing blocks take absolute priority -- they must leave service
+        as soon as their data can be moved, regardless of how many valid
+        pages they still hold.
+        """
+        failing = self._failing[chip_id]
+        if failing:
+            return min(
+                sorted(failing),
+                key=lambda block: mapper.valid_count(chip_id, block),
+            )
         candidates = self.full_blocks(chip_id)
         if not candidates:
             raise OutOfSpaceError(f"chip {chip_id} has no GC victim")

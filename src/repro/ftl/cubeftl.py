@@ -149,3 +149,19 @@ class CubeFTL(BaseFTL):
 
     def on_block_erased(self, chip_id: int, block: int) -> None:
         self.opm.invalidate_block(chip_id, block, self.geometry.block.n_layers)
+
+    def discard_block(self, chip_id: int, block: int) -> None:
+        super().discard_block(chip_id, block)
+        if self.wam_enabled:
+            self.wam.discard_block(chip_id, block)
+        else:
+            self._seq_cursors[chip_id] = [
+                cursor
+                for cursor in self._seq_cursors[chip_id]
+                if cursor.block != block
+            ]
+
+    def on_uncorrectable(self, chip_id: int, block: int, layer: int) -> bool:
+        if not self.enable_ort:
+            return False
+        return self.opm.invalidate_read_entry(chip_id, block, layer)

@@ -10,7 +10,7 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro.nand.geometry import PageAddress, SSDGeometry
+from repro.nand.geometry import SSDGeometry
 
 #: sentinel for "not mapped"
 UNMAPPED = -1

@@ -47,5 +47,11 @@ class PageFTL(BaseFTL):
                 return allocation
         raise LookupError(f"chip {chip_id}: no active cursor space")
 
+    def discard_block(self, chip_id: int, block: int) -> None:
+        super().discard_block(chip_id, block)
+        self._cursors[chip_id] = [
+            cursor for cursor in self._cursors[chip_id] if cursor.block != block
+        ]
+
     # program_params / read_params / after_* inherit the PS-unaware
     # defaults from BaseFTL.

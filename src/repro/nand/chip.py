@@ -21,22 +21,33 @@ parts program and how the paper's WL-granular allocation (the WAM) works.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+if TYPE_CHECKING:  # annotation only -- repro.faults imports repro.nand
+    from repro.faults.injector import FaultInjector
 from repro.nand.ecc import EccEngine
 from repro.nand.errors import (
     AddressError,
+    EraseFailError,
+    ProgramFailError,
     ProgramOrderError,
     UnprogrammedReadError,
     WearOutError,
 )
 from repro.nand.geometry import BlockGeometry
 from repro.nand.ispp import IsppEngine, IsppResult, ProgramParams, WLProgramProfile
-from repro.nand.read_retry import ReadParams, ReadRetryModel
+from repro.nand.read_retry import MAX_OFFSET, ReadParams, ReadRetryModel
 from repro.nand.reliability import AgingState, ReliabilityModel, hash_unit
 from repro.nand.timing import NandTiming
+
+#: how many offset levels a *hint-started* retry sweep searches before
+#: giving up (only enforced under fault injection; a nominal-start sweep
+#: from offset 0 always searches the full range).  Natural drift between
+#: a learned hint and the optimum stays within +/-2 (one transient on
+#: each side), so only injected skews (>= 3 steps) can exhaust it.
+_HINT_SWEEP_BUDGET = 3
 
 
 @dataclass(frozen=True)
@@ -111,6 +122,13 @@ class NandChip:
         typical figure is ~1e-6 of the base BER per read, i.e. hundreds
         of thousands of reads to matter).  Disabled (0.0) by default; an
         FTL can watch :meth:`block_read_count` and refresh hot blocks.
+    fault_injector:
+        Optional seeded :class:`~repro.faults.injector.FaultInjector`.
+        When attached, programs and erases can report failure statuses
+        (:class:`ProgramFailError` / :class:`EraseFailError`), reads can
+        see transient BER spikes or stale-offset sweep failures, and any
+        operation can hit stuck-die latency.  Without it (the default)
+        the chip behaves bit-for-bit like the fault-free model.
     """
 
     def __init__(
@@ -127,6 +145,7 @@ class NandChip:
         store_tags: bool = True,
         erase_limit: Optional[int] = None,
         read_disturb_per_read: float = 0.0,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         if n_blocks < 1:
             raise ValueError("n_blocks must be >= 1")
@@ -146,6 +165,8 @@ class NandChip:
         if read_disturb_per_read < 0:
             raise ValueError("read_disturb_per_read must be >= 0")
         self.read_disturb_per_read = read_disturb_per_read
+        self.faults = fault_injector
+        self._op_nonce = 0
 
         wls = geometry.wls_per_block
         self._erase_counts = np.zeros(n_blocks, dtype=np.int32)
@@ -191,10 +212,23 @@ class NandChip:
     # ------------------------------------------------------------------
 
     def erase_block(self, block: int) -> float:
-        """Erase a block; returns the erase latency in microseconds."""
+        """Erase a block; returns the erase latency in microseconds.
+
+        Raises :class:`WearOutError` past the endurance limit and, under
+        fault injection, :class:`EraseFailError` for grown bad blocks --
+        in both cases the block state is left untouched.
+        """
         self._check_block(block)
         if self.erase_limit is not None and self.block_pe(block) >= self.erase_limit:
             raise WearOutError(f"block {block} exceeded {self.erase_limit} P/E cycles")
+        if self.faults is not None and self.faults.erase_fails(
+            self.chip_id, block, self.n_blocks, int(self._erase_counts[block])
+        ):
+            raise EraseFailError(
+                f"chip {self.chip_id} block {block} erase failed "
+                "(grown bad block)",
+                t_us=self._op_latency(self.timing.t_erase_us),
+            )
         self._erase_counts[block] += 1
         self._programmed[block, :] = False
         self._penalty[block, :] = 1.0
@@ -204,7 +238,7 @@ class NandChip:
             stale = [key for key in self._tags if key[0] == block]
             for key in stale:
                 del self._tags[key]
-        return self.timing.t_erase_us
+        return self._op_latency(self.timing.t_erase_us)
 
     def program_wl(
         self,
@@ -238,6 +272,21 @@ class NandChip:
         profile = self.ispp.wl_profile(slowdown, env_shift)
         ispp_result = self.ispp.simulate(profile, params)
 
+        if self.faults is not None and self.faults.program_fails(
+            self.chip_id, block, wl_index, self._program_nonce
+        ):
+            # program-status FAIL: the WL holds indeterminate data.  It
+            # stays "programmed" (reprogramming without an erase remains
+            # illegal) with a poisoned BER so any stray read of it is
+            # uncorrectable; no tags are stored.
+            self._programmed[block, wl_index] = True
+            self._penalty[block, wl_index] = 1e6
+            raise ProgramFailError(
+                f"chip {self.chip_id} WL (block={block}, layer={layer}, "
+                f"wl={wl}) program failed",
+                t_us=self._op_latency(ispp_result.t_prog_us),
+            )
+
         self._programmed[block, wl_index] = True
         self._penalty[block, wl_index] = ispp_result.ber_penalty
         noise_u = hash_unit(
@@ -266,7 +315,7 @@ class NandChip:
         ):
             t_prog += self.timing.t_param_set_us
         return ProgramResult(
-            t_prog_us=t_prog,
+            t_prog_us=self._op_latency(t_prog),
             ispp=ispp_result,
             monitored=ispp_result.monitored,
             post_program_ber=post_ber,
@@ -305,14 +354,41 @@ class NandChip:
             self.chip_id, block, layer, aging, self._read_nonce
         )
         self._read_nonce += 1
-        num_retry = self.retry_model.retries_needed(params.offset_hint, optimal)
+        sweep_failed = False
+        if self.faults is not None:
+            ber *= self.faults.ber_multiplier(self.chip_id, block, self._read_nonce)
+            skew = self.faults.ort_skew(
+                self.chip_id,
+                block,
+                layer,
+                int(self._erase_counts[block]),
+                self._read_nonce,
+            )
+            if skew:
+                # the h-layer's optimum jumped away from anything a
+                # previous read could have learned; a hint-started
+                # bounded sweep that lands far from the new optimum
+                # gives up, while a nominal-start (offset 0) full sweep
+                # still finds it -- the conservative-fallback contract
+                optimal = max(0, min(MAX_OFFSET, optimal + skew))
+                if (
+                    params.offset_hint != 0
+                    and abs(optimal - params.offset_hint) >= _HINT_SWEEP_BUDGET
+                ):
+                    sweep_failed = True
+        if sweep_failed:
+            num_retry = MAX_OFFSET
+            correctable = False
+        else:
+            num_retry = self.retry_model.retries_needed(params.offset_hint, optimal)
+            correctable = self.ecc.correctable(ber)
         tag = self._tags.get((block, wl_index, page)) if self.store_tags else None
         return ReadResult(
-            t_read_us=self.timing.read_us(num_retry),
+            t_read_us=self._op_latency(self.timing.read_us(num_retry)),
             num_retry=num_retry,
             final_offset=optimal,
             ber=ber,
-            correctable=self.ecc.correctable(ber),
+            correctable=correctable,
             data=tag,
         )
 
@@ -361,6 +437,13 @@ class NandChip:
         """Characterization-board helper: N_ret(w_ij, x, t) for an explicit
         aging condition (used by the Section 3 study harness)."""
         return self.reliability.n_ret(self.chip_id, block, layer, wl, aging)
+
+    def _op_latency(self, base_us: float) -> float:
+        """Apply stuck-die latency faults to one operation's service time."""
+        if self.faults is None:
+            return base_us
+        self._op_nonce += 1
+        return base_us * self.faults.latency_factor(self.chip_id, self._op_nonce)
 
     def _draw_env_shift(self, block: int, layer: int, wl: int) -> int:
         self._program_nonce += 1

@@ -38,3 +38,34 @@ class UncorrectableError(NandError):
 
 class WearOutError(NandError):
     """A block was erased beyond its rated endurance limit."""
+
+
+class OperationFailError(NandError):
+    """Base class for operation-status failures.
+
+    Unlike the legality errors above, these model the device *reporting*
+    a failed operation through its status register -- a first-class
+    event a production FTL must recover from, not a caller bug.
+    ``t_us`` carries the time the failed operation still consumed.
+    """
+
+    def __init__(self, message: str, t_us: float = 0.0) -> None:
+        super().__init__(message)
+        self.t_us = t_us
+
+
+class ProgramFailError(OperationFailError):
+    """A WL program reported FAIL in its status.
+
+    The WL's contents are indeterminate; the block must not accept
+    further programs and should be retired once its valid data has been
+    migrated.
+    """
+
+
+class EraseFailError(OperationFailError):
+    """A block erase reported FAIL in its status (grown bad block).
+
+    The block must be retired; its state is left as it was before the
+    erase attempt.
+    """

@@ -8,7 +8,7 @@ order so the simulation is fully deterministic.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 
 class Event:

@@ -12,7 +12,9 @@ full 32-GB configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
+from repro.faults.campaign import FaultCampaign
 from repro.nand.geometry import BlockGeometry, SSDGeometry
 from repro.nand.reliability import AgingState
 from repro.nand.timing import NandTiming
@@ -61,6 +63,15 @@ class SSDConfig:
     store_tags: bool = False
     #: chip-model seed
     seed: int = 0
+    #: fault-injection campaign; ``None`` disables injection entirely and
+    #: keeps every recovery path dormant (bit-for-bit fault-free runs)
+    faults: Optional[FaultCampaign] = None
+    #: conservative re-reads attempted after an uncorrectable read before
+    #: declaring the data lost
+    read_recovery_attempts: int = 2
+    #: reads decoding with less than this fraction of ECC margin left
+    #: trigger a background scrub of the page
+    scrub_margin_threshold: float = 0.1
 
     def __post_init__(self) -> None:
         if self.buffer_capacity_pages < self.geometry.block.pages_per_wl:
@@ -71,6 +82,10 @@ class SSDConfig:
             raise ValueError("gc_trigger_blocks must be >= 2")
         if self.max_inflight_programs < 1:
             raise ValueError("max_inflight_programs must be >= 1")
+        if self.read_recovery_attempts < 1:
+            raise ValueError("read_recovery_attempts must be >= 1")
+        if not 0.0 <= self.scrub_margin_threshold < 1.0:
+            raise ValueError("scrub_margin_threshold must be in [0, 1)")
 
     @property
     def logical_pages(self) -> int:
@@ -87,6 +102,10 @@ class SSDConfig:
 
     def with_seed(self, seed: int) -> "SSDConfig":
         return replace(self, seed=seed)
+
+    def with_faults(self, faults: Optional[FaultCampaign]) -> "SSDConfig":
+        """A copy of this config running under a fault campaign."""
+        return replace(self, faults=faults)
 
     @classmethod
     def paper_scale(cls, **overrides) -> "SSDConfig":

@@ -12,23 +12,47 @@ queue depth, producing :class:`~repro.ssd.stats.SimulationStats`.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from repro.faults.injector import FaultInjector
 from repro.nand.chip import NandChip
 from repro.nand.ecc import EccEngine
+from repro.nand.errors import ProgramFailError
 from repro.nand.geometry import PageAddress
-from repro.nand.ispp import IsppEngine, ProgramParams
+from repro.nand.ispp import IsppEngine
 from repro.nand.read_retry import ReadRetryModel
 from repro.nand.reliability import ReliabilityModel
 from repro.sim.engine import Engine
 from repro.sim.resources import FifoResource
 from repro.ssd.config import SSDConfig
 from repro.ssd.stats import SimulationStats
-from repro.workloads.base import Trace
+from repro.workloads.base import IORequest, Trace
 
 
 class SimulationStalledError(RuntimeError):
     """The event queue drained while host requests were still pending."""
+
+
+#: pending requests listed in a stall message before eliding the rest
+_STALL_DETAIL_LIMIT = 8
+
+
+def _stall_message(completed: int, pending: Dict[int, IORequest]) -> str:
+    """Describe a stalled run: how many host requests never completed,
+    and which (kind, LPN, length) they were -- the starting point of any
+    deadlock diagnosis."""
+    requests = sorted(pending.values(), key=lambda r: (r.lpn, r.n_pages))
+    details = ", ".join(
+        f"{'read' if request.is_read else 'write'}"
+        f"(lpn={request.lpn}, n_pages={request.n_pages})"
+        for request in requests[:_STALL_DETAIL_LIMIT]
+    )
+    if len(requests) > _STALL_DETAIL_LIMIT:
+        details += f", ... {len(requests) - _STALL_DETAIL_LIMIT} more"
+    return (
+        f"{len(pending)} host requests never completed "
+        f"({completed} done): {details}"
+    )
 
 
 class SSDController:
@@ -42,6 +66,11 @@ class SSDController:
         self.ispp = IsppEngine(config.timing)
         self.retry_model = ReadRetryModel(self.reliability)
         self.ecc = EccEngine()
+        # one injector shared by all chips and the FTL; None on
+        # fault-free runs so no recovery path can activate
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(config.faults) if config.faults is not None else None
+        )
         self.chips: List[NandChip] = []
         for chip_id in range(geometry.n_chips):
             chip = NandChip(
@@ -55,6 +84,7 @@ class SSDController:
                 ecc=self.ecc,
                 env_shift_prob=config.env_shift_prob,
                 store_tags=config.store_tags,
+                fault_injector=self.faults,
             )
             chip.set_baseline_aging(config.aging)
             self.chips.append(chip)
@@ -103,9 +133,28 @@ class SSDSimulation:
         Programs real WLs through the FTL's own allocation policy (so the
         post-prefill cursor state is consistent) but without consuming
         simulated time.  Returns the number of pages written.
+
+        Prefill runs **fault-free** even under a fault campaign: it
+        models data that is already on the drive, not simulated activity,
+        and injecting program failures into it would erode the
+        over-provisioned space before the measured run starts.  Faults
+        apply to the timed run only.
         """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("fraction must be in [0, 1]")
+        ftl = self.ftl
+        suspended = self.controller.faults
+        if suspended is not None:
+            for chip in self.controller.chips:
+                chip.faults = None
+        try:
+            return self._prefill_locked(fraction)
+        finally:
+            if suspended is not None:
+                for chip in self.controller.chips:
+                    chip.faults = suspended
+
+    def _prefill_locked(self, fraction: float) -> int:
         ftl = self.ftl
         geometry = self.config.geometry
         pages_per_wl = geometry.block.pages_per_wl
@@ -120,13 +169,20 @@ class SSDSimulation:
             allocation = ftl.allocate_wl(chip_id)
             params, squeeze_mv = ftl.program_params(chip_id, allocation)
             data = group + [None] * (pages_per_wl - len(group))
-            result = self.controller.chip(chip_id).program_wl(
-                allocation.block,
-                allocation.address.layer,
-                allocation.address.wl,
-                params=params,
-                data=data,
-            )
+            try:
+                result = self.controller.chip(chip_id).program_wl(
+                    allocation.block,
+                    allocation.address.layer,
+                    allocation.address.wl,
+                    params=params,
+                    data=data,
+                )
+            except ProgramFailError:
+                # the group never landed: pull the block out of service
+                # and retry the same LPNs on the next chip in the round
+                ftl.recovery.program_fails += 1
+                ftl.note_program_fail(chip_id, allocation.block)
+                continue
             ok = ftl.after_program(chip_id, allocation, result, squeeze_mv)
             if ok:
                 for page_index, page_lpn in enumerate(group):
@@ -143,9 +199,11 @@ class SSDSimulation:
                 lpn = group[-1] + 1
             ftl._maybe_mark_full(chip_id, allocation.block)
         # prefill must not distort run statistics
+        from repro.faults.counters import RecoveryCounters
         from repro.ftl.base import FTLCounters
 
         ftl.counters = FTLCounters()
+        ftl.recovery = RecoveryCounters()
         return n_pages
 
     # ------------------------------------------------------------------
@@ -175,8 +233,10 @@ class SSDSimulation:
         stats = SimulationStats(ftl_name=self.ftl.name, workload=trace.name)
         iterator = iter(trace.requests)
         state = {"outstanding": 0, "completed": 0, "measure_start": None}
+        pending: Dict[int, IORequest] = {}
 
         def on_complete(active, now_us: float) -> None:
+            pending.pop(id(active.spec), None)
             state["outstanding"] -= 1
             state["completed"] += 1
             if state["completed"] == warmup_requests:
@@ -194,6 +254,7 @@ class SSDSimulation:
             if request is None:
                 return
             state["outstanding"] += 1
+            pending[id(request)] = request
             self.ftl.submit(request, on_complete)
 
         start_us = engine.now
@@ -204,8 +265,7 @@ class SSDSimulation:
         engine.run(max_events=max_events)
         if state["outstanding"] > 0 and max_events is None:
             raise SimulationStalledError(
-                f"{state['outstanding']} requests never completed "
-                f"({state['completed']} done)"
+                _stall_message(state["completed"], pending)
             )
         measure_start = state["measure_start"]
         if measure_start is None:
@@ -213,6 +273,7 @@ class SSDSimulation:
         stats.duration_us = engine.now - measure_start
         stats.completed_requests = state["completed"] - warmup_requests
         stats.counters = self.ftl.counters
+        stats.recovery = self.ftl.recovery
         return stats
 
     def run_open_loop(
@@ -233,9 +294,11 @@ class SSDSimulation:
         engine = self.controller.engine
         stats = SimulationStats(ftl_name=self.ftl.name, workload=trace.name)
         state = {"outstanding": 0, "completed": 0}
+        pending: Dict[int, IORequest] = {}
         start_us = engine.now
 
         def on_complete(active, now_us: float) -> None:
+            pending.pop(id(active.spec), None)
             latency = now_us - active.issued_us
             if active.spec.is_read:
                 stats.read_latency.add(latency)
@@ -253,15 +316,17 @@ class SSDSimulation:
 
             def issue(request=request) -> None:
                 state["outstanding"] += 1
+                pending[id(request)] = request
                 self.ftl.submit(request, on_complete)
 
             engine.schedule_at(start_us + request.arrival_us, issue)
         engine.run(max_events=max_events)
         if state["outstanding"] > 0 and max_events is None:
             raise SimulationStalledError(
-                f"{state['outstanding']} requests never completed"
+                _stall_message(state["completed"], pending)
             )
         stats.duration_us = engine.now - start_us
         stats.completed_requests = state["completed"]
         stats.counters = self.ftl.counters
+        stats.recovery = self.ftl.recovery
         return stats

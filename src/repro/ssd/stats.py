@@ -61,6 +61,10 @@ class SimulationStats:
     read_latency: LatencyStats = field(default_factory=LatencyStats)
     write_latency: LatencyStats = field(default_factory=LatencyStats)
     counters: Optional[object] = None
+    #: :class:`~repro.faults.counters.RecoveryCounters` of the run; only
+    #: serialized when any recovery action fired, so fault-free output is
+    #: unchanged
+    recovery: Optional[object] = None
 
     @property
     def iops(self) -> float:
@@ -98,10 +102,12 @@ class SimulationStats:
             counters["mean_t_prog_us"] = self.counters.mean_t_prog_us
             counters["mean_num_retry"] = self.counters.mean_num_retry
             result["counters"] = counters
+        if self.recovery is not None and self.recovery.any():
+            result["recovery"] = self.recovery.to_dict()
         return result
 
     def summary(self) -> str:
-        return (
+        line = (
             f"{self.ftl_name:>9s} | {self.workload:>6s} | "
             f"IOPS {self.iops:10.0f} | "
             f"read p50/p99 {self.read_latency.percentile(50):7.0f}/"
@@ -109,6 +115,17 @@ class SimulationStats:
             f"write p50/p99 {self.write_latency.percentile(50):7.0f}/"
             f"{self.write_latency.percentile(99):7.0f} us"
         )
+        if self.recovery is not None and self.recovery.any():
+            recovery = self.recovery
+            line += (
+                f" | recovery: pfail {recovery.program_fails}"
+                f" efail {recovery.erase_fails}"
+                f" retired {recovery.blocks_retired}"
+                f" scrubs {recovery.scrubs}"
+                f" ort-inv {recovery.ort_invalidations}"
+                f" uncorr {recovery.uncorrectable_after_recovery}"
+            )
+        return line
 
 
 def normalize(values: Sequence[float], baseline: float) -> List[float]:

@@ -1,6 +1,5 @@
 """Harness edge cases: block-row addressing and custom geometries."""
 
-import pytest
 
 from repro.characterization.harness import CharacterizationStudy, StudyConfig
 from repro.nand.geometry import BlockGeometry

@@ -1,6 +1,5 @@
 """Tests for the characterization harness and metrics."""
 
-import numpy as np
 import pytest
 
 from repro.characterization.harness import CharacterizationStudy, StudyConfig

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.latency_predictor import LatencyPredictor, PredictionStats
 from repro.core.opm import OptimalParameterManager
-from repro.nand.chip import NandChip
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Tests for OPM memory accounting (the Section 5.2 trade-off)."""
 
-import pytest
 
 from repro.core.opm import LEADER_OBSERVATION_BYTES, OptimalParameterManager
 from repro.core.ort import BYTES_PER_ENTRY

@@ -12,7 +12,7 @@ from repro.core.program_order import (
     program_sequence,
     vertical_first,
 )
-from repro.nand.geometry import BlockGeometry, WLAddress
+from repro.nand.geometry import WLAddress
 
 
 @pytest.fixture(params=list(ProgramOrder))

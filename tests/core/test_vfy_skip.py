@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.vfy_skip import n_skip_per_state, paper_n_skip, total_skipped
-from repro.nand.ispp import IsppEngine, WLProgramProfile, default_state_intervals
+from repro.nand.ispp import WLProgramProfile, default_state_intervals
 
 
 @pytest.fixture

@@ -1,0 +1,99 @@
+"""Tests for the fault-campaign configuration."""
+
+import pytest
+
+from repro.faults import CAMPAIGNS, FaultCampaign, get_campaign
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "program_fail_prob",
+            "erase_fail_prob",
+            "ber_spike_prob",
+            "ort_skew_prob",
+            "stuck_die_prob",
+        ],
+    )
+    def test_probabilities_bounded(self, field):
+        FaultCampaign(**{field: 0.0})
+        FaultCampaign(**{field: 1.0})
+        with pytest.raises(ValueError):
+            FaultCampaign(**{field: -0.01})
+        with pytest.raises(ValueError):
+            FaultCampaign(**{field: 1.01})
+
+    def test_grown_bad_count_non_negative(self):
+        with pytest.raises(ValueError):
+            FaultCampaign(grown_bad_per_chip=-1)
+
+    def test_grown_bad_onset_at_least_one(self):
+        with pytest.raises(ValueError):
+            FaultCampaign(grown_bad_onset_erases=0)
+
+    def test_spike_factor_at_least_one(self):
+        with pytest.raises(ValueError):
+            FaultCampaign(ber_spike_factor=0.5)
+
+    def test_skew_steps_at_least_one(self):
+        with pytest.raises(ValueError):
+            FaultCampaign(ort_skew_steps=0)
+
+    def test_skew_phase_reads_at_least_one(self):
+        with pytest.raises(ValueError):
+            FaultCampaign(ort_skew_phase_reads=0)
+
+    def test_stuck_factor_at_least_one(self):
+        with pytest.raises(ValueError):
+            FaultCampaign(stuck_latency_factor=0.9)
+
+
+class TestQuiet:
+    def test_default_construction_is_quiet(self):
+        assert FaultCampaign().quiet
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"program_fail_prob": 0.01},
+            {"erase_fail_prob": 0.01},
+            {"grown_bad_per_chip": 1},
+            {"ber_spike_prob": 0.01},
+            {"ort_skew_prob": 0.01},
+            {"stuck_die_prob": 0.01},
+        ],
+    )
+    def test_any_rate_defeats_quiet(self, overrides):
+        assert not FaultCampaign(**overrides).quiet
+
+
+class TestRegistry:
+    def test_none_maps_to_no_campaign(self):
+        assert CAMPAIGNS["none"] is None
+        assert get_campaign("none") is None
+
+    def test_named_campaigns_are_live(self):
+        for name, campaign in CAMPAIGNS.items():
+            if campaign is None:
+                continue
+            assert campaign.name == name
+            assert not campaign.quiet
+
+    def test_default_meets_acceptance_floor(self):
+        """The acceptance campaign: >= 0.1 % program fails, >= 2 grown
+        bad blocks per chip, periodic BER spikes."""
+        default = CAMPAIGNS["default"]
+        assert default.program_fail_prob >= 0.001
+        assert default.grown_bad_per_chip >= 2
+        assert default.ber_spike_prob > 0.0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown fault campaign"):
+            get_campaign("nonesuch")
+
+    def test_campaigns_are_hashable_and_frozen(self):
+        default = CAMPAIGNS["default"]
+        hash(default)
+        with pytest.raises(Exception):
+            default.program_fail_prob = 0.5

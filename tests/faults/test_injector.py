@@ -1,0 +1,137 @@
+"""Tests for the deterministic fault injector."""
+
+from repro.faults import FaultCampaign, FaultInjector
+
+
+def _program_draws(injector, n=2000):
+    return [injector.program_fails(0, 3, 1, nonce) for nonce in range(n)]
+
+
+class TestDeterminism:
+    def test_same_campaign_same_decisions(self):
+        campaign = FaultCampaign(
+            program_fail_prob=0.05,
+            erase_fail_prob=0.05,
+            ber_spike_prob=0.05,
+            ort_skew_prob=0.2,
+            stuck_die_prob=0.05,
+        )
+        a, b = FaultInjector(campaign), FaultInjector(campaign)
+        assert _program_draws(a) == _program_draws(b)
+        assert [a.erase_fails(1, blk, 16, 0) for blk in range(16)] == [
+            b.erase_fails(1, blk, 16, 0) for blk in range(16)
+        ]
+        assert [a.ber_multiplier(0, 0, n) for n in range(500)] == [
+            b.ber_multiplier(0, 0, n) for n in range(500)
+        ]
+        assert [a.ort_skew(0, 0, layer, 0, 0) for layer in range(48)] == [
+            b.ort_skew(0, 0, layer, 0, 0) for layer in range(48)
+        ]
+        assert [a.latency_factor(0, n) for n in range(500)] == [
+            b.latency_factor(0, n) for n in range(500)
+        ]
+
+    def test_different_seed_different_decisions(self):
+        a = FaultInjector(FaultCampaign(seed=1, program_fail_prob=0.05))
+        b = FaultInjector(FaultCampaign(seed=2, program_fail_prob=0.05))
+        assert _program_draws(a) != _program_draws(b)
+
+    def test_rates_are_approximately_honored(self):
+        injector = FaultInjector(FaultCampaign(program_fail_prob=0.05))
+        fails = sum(_program_draws(injector, 5000))
+        assert 100 <= fails <= 400  # ~250 expected
+
+
+class TestProgramFaults:
+    def test_zero_rate_never_fires(self):
+        injector = FaultInjector(FaultCampaign())
+        assert not any(_program_draws(injector, 500))
+        assert injector.injected.program_fails == 0
+
+    def test_rate_one_always_fires(self):
+        injector = FaultInjector(FaultCampaign(program_fail_prob=1.0))
+        assert all(_program_draws(injector, 50))
+        assert injector.injected.program_fails == 50
+
+
+class TestGrownBadBlocks:
+    def test_table_size_and_onset(self):
+        campaign = FaultCampaign(grown_bad_per_chip=3, grown_bad_onset_erases=2)
+        injector = FaultInjector(campaign)
+        table = injector.grown_bad_blocks(0, 64)
+        assert len(table) == 3
+        assert all(onset == 2 for onset in table.values())
+        assert all(0 <= block < 64 for block in table)
+
+    def test_table_capped_by_chip_size(self):
+        injector = FaultInjector(FaultCampaign(grown_bad_per_chip=10))
+        assert len(injector.grown_bad_blocks(0, 4)) == 4
+
+    def test_table_is_stable_and_per_chip(self):
+        campaign = FaultCampaign(grown_bad_per_chip=2)
+        injector = FaultInjector(campaign)
+        assert injector.grown_bad_blocks(0, 64) is injector.grown_bad_blocks(0, 64)
+        other = FaultInjector(campaign)
+        assert injector.grown_bad_blocks(0, 64) == other.grown_bad_blocks(0, 64)
+
+    def test_bad_block_fails_from_onset(self):
+        campaign = FaultCampaign(grown_bad_per_chip=1, grown_bad_onset_erases=2)
+        injector = FaultInjector(campaign)
+        (bad,) = injector.grown_bad_blocks(0, 32)
+        assert not injector.erase_fails(0, bad, 32, erase_count=1)
+        assert injector.erase_fails(0, bad, 32, erase_count=2)
+        assert injector.erase_fails(0, bad, 32, erase_count=5)
+        assert injector.injected.grown_bad_trips == 2
+
+    def test_healthy_block_never_fails_without_transient_rate(self):
+        campaign = FaultCampaign(grown_bad_per_chip=1, grown_bad_onset_erases=1)
+        injector = FaultInjector(campaign)
+        (bad,) = injector.grown_bad_blocks(0, 32)
+        healthy = (bad + 1) % 32
+        assert not any(
+            injector.erase_fails(0, healthy, 32, count) for count in range(20)
+        )
+
+
+class TestReadFaults:
+    def test_spike_multiplier_bounds(self):
+        injector = FaultInjector(
+            FaultCampaign(ber_spike_prob=1.0, ber_spike_factor=6.0)
+        )
+        assert injector.ber_multiplier(0, 0, 0) == 6.0
+        quiet = FaultInjector(FaultCampaign())
+        assert quiet.ber_multiplier(0, 0, 0) == 1.0
+
+    def test_skew_magnitude_and_phase_stability(self):
+        campaign = FaultCampaign(
+            ort_skew_prob=1.0, ort_skew_steps=4, ort_skew_phase_reads=100
+        )
+        injector = FaultInjector(campaign)
+        skew = injector.ort_skew(0, 0, 5, epoch=0, read_nonce=0)
+        assert abs(skew) == 4
+        # stable within one phase window ...
+        assert injector.ort_skew(0, 0, 5, epoch=0, read_nonce=99) == skew
+        # ... and re-drawn deterministically across phases
+        a = [injector.ort_skew(0, 0, 5, 0, phase * 100) for phase in range(8)]
+        b = [injector.ort_skew(0, 0, 5, 0, phase * 100) for phase in range(8)]
+        assert a == b
+
+    def test_forced_skew_overrides_and_clears(self):
+        injector = FaultInjector(FaultCampaign())
+        assert injector.ort_skew(0, 2, 7, 0, 0) == 0
+        injector.force_ort_skew(0, 2, 7, steps=4)
+        assert injector.ort_skew(0, 2, 7, 0, 0) == 4
+        assert injector.ort_skew(0, 2, 6, 0, 0) == 0  # other layers untouched
+        injector.clear_forced_skews()
+        assert injector.ort_skew(0, 2, 7, 0, 0) == 0
+
+
+class TestLatencyFaults:
+    def test_stuck_factor(self):
+        injector = FaultInjector(
+            FaultCampaign(stuck_die_prob=1.0, stuck_latency_factor=8.0)
+        )
+        assert injector.latency_factor(0, 0) == 8.0
+        assert injector.injected.stuck_ops == 1
+        quiet = FaultInjector(FaultCampaign())
+        assert quiet.latency_factor(0, 0) == 1.0

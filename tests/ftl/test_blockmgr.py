@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.ftl.blockmgr import BlockManager, BlockState, OutOfSpaceError
+from repro.ftl.blockmgr import (
+    BlockManager,
+    BlockState,
+    OutOfSpaceError,
+    _FreePool,
+)
 from repro.ftl.mapping import PageMapper
 
 
@@ -57,6 +62,102 @@ class TestLifecycle:
         counts = manager.counts(0)
         assert counts[BlockState.FULL] == 1
         assert counts[BlockState.FREE] == ssd_geometry.blocks_per_chip - 1
+
+
+class TestFreePool:
+    def test_fifo_order(self):
+        pool = _FreePool(range(6))
+        assert [pool.take_fifo() for _ in range(6)] == list(range(6))
+
+    def test_fifo_order_survives_keyed_removals(self):
+        pool = _FreePool(range(8))
+        pool.remove(0)
+        pool.remove(3)
+        assert pool.take_min(key=lambda b: 0) == 1  # oldest wins ties
+        assert [pool.take_fifo() for _ in range(len(pool))] == [2, 4, 5, 6, 7]
+
+    def test_keyed_take_picks_minimum(self):
+        pool = _FreePool(range(5))
+        erase_counts = {0: 9, 1: 2, 2: 7, 3: 2, 4: 5}
+        # blocks 1 and 3 tie on the key; the older (1) wins
+        assert pool.take_min(key=erase_counts.__getitem__) == 1
+        assert pool.take_min(key=erase_counts.__getitem__) == 3
+
+    def test_recycled_block_goes_to_the_back(self):
+        pool = _FreePool(range(3))
+        block = pool.take_fifo()
+        pool.append(block)
+        assert [pool.take_fifo() for _ in range(3)] == [1, 2, 0]
+
+    def test_double_append_rejected(self):
+        pool = _FreePool(range(3))
+        with pytest.raises(ValueError):
+            pool.append(1)
+
+    def test_compaction_preserves_contents(self):
+        pool = _FreePool(range(64))
+        for block in range(0, 64, 2):
+            pool.remove(block)
+        pool.check_invariants()
+        for block in range(0, 64, 2):
+            pool.append(block)
+        pool.check_invariants()
+        assert len(pool) == 64
+        assert sorted(pool) == list(range(64))
+
+    def test_heavy_churn_stays_consistent(self):
+        pool = _FreePool(range(16))
+        for round_no in range(50):
+            taken = [pool.take_fifo() for _ in range(8)]
+            for block in taken:
+                pool.append(block)
+            pool.check_invariants()
+        assert len(pool) == 16
+
+
+class TestFailingBlocks:
+    def test_mark_failing_requires_full(self, manager):
+        block = manager.take_free(0)
+        with pytest.raises(ValueError):
+            manager.mark_failing(0, block)  # still ACTIVE
+        manager.mark_full(0, block)
+        manager.mark_failing(0, block)
+        assert manager.is_failing(0, block)
+        assert manager.failing_count(0) == 1
+        assert manager.failing_blocks(0) == [block]
+
+    def test_failing_block_prioritized_as_victim(self, manager, mapper, ssd_geometry):
+        a = manager.take_free(0)
+        b = manager.take_free(0)
+        manager.mark_full(0, a)
+        manager.mark_full(0, b)
+        per_block = ssd_geometry.block.pages_per_block
+        # block a is empty (the cheapest victim); block b is fully valid
+        # but failing -- it must still be taken first
+        for page in range(per_block):
+            mapper.bind(page, b * per_block + page)
+        manager.mark_failing(0, b)
+        assert manager.select_victim(0, mapper) == b
+
+    def test_mark_free_clears_failing(self, manager):
+        block = manager.take_free(0)
+        manager.mark_full(0, block)
+        manager.mark_failing(0, block)
+        manager.mark_free(0, block)
+        assert not manager.is_failing(0, block)
+
+    def test_retire_clears_failing_and_records_reason(self, manager):
+        block = manager.take_free(0)
+        manager.mark_full(0, block)
+        manager.mark_failing(0, block)
+        manager.retire(0, block, reason="program_fail")
+        assert not manager.is_failing(0, block)
+        assert manager.grown_bad_table(0) == {block: "program_fail"}
+
+    def test_retire_active_block_is_an_error(self, manager):
+        block = manager.take_free(0)
+        with pytest.raises(ValueError, match="active"):
+            manager.retire(0, block)
 
 
 class TestVictimSelection:

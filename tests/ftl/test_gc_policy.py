@@ -1,6 +1,5 @@
 """Unit-level tests of the GC policy (trigger, victim guard, accounting)."""
 
-import pytest
 
 from repro.ssd.config import SSDConfig
 from repro.ssd.controller import SSDSimulation

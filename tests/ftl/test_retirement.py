@@ -1,10 +1,9 @@
 """Tests for bad-block retirement."""
 
-import pytest
 
 from repro.ftl.blockmgr import BlockManager, BlockState
 from repro.ssd.config import SSDConfig
-from repro.ssd.controller import SSDController, SSDSimulation
+from repro.ssd.controller import SSDSimulation
 from repro.workloads.synthetic import uniform_random_trace
 
 
@@ -69,4 +68,10 @@ class TestEndToEndRetirement:
             for chip in range(config.geometry.n_chips)
         )
         assert total_retired == counters.retired_blocks
+        # every retirement here came from the endurance limit, and wear
+        # is normal aging, not fault recovery
+        for chip in range(config.geometry.n_chips):
+            table = sim.ftl.blocks.grown_bad_table(chip)
+            assert all(reason == "wear" for reason in table.values())
+        assert sim.ftl.recovery.blocks_retired == 0
         sim.ftl.mapper.check_invariants()

@@ -1,6 +1,5 @@
 """Tests for wear tracking and wear-aware allocation."""
 
-import dataclasses
 
 import pytest
 

@@ -1,10 +1,7 @@
 """Failure-injection and edge-condition integration tests."""
 
-import dataclasses
 
-import pytest
 
-from repro.nand.reliability import AgingState
 from repro.ssd.config import SSDConfig
 from repro.ssd.controller import SSDSimulation
 from repro.workloads.base import IORequest, Trace

@@ -4,7 +4,7 @@ import pytest
 
 from repro.ssd.config import SSDConfig
 from repro.ssd.controller import SSDSimulation
-from repro.workloads.base import IORequest, Trace, with_arrivals
+from repro.workloads.base import IORequest, with_arrivals
 from repro.workloads.synthetic import uniform_random_trace
 
 

@@ -1,6 +1,5 @@
 """Paper-scale configuration sanity: the full 32-GB device."""
 
-import pytest
 
 from repro.ssd.config import SSDConfig
 from repro.ssd.controller import SSDSimulation

@@ -4,12 +4,10 @@ import dataclasses
 
 import pytest
 
-from repro.ftl import make_ftl
 from repro.nand.reliability import AgingState
 from repro.ssd.config import SSDConfig
 from repro.ssd.controller import SSDSimulation
-from repro.workloads import make_workload
-from repro.workloads.base import READ, WRITE, IORequest, Trace
+from repro.workloads.base import WRITE, IORequest, Trace
 from repro.workloads.synthetic import uniform_random_trace
 
 

@@ -22,6 +22,28 @@ class TestEccEngine:
         assert ecc.margin(ecc.ber_limit) == pytest.approx(0.0)
         assert ecc.margin(2 * ecc.ber_limit) < 0
 
+    def test_margin_at_boundary_bers(self):
+        """The margin and the correctability verdict must agree exactly
+        at the limit -- the scrub policy keys off the margin while the
+        read path keys off ``correctable``."""
+        ecc = EccEngine()
+        # exactly at the limit: zero margin, still correctable
+        assert ecc.margin(ecc.ber_limit) == pytest.approx(0.0)
+        assert ecc.correctable(ecc.ber_limit)
+        # one part in a million inside / outside the limit
+        just_inside = ecc.ber_limit * (1 - 1e-6)
+        just_outside = ecc.ber_limit * (1 + 1e-6)
+        assert ecc.margin(just_inside) > 0
+        assert ecc.correctable(just_inside)
+        assert ecc.margin(just_outside) < 0
+        assert not ecc.correctable(just_outside)
+
+    def test_margin_is_monotone_in_ber(self):
+        ecc = EccEngine()
+        bers = [0.0, 1e-4, 1e-3, ecc.ber_limit, 1e-2]
+        margins = [ecc.margin(ber) for ber in bers]
+        assert margins == sorted(margins, reverse=True)
+
     def test_codewords_per_page(self):
         ecc = EccEngine()
         assert ecc.codewords_per_page(16 * 1024) == 16

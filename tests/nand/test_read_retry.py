@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.nand.read_retry import MAX_OFFSET, ReadParams, ReadRetryModel
-from repro.nand.reliability import AgingState, ReliabilityModel
+from repro.nand.reliability import AgingState
 
 
 @pytest.fixture

@@ -1,6 +1,6 @@
 """Property-based tests of the reliability surface."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.nand.reliability import AgingState, ReliabilityModel
 

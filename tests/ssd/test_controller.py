@@ -50,6 +50,40 @@ class TestWiring:
         assert controller.now == 0.0
 
 
+class TestStallDiagnostics:
+    def test_stalled_run_reports_pending_requests(self):
+        """When the event queue drains with host requests still pending,
+        the error names how many -- and which -- never completed."""
+        from repro.ssd.controller import SimulationStalledError
+        from repro.workloads.synthetic import uniform_random_trace
+
+        sim = SSDSimulation(SSDConfig.small(), ftl="page")
+        sim.prefill(0.2)
+        # swallow every submission: nothing ever completes
+        sim.ftl.submit = lambda request, on_complete: None
+        trace = uniform_random_trace(sim.config.logical_pages, 10, seed=1)
+        with pytest.raises(SimulationStalledError) as excinfo:
+            sim.run(trace, queue_depth=4)
+        message = str(excinfo.value)
+        assert "4 host requests never completed" in message
+        assert "(0 done)" in message
+        assert "lpn=" in message
+        assert "n_pages=" in message
+
+    def test_stall_message_elides_long_pending_lists(self):
+        from repro.ssd.controller import _stall_message
+        from repro.workloads.base import IORequest
+
+        pending = {
+            index: IORequest(op="R", lpn=index, n_pages=1)
+            for index in range(12)
+        }
+        message = _stall_message(3, pending)
+        assert "12 host requests never completed (3 done)" in message
+        assert "... 4 more" in message
+        assert message.count("lpn=") == 8
+
+
 class TestDeterminism:
     def test_same_seed_same_simulation(self):
         """Two identical simulations produce identical results."""

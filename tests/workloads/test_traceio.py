@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.workloads.base import IORequest, Trace
+from repro.workloads.base import Trace
 from repro.workloads.filebench import oltp_trace
 from repro.workloads.traceio import TraceFormatError, load_trace, save_trace
 
