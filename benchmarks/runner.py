@@ -5,11 +5,10 @@ from __future__ import annotations
 from typing import Dict
 
 from benchmarks.conftest import BENCH_QUEUE_DEPTH, BENCH_REQUESTS, BENCH_WARMUP
+from repro.api import run_simulation
 from repro.nand.reliability import AgingState
 from repro.ssd.config import SSDConfig
-from repro.ssd.controller import SSDSimulation
 from repro.ssd.stats import SimulationStats
-from repro.workloads import make_workload
 
 #: the paper's three aging conditions (Section 6.2)
 AGING_STATES = {
@@ -38,10 +37,17 @@ def run_one(
     n_requests = n_requests if n_requests is not None else BENCH_REQUESTS
     warmup = warmup if warmup is not None else BENCH_WARMUP
     queue_depth = queue_depth if queue_depth is not None else BENCH_QUEUE_DEPTH
-    sim = SSDSimulation(config.with_aging(aging), ftl=ftl)
-    sim.prefill(prefill)
-    trace = make_workload(workload, sim.config.logical_pages, n_requests, seed=seed)
-    return sim.run(trace, queue_depth=queue_depth, warmup_requests=warmup)
+    result = run_simulation(
+        config.with_aging(aging),
+        workload,
+        ftl=ftl,
+        queue_depth=queue_depth,
+        warmup_requests=warmup,
+        prefill=prefill,
+        n_requests=n_requests,
+        seed=seed,
+    )
+    return result.stats
 
 
 def run_matrix(

@@ -17,9 +17,8 @@ from repro.core.maxloop import DEFAULT_MARGIN_TABLE, spare_margin
 from repro.nand.chip import NandChip
 from repro.nand.geometry import BlockGeometry, SSDGeometry
 from repro.nand.reliability import AgingState
+from repro.api import run_simulation
 from repro.ssd.config import SSDConfig
-from repro.ssd.controller import SSDSimulation
-from repro.workloads import make_workload
 
 STAGES = [
     ("fresh", AgingState(0, 0.0)),
@@ -58,10 +57,10 @@ def system_level() -> None:
         config = SSDConfig(geometry=geometry).with_aging(aging)
         iops = {}
         for ftl in ("page", "cube"):
-            sim = SSDSimulation(config, ftl=ftl)
-            sim.prefill(0.9)
-            trace = make_workload("Proxy", config.logical_pages, 4000, seed=7)
-            stats = sim.run(trace, queue_depth=32, warmup_requests=1000)
+            stats = run_simulation(
+                config, "Proxy", ftl=ftl, queue_depth=32,
+                warmup_requests=1000, prefill=0.9, n_requests=4000, seed=7,
+            ).stats
             iops[ftl] = stats.iops
         series["pageFTL"].append(iops["page"])
         series["cubeFTL"].append(iops["cube"])

@@ -15,9 +15,9 @@ import time
 from repro.analysis.tables import format_table
 from repro.nand.geometry import BlockGeometry, SSDGeometry
 from repro.nand.reliability import AgingState
+from repro.api import run_simulation
 from repro.ssd.config import SSDConfig
-from repro.ssd.controller import SSDSimulation
-from repro.workloads import WORKLOAD_GENERATORS, make_workload
+from repro.workloads import WORKLOAD_GENERATORS
 
 FTLS = ("page", "vert", "cube")
 
@@ -35,12 +35,11 @@ def main(pe: int = 0, retention: float = 0.0, n_requests: int = 6000) -> None:
         start = time.time()
         iops = {}
         for ftl in FTLS:
-            sim = SSDSimulation(config, ftl=ftl)
-            sim.prefill(0.9)
-            trace = make_workload(workload, config.logical_pages,
-                                  n_requests, seed=7)
-            stats = sim.run(trace, queue_depth=32,
-                            warmup_requests=n_requests // 3)
+            stats = run_simulation(
+                config, workload, ftl=ftl, queue_depth=32,
+                warmup_requests=n_requests // 3, prefill=0.9,
+                n_requests=n_requests, seed=7,
+            ).stats
             iops[stats.ftl_name] = stats.iops
         base = iops["pageFTL"]
         rows.append([

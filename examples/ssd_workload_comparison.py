@@ -12,11 +12,10 @@ e.g.  python examples/ssd_workload_comparison.py Proxy 2000 12
 import sys
 
 from repro.analysis.tables import format_table
+from repro.api import run_simulation
 from repro.nand.geometry import BlockGeometry, SSDGeometry
 from repro.nand.reliability import AgingState
 from repro.ssd.config import SSDConfig
-from repro.ssd.controller import SSDSimulation
-from repro.workloads import make_workload
 
 
 def main(workload: str = "OLTP", pe: int = 0, retention: float = 0.0) -> None:
@@ -31,10 +30,10 @@ def main(workload: str = "OLTP", pe: int = 0, retention: float = 0.0) -> None:
     rows = []
     base_iops = None
     for ftl in ("page", "vert", "cube"):
-        sim = SSDSimulation(config, ftl=ftl)
-        sim.prefill(0.9)
-        trace = make_workload(workload, config.logical_pages, 8000, seed=7)
-        stats = sim.run(trace, queue_depth=32, warmup_requests=2500)
+        stats = run_simulation(
+            config, workload, ftl=ftl, queue_depth=32, warmup_requests=2500,
+            prefill=0.9, n_requests=8000, seed=7,
+        ).stats
         if base_iops is None:
             base_iops = stats.iops
         counters = stats.counters

@@ -17,6 +17,8 @@ The package is organized as:
   workloads (Mail, Web, Proxy, OLTP, Rocks, Mongo).
 - :mod:`repro.characterization` -- the Section 3 characterization study.
 - :mod:`repro.analysis` -- CDF / percentile / normalization helpers.
+- :mod:`repro.obs` -- request-lifecycle tracing and time-sliced metrics.
+- :mod:`repro.api` -- the stable :func:`~repro.api.run_simulation` facade.
 
 The convenience re-exports below resolve lazily so that subpackages can be
 imported independently.
@@ -42,6 +44,8 @@ _EXPORTS = {
     "CubeFTL": "repro.ftl",
     "make_ftl": "repro.ftl",
     "SSDSimulation": "repro.ssd.controller",
+    "run_simulation": "repro.api",
+    "SimulationResult": "repro.api",
 }
 
 __all__ = sorted(_EXPORTS) + ["__version__"]
@@ -59,6 +63,7 @@ def __dir__():
 
 
 if TYPE_CHECKING:  # pragma: no cover - static-analysis convenience
+    from repro.api import SimulationResult, run_simulation
     from repro.ftl import CubeFTL, PageFTL, VertFTL, make_ftl
     from repro.nand.chip import NandChip
     from repro.nand.geometry import BlockGeometry, PageAddress, SSDGeometry, WLAddress

@@ -1,0 +1,143 @@
+"""Stable high-level entry point: configure, run, observe.
+
+:func:`run_simulation` is the one call every front end goes through
+(CLI, benchmarks, examples, notebooks): it builds the SSD, prefills it,
+replays a workload, and optionally attaches the :mod:`repro.obs`
+tracer and metrics sampler.  Everything it returns is packed into a
+:class:`SimulationResult`, so callers never reach into the simulation
+objects themselves -- the facade is the compatibility surface; the
+internals behind it are free to move.
+
+Example::
+
+    from repro.api import run_simulation
+    from repro.ssd.config import SSDConfig
+
+    result = run_simulation(SSDConfig(), "OLTP", ftl="cube",
+                            n_requests=2000, trace="memory")
+    print(result.iops)
+    breakdown = result.breakdown()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.obs.metrics import MetricsSample
+from repro.obs.trace import InMemorySink, JsonlSink, Span, Tracer
+from repro.ssd.config import SSDConfig
+from repro.ssd.controller import SSDSimulation
+from repro.ssd.stats import SimulationStats
+from repro.workloads import make_workload
+from repro.workloads.base import Trace
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run produced."""
+
+    stats: SimulationStats
+    #: recorded spans when ``trace="memory"`` was requested, else None
+    spans: Optional[List[Span]] = None
+    #: metrics timeline when ``metrics_interval`` was set, else None
+    metrics: Optional[List[MetricsSample]] = None
+    #: path of the written JSONL trace when ``trace`` was a path
+    trace_path: Optional[str] = None
+
+    @property
+    def iops(self) -> float:
+        return self.stats.iops
+
+    def to_dict(self) -> dict:
+        """The schema-v2 result dict (same as ``stats.to_dict()``)."""
+        return self.stats.to_dict()
+
+    def breakdown(self) -> str:
+        """Per-stage-group latency decomposition of the recorded trace."""
+        from repro.obs.analyze import breakdown_report, load_trace
+
+        if self.spans is not None:
+            return breakdown_report(self.spans)
+        if self.trace_path is not None:
+            return breakdown_report(load_trace(self.trace_path))
+        raise ValueError("run with trace='memory' or trace=PATH first")
+
+
+def run_simulation(
+    config: SSDConfig,
+    workload: Union[str, Trace],
+    ftl: str = "cube",
+    *,
+    queue_depth: int = 32,
+    warmup_requests: int = 0,
+    prefill: float = 0.9,
+    n_requests: int = 8000,
+    seed: int = 7,
+    trace: Optional[str] = None,
+    metrics_interval: Optional[float] = None,
+    open_loop: bool = False,
+    max_events: Optional[int] = None,
+    **ftl_kwargs,
+) -> SimulationResult:
+    """Build, prefill, and run one SSD simulation.
+
+    Parameters
+    ----------
+    config:
+        The SSD to simulate.
+    workload:
+        A workload name (``"OLTP"``, ``"Proxy"``, ...; generated with
+        ``n_requests`` / ``seed``) or a pre-built
+        :class:`~repro.workloads.base.Trace` (then ``n_requests`` and
+        ``seed`` are ignored).
+    ftl:
+        FTL variant name (``"page"``, ``"vert"``, ``"cube"``, ...).
+    trace:
+        ``None`` disables tracing (the default; the simulation is
+        bit-for-bit the untraced run), ``"memory"`` records spans into
+        ``result.spans``, any other string is a path to stream a JSONL
+        trace to.
+    metrics_interval:
+        Simulated microseconds between metrics snapshots; ``None``
+        disables sampling.
+    open_loop:
+        Replay at recorded arrival times instead of closed-loop at
+        ``queue_depth`` (the trace must carry arrivals).
+    """
+    tracer: Optional[Tracer] = None
+    sink = None
+    if trace is not None:
+        sink = InMemorySink() if trace == "memory" else JsonlSink(trace)
+        tracer = Tracer(sink)
+    sim = SSDSimulation(config, ftl=ftl, tracer=tracer, **ftl_kwargs)
+    if prefill > 0:
+        sim.prefill(prefill)
+    if isinstance(workload, str):
+        workload = make_workload(
+            workload, config.logical_pages, n_requests, seed=seed
+        )
+    try:
+        if open_loop:
+            stats = sim.run_open_loop(
+                workload,
+                max_events=max_events,
+                metrics_interval_us=metrics_interval,
+            )
+        else:
+            stats = sim.run(
+                workload,
+                queue_depth=queue_depth,
+                warmup_requests=warmup_requests,
+                max_events=max_events,
+                metrics_interval_us=metrics_interval,
+            )
+    finally:
+        if tracer is not None:
+            tracer.close()
+    return SimulationResult(
+        stats=stats,
+        spans=sink.spans if isinstance(sink, InMemorySink) else None,
+        metrics=stats.metrics,
+        trace_path=trace if trace not in (None, "memory") else None,
+    )

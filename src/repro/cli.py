@@ -20,12 +20,12 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.tables import format_table
+from repro.api import run_simulation
 from repro.faults import CAMPAIGNS, get_campaign
 from repro.nand.geometry import BlockGeometry, SSDGeometry
 from repro.nand.reliability import AgingState
 from repro.ssd.config import SSDConfig
-from repro.ssd.controller import SSDSimulation
-from repro.workloads import WORKLOAD_GENERATORS, make_workload
+from repro.workloads import WORKLOAD_GENERATORS
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -78,7 +78,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json",
         metavar="PATH",
         default=None,
-        help="also write the full stats as JSON to PATH",
+        help="also write the full stats as JSON to PATH (result schema v2)",
+    )
+    simulate.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="stream a request-lifecycle span trace (JSONL) to PATH and "
+        "print the per-stage latency breakdown",
+    )
+    simulate.add_argument(
+        "--metrics-interval",
+        metavar="US",
+        type=float,
+        default=None,
+        dest="metrics_interval",
+        help="sample time-sliced metrics every US simulated microseconds "
+        "and print the timeline",
     )
     add_sim_args(simulate)
 
@@ -105,13 +121,17 @@ def _config(args: argparse.Namespace) -> SSDConfig:
 
 def _run(args: argparse.Namespace, ftl: str):
     config = _config(args)
-    sim = SSDSimulation(config, ftl=ftl)
-    sim.prefill(args.prefill)
-    trace = make_workload(
-        args.workload, config.logical_pages, args.requests, seed=args.seed
-    )
-    return sim.run(
-        trace, queue_depth=args.queue_depth, warmup_requests=args.warmup
+    return run_simulation(
+        config,
+        args.workload,
+        ftl=ftl,
+        queue_depth=args.queue_depth,
+        warmup_requests=args.warmup,
+        prefill=args.prefill,
+        n_requests=args.requests,
+        seed=args.seed,
+        trace=getattr(args, "trace", None),
+        metrics_interval=getattr(args, "metrics_interval", None),
     )
 
 
@@ -149,7 +169,8 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    stats = _run(args, args.ftl)
+    result = _run(args, args.ftl)
+    stats = result.stats
     print(stats.summary())
     counters = stats.counters
     print(
@@ -169,6 +190,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"{recovery.recovered_reads} recovered reads, "
             f"{recovery.uncorrectable_after_recovery} uncorrectable"
         )
+    if args.trace:
+        from repro.obs.analyze import breakdown_report, load_trace
+
+        print(f"\ntrace written to {args.trace}")
+        print(breakdown_report(load_trace(args.trace)))
+    if args.metrics_interval is not None and result.metrics:
+        from repro.obs.analyze import metrics_report
+
+        print()
+        print(metrics_report(result.metrics))
     if args.json:
         import json
 
@@ -182,7 +213,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     rows = []
     base = None
     for ftl in ("page", "vert", "cube"):
-        stats = _run(args, ftl)
+        stats = _run(args, ftl).stats
         if base is None:
             base = stats.iops
         rows.append(

@@ -162,6 +162,12 @@ class OptimalParameterManager:
             self._params_cache.pop(key, None)
         return verdict
 
+    @property
+    def ort_hit_rate(self) -> float:
+        """Fraction of read-offset lookups served by a learned entry
+        (the Fig. 14 signal, exposed for the metrics sampler)."""
+        return self.ort.hit_rate
+
     def memory_bytes(self) -> int:
         """Controller-memory footprint of the monitored state.
 

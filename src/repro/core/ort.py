@@ -78,6 +78,12 @@ class OptimalReadTable:
     def misses(self) -> int:
         return self._misses
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from a learned entry."""
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
     @staticmethod
     def overhead_ratio(geometry: BlockGeometry) -> float:
         """Table bytes per data byte: BYTES_PER_ENTRY per h-layer over the

@@ -178,6 +178,13 @@ class WLAllocationManager:
         self.leader_allocations = 0
         self.follower_allocations = 0
 
+    @property
+    def follower_fraction(self) -> float:
+        """Share of allocations that used fast follower WLs (the
+        burst-absorption signal the metrics sampler tracks)."""
+        total = self.leader_allocations + self.follower_allocations
+        return self.follower_allocations / total if total else 0.0
+
     def cursors(self, chip_id: int) -> List[ActiveBlockCursor]:
         return self._cursors.setdefault(chip_id, [])
 

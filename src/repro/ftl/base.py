@@ -58,6 +58,7 @@ class FTLCounters:
     reprograms: int = 0
     read_retries: int = 0
     retried_reads: int = 0
+    vfy_skipped: int = 0
     program_time_us: float = 0.0
     read_time_us: float = 0.0
 
@@ -71,11 +72,35 @@ class FTLCounters:
         total = self.flash_reads + self.gc_reads
         return self.read_retries / total if total else 0.0
 
+    def to_dict(self) -> dict:
+        """Explicitly typed serialization (result schema v2)."""
+        return {
+            "host_read_pages": self.host_read_pages,
+            "host_write_pages": self.host_write_pages,
+            "buffer_read_hits": self.buffer_read_hits,
+            "flash_reads": self.flash_reads,
+            "flash_programs": self.flash_programs,
+            "leader_programs": self.leader_programs,
+            "follower_programs": self.follower_programs,
+            "gc_reads": self.gc_reads,
+            "gc_programs": self.gc_programs,
+            "erases": self.erases,
+            "retired_blocks": self.retired_blocks,
+            "reprograms": self.reprograms,
+            "read_retries": self.read_retries,
+            "retried_reads": self.retried_reads,
+            "vfy_skipped": self.vfy_skipped,
+            "program_time_us": self.program_time_us,
+            "read_time_us": self.read_time_us,
+            "mean_t_prog_us": self.mean_t_prog_us,
+            "mean_num_retry": self.mean_num_retry,
+        }
+
 
 class _ActiveRequest:
     """Runtime completion tracking for one host request."""
 
-    __slots__ = ("spec", "issued_us", "remaining", "on_complete")
+    __slots__ = ("spec", "issued_us", "remaining", "on_complete", "req_id")
 
     def __init__(
         self,
@@ -87,6 +112,8 @@ class _ActiveRequest:
         self.issued_us = issued_us
         self.remaining = spec.n_pages
         self.on_complete = on_complete
+        #: tracer-assigned id; None when tracing is disabled
+        self.req_id = None
 
     def page_done(self, now_us: float) -> None:
         self.remaining -= 1
@@ -125,6 +152,10 @@ class BaseFTL:
         # fault injector shared with the chips; None on fault-free runs,
         # which keeps every recovery path dormant (zero behavioral drift)
         self.faults = getattr(controller, "faults", None)
+        # lifecycle tracer shared with the controller; None keeps every
+        # hook down to a single pointer comparison (tracing records but
+        # never schedules, so the event sequence is identical either way)
+        self.tracer = getattr(controller, "tracer", None)
         self._scrubbed_lpns: set = set()
         self._pending_writes: Deque[Tuple[_ActiveRequest, int]] = deque()
         self._inflight_programs: Dict[int, int] = {
@@ -218,6 +249,22 @@ class BaseFTL:
         """Accept one host request; ``on_complete(active, time)`` fires
         when all its pages are done."""
         active = _ActiveRequest(request, self.controller.now, on_complete)
+        tracer = self.tracer
+        if tracer is not None:
+            active.req_id = tracer.begin_request()
+
+            def traced_complete(done: _ActiveRequest, now_us: float) -> None:
+                tracer.end_request(
+                    done.req_id,
+                    done.spec.is_read,
+                    done.spec.lpn,
+                    done.spec.n_pages,
+                    done.issued_us,
+                    now_us,
+                )
+                on_complete(done, now_us)
+
+            active.on_complete = traced_complete
         if request.is_read:
             self._start_read(active)
         else:
@@ -236,6 +283,7 @@ class BaseFTL:
         """Admit pending host-write pages into the buffer while slots
         last, then try to flush."""
         progressed = False
+        tracer = self.tracer
         while self._pending_writes:
             active, next_page = self._pending_writes[0]
             spec = active.spec
@@ -244,6 +292,12 @@ class BaseFTL:
                 if not self.buffer.can_admit(lpn):
                     break
                 self.buffer.admit(lpn, data=lpn, waiter=active)
+                if tracer is not None:
+                    now = self.controller.now
+                    tracer.span(
+                        active.req_id, lpn, "buffer_wait", active.issued_us, now
+                    )
+                    tracer.note_admit(active.req_id, lpn, now)
                 next_page += 1
                 progressed = True
             if next_page >= spec.n_pages:
@@ -358,6 +412,29 @@ class BaseFTL:
             data += [None] * (self.geometry.block.pages_per_wl - len(data))
         self._inflight_programs[chip_id] += 1
 
+        tracer = self.tracer
+        trace_ctx = None
+        chip_submit = None
+        if tracer is not None:
+            now = self.controller.now
+            if not is_gc:
+                # close each page's staging interval; a re-dispatch after
+                # a failed/unsafe attempt has no open interval (its next
+                # stage starts right where the failed attempt ended)
+                trace_ctx = [
+                    (waiter.req_id, entry.lpn)
+                    for entry in entries
+                    for waiter in entry.waiters
+                ]
+                for req, lpn in trace_ctx:
+                    admitted = tracer.pop_admit(req, lpn)
+                    if admitted is not None:
+                        tracer.span(
+                            req, lpn, "buffer_staged", admitted, now, chip=chip_id
+                        )
+            # service-start bookkeeping shared by the closures below
+            chip_submit = {"t": now}
+
         def job():
             # parameters bind when the die starts the program (the
             # Set-Features immediately preceding the program command), so
@@ -374,11 +451,37 @@ class BaseFTL:
                 )
             except ProgramFailError as fail:
                 # the failed attempt still occupied the die
-                return fail.t_us, (None, params, squeeze_mv)
-            return result.t_prog_us, (result, params, squeeze_mv)
+                return fail.t_us, (None, params, squeeze_mv, fail.t_us)
+            return result.t_prog_us, (result, params, squeeze_mv, result.t_prog_us)
 
         def on_done(payload) -> None:
-            result, params, squeeze_mv = payload
+            result, params, squeeze_mv, t_us = payload
+            if tracer is not None:
+                end = self.controller.now
+                # clamp: float roundoff in end - t_us must not move the
+                # service start before the recorded submit time (it would
+                # produce negative-duration queue spans)
+                start = max(end - t_us, chip_submit["t"])
+                if is_gc:
+                    tracer.span(
+                        None, None, "gc_program", start, end, chip=chip_id,
+                        fail=result is None,
+                    )
+                else:
+                    info = {"fail": True} if result is None else {
+                        "vfy_skipped": result.ispp.vfy_skipped,
+                        "loops": result.ispp.executed_loops,
+                        "leader": allocation.is_leader,
+                    }
+                    for req, lpn in trace_ctx:
+                        tracer.span(
+                            req, lpn, "chip_queue", chip_submit["t"], start,
+                            chip=chip_id,
+                        )
+                        tracer.span(
+                            req, lpn, "nand_program", start, end, chip=chip_id,
+                            **info,
+                        )
             if result is None:
                 self._on_program_fail(
                     chip_id, allocation, entries, is_gc=is_gc,
@@ -398,12 +501,21 @@ class BaseFTL:
             n_bytes = len(entries) * self.geometry.block.page_size_bytes
             transfer = self.config.timing.transfer_us(n_bytes)
             bus = self.controller.bus_resource(chip_id)
-            bus.submit(
-                lambda: (transfer, None),
-                lambda _ignored: self.controller.chip_resource(chip_id).submit(
-                    job, on_done
-                ),
-            )
+
+            def after_bus(_ignored) -> None:
+                if tracer is not None:
+                    end = self.controller.now
+                    mid = max(end - transfer, chip_submit["t"])
+                    for req, lpn in trace_ctx:
+                        tracer.span(
+                            req, lpn, "bus_queue", chip_submit["t"], mid,
+                            chip=chip_id,
+                        )
+                        tracer.span(req, lpn, "bus_xfer", mid, end, chip=chip_id)
+                    chip_submit["t"] = end
+                self.controller.chip_resource(chip_id).submit(job, on_done)
+
+            bus.submit(lambda: (transfer, None), after_bus)
 
     def _on_program_complete(
         self,
@@ -418,6 +530,7 @@ class BaseFTL:
     ) -> None:
         self._inflight_programs[chip_id] -= 1
         self.counters.program_time_us += result.t_prog_us
+        self.counters.vfy_skipped += result.ispp.vfy_skipped
         if is_gc:
             self.counters.gc_programs += 1
         else:
@@ -565,20 +678,25 @@ class BaseFTL:
             self._read_lpn(spec.lpn + offset, active)
 
     def _read_lpn(self, lpn: int, active: _ActiveRequest) -> None:
+        tracer = self.tracer
+
+        def buffer_done(lpn: int = lpn) -> None:
+            now = self.controller.now
+            if tracer is not None:
+                tracer.span(
+                    active.req_id, lpn, "buffer_read",
+                    now - self.config.buffer_read_us, now,
+                )
+            active.page_done(now)
+
         if self.buffer.contains(lpn):
             self.counters.buffer_read_hits += 1
-            self.controller.engine.schedule(
-                self.config.buffer_read_us,
-                lambda: active.page_done(self.controller.now),
-            )
+            self.controller.engine.schedule(self.config.buffer_read_us, buffer_done)
             return
         ppn = self.mapper.lookup(lpn)
         if ppn == UNMAPPED:
             # never-written page: served from the mapping table directly
-            self.controller.engine.schedule(
-                self.config.buffer_read_us,
-                lambda: active.page_done(self.controller.now),
-            )
+            self.controller.engine.schedule(self.config.buffer_read_us, buffer_done)
             return
         chip_id, address = self.geometry.ppn_to_address(ppn)
 
@@ -587,7 +705,10 @@ class BaseFTL:
                 self._maybe_scrub(lpn, ppn, result)
             active.page_done(self.controller.now)
 
-        self._flash_read(chip_id, address, is_gc=False, on_data=on_data)
+        trace_ctx = (active.req_id, lpn) if tracer is not None else None
+        self._flash_read(
+            chip_id, address, is_gc=False, on_data=on_data, trace_ctx=trace_ctx
+        )
 
     def _maybe_scrub(self, lpn: int, ppn: int, result: ReadResult) -> None:
         """Background scrub: a read that decoded with little ECC margin
@@ -618,9 +739,12 @@ class BaseFTL:
         address: PageAddress,
         is_gc: bool,
         on_data: Callable[[ReadResult], None],
+        trace_ctx: Optional[Tuple[Optional[int], int]] = None,
     ) -> None:
         """One page read: die sense (with retries) then, for host reads,
         the channel transfer out."""
+        tracer = self.tracer
+        t_submit = self.controller.now if tracer is not None else 0.0
 
         def job():
             params = self.read_params(chip_id, address.block, address.layer)
@@ -630,15 +754,33 @@ class BaseFTL:
             return result.t_read_us, result
 
         def on_done(result: ReadResult) -> None:
+            if tracer is not None:
+                end = self.controller.now
+                start = max(end - result.t_read_us, t_submit)
+                if trace_ctx is not None:
+                    req, lpn = trace_ctx
+                    tracer.span(req, lpn, "chip_queue", t_submit, start, chip=chip_id)
+                    tracer.span(
+                        req, lpn, "nand_read", start, end - result.t_retry_us,
+                        chip=chip_id, retries=result.num_retry,
+                    )
+                    if result.t_retry_us:
+                        tracer.span(
+                            req, lpn, "read_retry", end - result.t_retry_us, end,
+                            chip=chip_id, retries=result.num_retry,
+                        )
+                elif is_gc:
+                    tracer.span(None, None, "gc_read", start, end, chip=chip_id)
             self._account_read(result, is_gc)
             if self.faults is not None and not result.correctable:
                 self._recover_read(
                     chip_id, address, is_gc, on_data,
                     self.config.read_recovery_attempts,
+                    trace_ctx=trace_ctx,
                 )
                 return
             self.after_read(chip_id, address.block, address.layer, result)
-            self._deliver_read(chip_id, result, is_gc, on_data)
+            self._deliver_read(chip_id, result, is_gc, on_data, trace_ctx=trace_ctx)
 
         self.controller.chip_resource(chip_id).submit(job, on_done)
 
@@ -658,13 +800,28 @@ class BaseFTL:
         result: ReadResult,
         is_gc: bool,
         on_data: Callable[[ReadResult], None],
+        trace_ctx: Optional[Tuple[Optional[int], int]] = None,
     ) -> None:
         if is_gc:
             on_data(result)
-        else:
-            transfer = self.config.timing.transfer_us(
-                self.geometry.block.page_size_bytes
+            return
+        transfer = self.config.timing.transfer_us(self.geometry.block.page_size_bytes)
+        tracer = self.tracer
+        if tracer is not None and trace_ctx is not None:
+            t_submit = self.controller.now
+
+            def after_bus(_ignored) -> None:
+                end = self.controller.now
+                mid = max(end - transfer, t_submit)
+                req, lpn = trace_ctx
+                tracer.span(req, lpn, "bus_queue", t_submit, mid, chip=chip_id)
+                tracer.span(req, lpn, "bus_xfer", mid, end, chip=chip_id)
+                on_data(result)
+
+            self.controller.bus_resource(chip_id).submit(
+                lambda: (transfer, None), after_bus
             )
+        else:
             self.controller.bus_resource(chip_id).submit(
                 lambda: (transfer, None), lambda _ignored: on_data(result)
             )
@@ -676,6 +833,7 @@ class BaseFTL:
         is_gc: bool,
         on_data: Callable[[ReadResult], None],
         attempts_left: int,
+        trace_ctx: Optional[Tuple[Optional[int], int]] = None,
     ) -> None:
         """Bounded re-read with conservative nominal parameters after an
         uncorrectable read.
@@ -686,6 +844,8 @@ class BaseFTL:
         paper-default references with the full retry search available."""
         if self.on_uncorrectable(chip_id, address.block, address.layer):
             self.recovery.ort_invalidations += 1
+        tracer = self.tracer
+        t_submit = self.controller.now if tracer is not None else 0.0
 
         def job():
             result = self.controller.chip(chip_id).read_page(
@@ -698,20 +858,33 @@ class BaseFTL:
             return result.t_read_us, result
 
         def on_done(result: ReadResult) -> None:
+            if tracer is not None:
+                end = self.controller.now
+                start = max(end - result.t_read_us, t_submit)
+                if trace_ctx is not None:
+                    req, lpn = trace_ctx
+                    tracer.span(req, lpn, "chip_queue", t_submit, start, chip=chip_id)
+                    tracer.span(
+                        req, lpn, "recovery_read", start, end, chip=chip_id,
+                        retries=result.num_retry, correctable=result.correctable,
+                    )
+                elif is_gc:
+                    tracer.span(None, None, "gc_read", start, end, chip=chip_id)
             self._account_read(result, is_gc)
             if result.correctable:
                 self.recovery.recovered_reads += 1
                 self.after_read(chip_id, address.block, address.layer, result)
-                self._deliver_read(chip_id, result, is_gc, on_data)
+                self._deliver_read(chip_id, result, is_gc, on_data, trace_ctx=trace_ctx)
             elif attempts_left > 1:
                 self._recover_read(
-                    chip_id, address, is_gc, on_data, attempts_left - 1
+                    chip_id, address, is_gc, on_data, attempts_left - 1,
+                    trace_ctx=trace_ctx,
                 )
             else:
                 # data loss in a real device; the simulation completes the
                 # request and records the escape
                 self.recovery.uncorrectable_after_recovery += 1
-                self._deliver_read(chip_id, result, is_gc, on_data)
+                self._deliver_read(chip_id, result, is_gc, on_data, trace_ctx=trace_ctx)
 
         self.controller.chip_resource(chip_id).submit(job, on_done)
 
@@ -783,19 +956,26 @@ class BaseFTL:
             if failing:
                 # a program already failed on this block: skip the erase
                 # attempt and send it straight to the grown-bad table
-                return 0.0, "program_fail"
+                return 0.0, ("program_fail", 0.0)
             try:
                 t_erase = self.controller.chip(chip_id).erase_block(victim)
-                return t_erase, "erased"
+                return t_erase, ("erased", t_erase)
             except WearOutError:
                 # worn out: the block's data is already migrated; retire
                 # it instead of returning it to the free pool
-                return 0.0, "wear"
+                return 0.0, ("wear", 0.0)
             except EraseFailError as fail:
                 # erase reported a FAIL status: grown bad block
-                return fail.t_us, "erase_fail"
+                return fail.t_us, ("erase_fail", fail.t_us)
 
-        def on_done(outcome: str) -> None:
+        def on_done(payload: Tuple[str, float]) -> None:
+            outcome, t_us = payload
+            if self.tracer is not None and t_us:
+                end = self.controller.now
+                self.tracer.span(
+                    None, None, "erase", end - t_us, end, chip=chip_id,
+                    block=victim, outcome=outcome,
+                )
             self.mapper.clear_block(chip_id, victim)
             if outcome == "erased":
                 self.counters.erases += 1

@@ -260,3 +260,12 @@ class BlockManager:
         for state in self._state[chip_id]:
             result[state] += 1
         return result
+
+    def totals(self) -> Dict[BlockState, int]:
+        """Lifecycle-state counts summed over every chip (the
+        metrics sampler's free-block / retirement gauges)."""
+        result = {state: 0 for state in BlockState}
+        for chip_id in self._state:
+            for state, count in self.counts(chip_id).items():
+                result[state] += count
+        return result

@@ -94,6 +94,9 @@ class ReadResult:
     correctable: bool
     #: stored data tag, when tag storage is enabled
     data: Optional[object]
+    #: portion of ``t_read_us`` spent on retry sense steps (0 when the
+    #: first sense decoded) -- the tracer's queueing/NAND/retry split
+    t_retry_us: float = 0.0
 
 
 class NandChip:
@@ -167,6 +170,11 @@ class NandChip:
         self.read_disturb_per_read = read_disturb_per_read
         self.faults = fault_injector
         self._op_nonce = 0
+        # cumulative operation counters (observability only; never read
+        # by the simulation itself)
+        self.reads_done = 0
+        self.programs_done = 0
+        self.erases_done = 0
 
         wls = geometry.wls_per_block
         self._erase_counts = np.zeros(n_blocks, dtype=np.int32)
@@ -230,6 +238,7 @@ class NandChip:
                 t_us=self._op_latency(self.timing.t_erase_us),
             )
         self._erase_counts[block] += 1
+        self.erases_done += 1
         self._programmed[block, :] = False
         self._penalty[block, :] = 1.0
         self._prog_noise[block, :] = 1.0
@@ -288,6 +297,7 @@ class NandChip:
             )
 
         self._programmed[block, wl_index] = True
+        self.programs_done += 1
         self._penalty[block, wl_index] = ispp_result.ber_penalty
         noise_u = hash_unit(
             self.reliability.seed, 0x9619, self.chip_id, block, wl_index,
@@ -383,13 +393,24 @@ class NandChip:
             num_retry = self.retry_model.retries_needed(params.offset_hint, optimal)
             correctable = self.ecc.correctable(ber)
         tag = self._tags.get((block, wl_index, page)) if self.store_tags else None
+        self.reads_done += 1
+        total_raw = self.timing.read_us(num_retry)
+        t_read = self._op_latency(total_raw)
+        # the retry share survives latency faults because the factor is
+        # multiplicative over the whole operation
+        t_retry = (
+            t_read * (total_raw - self.timing.read_us(0)) / total_raw
+            if num_retry
+            else 0.0
+        )
         return ReadResult(
-            t_read_us=self._op_latency(self.timing.read_us(num_retry)),
+            t_read_us=t_read,
             num_retry=num_retry,
             final_offset=optimal,
             ber=ber,
             correctable=correctable,
             data=tag,
+            t_retry_us=t_retry,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,46 @@
+"""Observability: request-lifecycle tracing and time-sliced metrics.
+
+The paper's claims are *latency decompositions* -- tPROG savings from
+VFY skipping and MaxLoop reduction (Figs. 8-11), read-retry counts cut
+by the ORT (Fig. 14) -- so the simulator must be able to attribute a
+latency to a mechanism, not just report end-to-end percentiles.  This
+package provides that attribution in three parts:
+
+- :mod:`repro.obs.trace` -- a :class:`Tracer` that records one
+  :class:`Span` per stage a host request passes through (write buffer,
+  bus/die FIFOs, NAND operation, read retries, recovery), emitted to a
+  pluggable :class:`TraceSink` (in-memory, JSONL file, null).  With no
+  tracer attached every hook is a single ``is None`` test.
+- :mod:`repro.obs.metrics` -- a :class:`MetricsSampler` driven by the
+  event engine that periodically snapshots IOPS, buffer utilization
+  (the WAM's mu signal), free-block counts, GC activity, the
+  leader/follower WL mix, VFY-skip savings and the ORT hit rate.
+- :mod:`repro.obs.analyze` -- turns a trace into per-stage latency
+  breakdowns (queueing vs. NAND vs. retry time) and a metrics timeline
+  (ASCII plot + dict).
+
+The supported entry point is :func:`repro.api.run_simulation` with its
+``trace=`` and ``metrics_interval=`` arguments; see
+``docs/OBSERVABILITY.md`` for the trace format and span taxonomy.
+"""
+
+from repro.obs.metrics import MetricsSample, MetricsSampler
+from repro.obs.trace import (
+    InMemorySink,
+    JsonlSink,
+    NullSink,
+    Span,
+    Tracer,
+    TraceSink,
+)
+
+__all__ = [
+    "InMemorySink",
+    "JsonlSink",
+    "MetricsSample",
+    "MetricsSampler",
+    "NullSink",
+    "Span",
+    "TraceSink",
+    "Tracer",
+]

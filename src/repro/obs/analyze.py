@@ -1,0 +1,275 @@
+"""Trace and metrics analysis: latency breakdowns and timelines.
+
+Turns a span trace into the per-mechanism attribution the paper's
+evaluation is built on: how much of a request's latency was *queueing*
+(FIFO and buffer waits), *NAND time* (array sense / program), *retry*
+(extra sense steps the ORT is meant to eliminate), and *transfer*.
+
+All attribution is per observed page: a WL program serving three host
+pages contributes its duration to each of the three (each page really
+did spend that time in the stage), so group totals are page-observed
+time, not device busy time.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.obs.metrics import MetricsSample
+from repro.obs.trace import Span
+
+#: span stages -> report groups (the acceptance-level decomposition)
+STAGE_GROUPS: Dict[str, str] = {
+    "buffer_wait": "queueing",
+    "buffer_staged": "queueing",
+    "bus_queue": "queueing",
+    "chip_queue": "queueing",
+    "nand_read": "nand",
+    "nand_program": "nand",
+    "read_retry": "retry",
+    "recovery_read": "retry",
+    "bus_xfer": "transfer",
+    "buffer_read": "buffer",
+}
+
+GROUP_ORDER = ("queueing", "nand", "retry", "transfer", "buffer")
+
+
+def load_trace(path: str) -> List[Span]:
+    """Read a JSONL trace file back into spans."""
+    spans: List[Span] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+# ----------------------------------------------------------------------
+# per-request decomposition
+# ----------------------------------------------------------------------
+
+
+def request_spans(spans: Iterable[Span]) -> Dict[int, Span]:
+    """The end-to-end ``request`` span of each host request."""
+    return {
+        span.request: span
+        for span in spans
+        if span.stage == "request" and span.request is not None
+    }
+
+
+def page_chains(
+    spans: Iterable[Span],
+) -> Dict[Tuple[int, int], List[Span]]:
+    """Stage spans grouped per (request, lpn) page, in time order."""
+    chains: Dict[Tuple[int, int], List[Span]] = defaultdict(list)
+    for span in spans:
+        if span.request is None or span.stage == "request":
+            continue
+        chains[(span.request, span.lpn)].append(span)
+    for chain in chains.values():
+        chain.sort(key=lambda span: (span.start_us, span.end_us))
+    return dict(chains)
+
+
+def request_breakdown(spans: Sequence[Span]) -> Dict[int, Dict[str, float]]:
+    """Per-request page-observed time in each stage group.
+
+    For a one-page request the group values sum to the request's
+    end-to-end latency; for an n-page request they sum to the total
+    page-observed time (pages progress in parallel).
+    """
+    breakdown: Dict[int, Dict[str, float]] = defaultdict(
+        lambda: {group: 0.0 for group in GROUP_ORDER}
+    )
+    for span in spans:
+        if span.request is None or span.stage == "request":
+            continue
+        group = STAGE_GROUPS.get(span.stage)
+        if group is not None:
+            breakdown[span.request][group] += span.duration_us
+    return dict(breakdown)
+
+
+def stage_summary(spans: Sequence[Span]) -> Dict[str, Dict[str, float]]:
+    """Per-stage count / total / mean of page-observed time."""
+    totals: Dict[str, List[float]] = defaultdict(lambda: [0, 0.0])
+    for span in spans:
+        if span.request is None or span.stage == "request":
+            continue
+        entry = totals[span.stage]
+        entry[0] += 1
+        entry[1] += span.duration_us
+    return {
+        stage: {
+            "count": count,
+            "total_us": total,
+            "mean_us": total / count if count else 0.0,
+        }
+        for stage, (count, total) in sorted(totals.items())
+    }
+
+
+def validate_trace(spans: Sequence[Span], tol_us: float = 1e-6) -> List[str]:
+    """Check the tiling contract; returns human-readable violations.
+
+    For every traced page the stage spans must (a) start at the
+    request's issue time, (b) be contiguous (each span starts where the
+    previous ended), and (c) therefore sum to that page's end-to-end
+    latency; the request's last page must end at the request span's
+    end.  An empty return value means the trace is self-consistent.
+    """
+    errors: List[str] = []
+    requests = request_spans(spans)
+    chains = page_chains(spans)
+    last_end: Dict[int, float] = defaultdict(float)
+    for (request, lpn), chain in chains.items():
+        parent = requests.get(request)
+        if parent is None:
+            errors.append(f"req {request} lpn {lpn}: no request span")
+            continue
+        if abs(chain[0].start_us - parent.start_us) > tol_us:
+            errors.append(
+                f"req {request} lpn {lpn}: first span starts at "
+                f"{chain[0].start_us}, request issued at {parent.start_us}"
+            )
+        for previous, current in zip(chain, chain[1:]):
+            if abs(current.start_us - previous.end_us) > tol_us:
+                errors.append(
+                    f"req {request} lpn {lpn}: gap between "
+                    f"{previous.stage}@{previous.end_us} and "
+                    f"{current.stage}@{current.start_us}"
+                )
+        total = sum(span.duration_us for span in chain)
+        span_latency = chain[-1].end_us - parent.start_us
+        if abs(total - span_latency) > tol_us:
+            errors.append(
+                f"req {request} lpn {lpn}: stage sum {total} != "
+                f"page latency {span_latency}"
+            )
+        last_end[request] = max(last_end[request], chain[-1].end_us)
+    for request, parent in requests.items():
+        if request not in last_end:
+            errors.append(f"req {request}: no page spans")
+        elif abs(last_end[request] - parent.end_us) > tol_us:
+            errors.append(
+                f"req {request}: last page ends at {last_end[request]}, "
+                f"request completed at {parent.end_us}"
+            )
+    return errors
+
+
+def breakdown_report(spans: Sequence[Span]) -> str:
+    """Human-readable per-stage-group latency decomposition.
+
+    Splits host requests into reads and writes and reports, per group,
+    the page-observed time and its share -- the table that attributes a
+    regression to queueing vs. NAND vs. retry time.
+    """
+    from repro.analysis.tables import format_table
+
+    requests = request_spans(spans)
+    breakdown = request_breakdown(spans)
+    by_kind: Dict[str, Dict[str, float]] = {
+        "read": {group: 0.0 for group in GROUP_ORDER},
+        "write": {group: 0.0 for group in GROUP_ORDER},
+    }
+    counts = {"read": 0, "write": 0}
+    for request, groups in breakdown.items():
+        parent = requests.get(request)
+        if parent is None:
+            continue
+        kind = parent.info.get("kind", "read")
+        counts[kind] += 1
+        for group, value in groups.items():
+            by_kind[kind][group] += value
+    rows = []
+    for kind in ("read", "write"):
+        total = sum(by_kind[kind].values())
+        if counts[kind] == 0:
+            continue
+        for group in GROUP_ORDER:
+            value = by_kind[kind][group]
+            if value == 0.0:
+                continue
+            rows.append(
+                [
+                    kind,
+                    group,
+                    f"{value:.0f}",
+                    f"{value / counts[kind]:.1f}",
+                    f"{100.0 * value / total:.1f} %" if total else "-",
+                ]
+            )
+    header = ["kind", "stage group", "total us", "us/request", "share"]
+    return format_table(header, rows)
+
+
+# ----------------------------------------------------------------------
+# metrics timelines
+# ----------------------------------------------------------------------
+
+
+def metrics_timeline(samples: Sequence[MetricsSample]) -> Dict[str, List[float]]:
+    """Differentiate cumulative samples into per-interval rates.
+
+    Returns a dict of aligned series keyed by name; ``t_us`` holds the
+    interval end times.  Rates are per second of simulated time.
+    """
+    if len(samples) < 2:
+        return {"t_us": [sample.t_us for sample in samples]}
+    timeline: Dict[str, List[float]] = defaultdict(list)
+    for previous, current in zip(samples, samples[1:]):
+        dt_s = (current.t_us - previous.t_us) / 1e6
+        if dt_s <= 0:
+            continue
+        timeline["t_us"].append(current.t_us)
+        timeline["iops"].append(
+            (current.completed_requests - previous.completed_requests) / dt_s
+        )
+        timeline["write_pages_per_s"].append(
+            (current.host_write_pages - previous.host_write_pages) / dt_s
+        )
+        timeline["read_pages_per_s"].append(
+            (current.host_read_pages - previous.host_read_pages) / dt_s
+        )
+        timeline["gc_programs_per_s"].append(
+            (current.gc_programs - previous.gc_programs) / dt_s
+        )
+        timeline["erases_per_s"].append((current.erases - previous.erases) / dt_s)
+        timeline["buffer_utilization"].append(current.buffer_utilization)
+        timeline["free_blocks"].append(float(current.free_blocks))
+        timeline["follower_fraction"].append(current.follower_fraction)
+        timeline["ort_hit_rate"].append(current.ort_hit_rate)
+    return dict(timeline)
+
+
+def metrics_report(samples: Sequence[MetricsSample], width: int = 60) -> str:
+    """ASCII timeline of IOPS, buffer utilization and ORT hit rate."""
+    from repro.analysis.ascii_plot import series_chart
+
+    timeline = metrics_timeline(samples)
+    xs = timeline.get("t_us", [])
+    if len(xs) < 2:
+        return "(not enough samples for a timeline)"
+    parts = []
+    parts.append("IOPS per interval:")
+    parts.append(series_chart(xs, {"iops": timeline["iops"]}, width=width))
+    parts.append("")
+    parts.append("buffer utilization (mu) / ORT hit rate / follower mix:")
+    parts.append(
+        series_chart(
+            xs,
+            {
+                "mu": timeline["buffer_utilization"],
+                "ort": timeline["ort_hit_rate"],
+                "followers": timeline["follower_fraction"],
+            },
+            width=width,
+        )
+    )
+    return "\n".join(parts)

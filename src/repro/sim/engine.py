@@ -29,6 +29,42 @@ class Event:
         return (self.time, self.seq) < (other.time, other.seq)
 
 
+class RecurringEvent:
+    """A self-rescheduling periodic callback (metrics sampling).
+
+    The callback re-arms only while *other* events remain queued, so a
+    recurring event can never keep the engine alive on its own or
+    advance the clock past the last real event; :meth:`stop` cancels
+    the pending occurrence without disturbing the queue order.
+    """
+
+    __slots__ = ("engine", "interval", "callback", "event", "stopped")
+
+    def __init__(self, engine: "Engine", interval: float, callback: Callable[[], None]) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be > 0")
+        self.engine = engine
+        self.interval = interval
+        self.callback = callback
+        self.stopped = False
+        self.event = engine.schedule(interval, self._fire)
+
+    def _fire(self) -> None:
+        if self.stopped:
+            return
+        self.callback()
+        if self.engine.pending > 0:
+            self.event = self.engine.schedule(self.interval, self._fire)
+        else:
+            self.event = None
+
+    def stop(self) -> None:
+        self.stopped = True
+        if self.event is not None:
+            self.event.cancel()
+            self.event = None
+
+
 class Engine:
     """Event queue with a monotonically advancing clock."""
 
@@ -70,6 +106,11 @@ class Engine:
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
+
+    def every(self, interval: float, callback: Callable[[], None]) -> RecurringEvent:
+        """Run ``callback`` every ``interval`` microseconds while other
+        events remain queued (observability hooks ride on this)."""
+        return RecurringEvent(self, interval, callback)
 
     def step(self) -> bool:
         """Execute the next event.  Returns False when the queue is empty."""

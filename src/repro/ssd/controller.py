@@ -61,6 +61,10 @@ class SSDController:
     def __init__(self, config: SSDConfig) -> None:
         self.config = config
         self.engine = Engine()
+        #: request-lifecycle tracer (:class:`repro.obs.Tracer`); installed
+        #: by :class:`SSDSimulation` before the FTL is built, None when
+        #: tracing is disabled
+        self.tracer = None
         geometry = config.geometry
         self.reliability = ReliabilityModel(geometry.block, seed=config.seed)
         self.ispp = IsppEngine(config.timing)
@@ -116,13 +120,23 @@ class SSDController:
 class SSDSimulation:
     """Front end: build an SSD, prefill it, replay traces."""
 
-    def __init__(self, config: SSDConfig, ftl: str = "page", **ftl_kwargs) -> None:
+    def __init__(
+        self,
+        config: SSDConfig,
+        ftl: str = "page",
+        *,
+        tracer=None,
+        **ftl_kwargs,
+    ) -> None:
         # local import: repro.ftl imports repro.ssd.config, so importing
         # it at module scope would be circular
         from repro.ftl import make_ftl
 
         self.config = config
         self.controller = SSDController(config)
+        # must be installed before the FTL is built: BaseFTL snapshots
+        # controller.tracer at construction time
+        self.controller.tracer = tracer
         self.ftl = make_ftl(ftl, config, self.controller, **ftl_kwargs)
 
     # ------------------------------------------------------------------
@@ -208,12 +222,20 @@ class SSDSimulation:
 
     # ------------------------------------------------------------------
 
+    def _make_sampler(self, interval_us: Optional[float], completed_fn):
+        if interval_us is None:
+            return None
+        from repro.obs.metrics import MetricsSampler
+
+        return MetricsSampler(self.ftl, interval_us, completed_fn=completed_fn)
+
     def run(
         self,
         trace: Trace,
         queue_depth: int = 32,
         warmup_requests: int = 0,
         max_events: Optional[int] = None,
+        metrics_interval_us: Optional[float] = None,
     ) -> SimulationStats:
         """Replay a trace closed-loop and collect statistics.
 
@@ -234,6 +256,10 @@ class SSDSimulation:
         iterator = iter(trace.requests)
         state = {"outstanding": 0, "completed": 0, "measure_start": None}
         pending: Dict[int, IORequest] = {}
+        n_requests = len(trace)
+        sampler = self._make_sampler(
+            metrics_interval_us, lambda: state["completed"]
+        )
 
         def on_complete(active, now_us: float) -> None:
             pending.pop(id(active.spec), None)
@@ -247,6 +273,10 @@ class SSDSimulation:
                     stats.read_latency.add(latency)
                 else:
                     stats.write_latency.add(latency)
+            if sampler is not None and state["completed"] == n_requests:
+                # stop re-arming so sampling never advances the clock
+                # past the last host completion (it would distort IOPS)
+                sampler.stop()
             issue_next()
 
         def issue_next() -> None:
@@ -260,6 +290,8 @@ class SSDSimulation:
         start_us = engine.now
         if warmup_requests == 0:
             state["measure_start"] = start_us
+        if sampler is not None:
+            sampler.start()
         for _ in range(queue_depth):
             issue_next()
         engine.run(max_events=max_events)
@@ -274,12 +306,15 @@ class SSDSimulation:
         stats.completed_requests = state["completed"] - warmup_requests
         stats.counters = self.ftl.counters
         stats.recovery = self.ftl.recovery
+        if sampler is not None:
+            stats.metrics = sampler.finalize()
         return stats
 
     def run_open_loop(
         self,
         trace: Trace,
         max_events: Optional[int] = None,
+        metrics_interval_us: Optional[float] = None,
     ) -> SimulationStats:
         """Replay a trace open-loop: requests issue at their arrival
         times regardless of completions.
@@ -296,6 +331,10 @@ class SSDSimulation:
         state = {"outstanding": 0, "completed": 0}
         pending: Dict[int, IORequest] = {}
         start_us = engine.now
+        n_requests = len(trace)
+        sampler = self._make_sampler(
+            metrics_interval_us, lambda: state["completed"]
+        )
 
         def on_complete(active, now_us: float) -> None:
             pending.pop(id(active.spec), None)
@@ -306,7 +345,11 @@ class SSDSimulation:
                 stats.write_latency.add(latency)
             state["outstanding"] -= 1
             state["completed"] += 1
+            if sampler is not None and state["completed"] == n_requests:
+                sampler.stop()
 
+        if sampler is not None:
+            sampler.start()
         for request in trace:
             if request.arrival_us is None:
                 raise ValueError(
@@ -329,4 +372,6 @@ class SSDSimulation:
         stats.completed_requests = state["completed"]
         stats.counters = self.ftl.counters
         stats.recovery = self.ftl.recovery
+        if sampler is not None:
+            stats.metrics = sampler.finalize()
         return stats

@@ -3,44 +3,67 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+if TYPE_CHECKING:
+    from repro.ftl.base import FTLCounters
+    from repro.obs.metrics import MetricsSample
+
+#: version stamp of the :meth:`SimulationStats.to_dict` layout; bump when
+#: keys change shape so downstream tooling can dispatch (v2: typed counter
+#: serialization, p999/max latency fields, optional metrics timeline)
+SCHEMA_VERSION = 2
+
 
 class LatencyStats:
-    """Accumulates latency samples (microseconds) and summarizes them."""
+    """Accumulates latency samples (microseconds) and summarizes them.
+
+    The numpy view of the samples is built lazily and cached: a run adds
+    hundreds of thousands of samples one by one, then summarizes the
+    same distribution many times (mean, several percentiles, CDF), and
+    rebuilding the array for every query dominated to_dict() time.
+    """
 
     def __init__(self) -> None:
         self._samples: List[float] = []
+        self._array: Optional[np.ndarray] = None
 
     def add(self, latency_us: float) -> None:
         if latency_us < 0:
             raise ValueError("latency must be >= 0")
         self._samples.append(latency_us)
+        self._array = None
 
     def __len__(self) -> int:
         return len(self._samples)
 
     @property
     def samples(self) -> np.ndarray:
-        return np.asarray(self._samples, dtype=float)
+        if self._array is None:
+            self._array = np.asarray(self._samples, dtype=float)
+        return self._array
 
     @property
     def mean_us(self) -> float:
-        return float(np.mean(self._samples)) if self._samples else 0.0
+        return float(np.mean(self.samples)) if self._samples else 0.0
+
+    @property
+    def max_us(self) -> float:
+        return float(np.max(self.samples)) if self._samples else 0.0
 
     def percentile(self, p: float) -> float:
         """p-th percentile latency in microseconds (p in [0, 100])."""
         if not self._samples:
             return 0.0
-        return float(np.percentile(self._samples, p))
+        return float(np.percentile(self.samples, p))
 
     def cdf(self) -> Tuple[np.ndarray, np.ndarray]:
         """(sorted latencies, cumulative fraction) for CDF plots."""
         if not self._samples:
             return np.array([]), np.array([])
-        values = np.sort(self._samples)
+        values = np.sort(self.samples)
         fractions = np.arange(1, len(values) + 1) / len(values)
         return values, fractions
 
@@ -60,11 +83,14 @@ class SimulationStats:
     completed_requests: int = 0
     read_latency: LatencyStats = field(default_factory=LatencyStats)
     write_latency: LatencyStats = field(default_factory=LatencyStats)
-    counters: Optional[object] = None
+    counters: Optional["FTLCounters"] = None
     #: :class:`~repro.faults.counters.RecoveryCounters` of the run; only
     #: serialized when any recovery action fired, so fault-free output is
     #: unchanged
     recovery: Optional[object] = None
+    #: time-sliced :class:`~repro.obs.metrics.MetricsSample` timeline;
+    #: present only when the run sampled metrics
+    metrics: Optional[List["MetricsSample"]] = None
 
     @property
     def iops(self) -> float:
@@ -74,7 +100,8 @@ class SimulationStats:
         return self.completed_requests / (self.duration_us / 1e6)
 
     def to_dict(self) -> dict:
-        """JSON-serializable summary (for scripting / result archiving)."""
+        """JSON-serializable summary, result schema v2 (see
+        docs/OBSERVABILITY.md for the layout contract)."""
         def latency_block(stats: LatencyStats) -> dict:
             return {
                 "count": len(stats),
@@ -82,9 +109,12 @@ class SimulationStats:
                 "p50_us": stats.percentile(50),
                 "p90_us": stats.percentile(90),
                 "p99_us": stats.percentile(99),
+                "p999_us": stats.percentile(99.9),
+                "max_us": stats.max_us,
             }
 
         result = {
+            "schema_version": SCHEMA_VERSION,
             "ftl": self.ftl_name,
             "workload": self.workload,
             "duration_us": self.duration_us,
@@ -94,16 +124,11 @@ class SimulationStats:
             "write_latency": latency_block(self.write_latency),
         }
         if self.counters is not None:
-            counters = {
-                key: value
-                for key, value in vars(self.counters).items()
-                if isinstance(value, (int, float))
-            }
-            counters["mean_t_prog_us"] = self.counters.mean_t_prog_us
-            counters["mean_num_retry"] = self.counters.mean_num_retry
-            result["counters"] = counters
+            result["counters"] = self.counters.to_dict()
         if self.recovery is not None and self.recovery.any():
             result["recovery"] = self.recovery.to_dict()
+        if self.metrics is not None:
+            result["metrics"] = [sample.to_dict() for sample in self.metrics]
         return result
 
     def summary(self) -> str:

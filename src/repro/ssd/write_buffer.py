@@ -46,6 +46,9 @@ class WriteBuffer:
         self._inflight_count = 0
         self._versions: Dict[int, int] = {}
         self.coalesced_writes = 0
+        #: high-water mark of :attr:`occupancy` (burst-absorption signal
+        #: for the metrics sampler; never read by the simulation)
+        self.peak_occupancy = 0
 
     # ------------------------------------------------------------------
 
@@ -97,6 +100,8 @@ class WriteBuffer:
         if waiter is not None:
             entry.waiters.append(waiter)
         self._staged[lpn] = entry
+        if self.occupancy > self.peak_occupancy:
+            self.peak_occupancy = self.occupancy
         return False
 
     def pop_group(self, max_pages: int) -> List[BufferEntry]:

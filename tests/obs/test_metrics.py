@@ -1,0 +1,83 @@
+"""Time-sliced metrics sampling: alignment, monotonicity, no distortion."""
+
+import pytest
+
+from repro.api import run_simulation
+from repro.obs.analyze import metrics_report, metrics_timeline
+from repro.obs.metrics import MetricsSampler
+from repro.ssd.config import SSDConfig
+
+
+def _run(metrics_interval=None, **kwargs):
+    config = SSDConfig.small(logical_fraction=0.4)
+    defaults = dict(
+        queue_depth=8, warmup_requests=0, prefill=0.4, n_requests=300, seed=7
+    )
+    defaults.update(kwargs)
+    return run_simulation(
+        config, "OLTP", ftl="cube", metrics_interval=metrics_interval,
+        **defaults,
+    )
+
+
+class TestSampler:
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            MetricsSampler(None, 0.0)
+
+    def test_samples_cover_run(self):
+        result = _run(metrics_interval=500.0)
+        samples = result.metrics
+        assert samples is not None and len(samples) >= 3
+        assert samples[0].t_us == 0.0
+        times = [sample.t_us for sample in samples]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+    def test_cumulative_counters_monotonic(self):
+        samples = _run(metrics_interval=500.0).metrics
+        for name in ("completed_requests", "flash_programs", "host_write_pages",
+                     "erases", "vfy_skipped"):
+            series = [getattr(sample, name) for sample in samples]
+            assert series == sorted(series), name
+
+    def test_final_sample_aligns_with_stats(self):
+        result = _run(metrics_interval=500.0)
+        stats, last = result.stats, result.metrics[-1]
+        assert last.completed_requests == stats.completed_requests
+        assert last.flash_programs == stats.counters.flash_programs
+        assert last.erases == stats.counters.erases
+        assert last.program_time_us == stats.counters.program_time_us
+
+    def test_sampling_does_not_distort_stats(self):
+        plain = _run().stats.to_dict()
+        sampled = _run(metrics_interval=500.0).stats.to_dict()
+        sampled.pop("metrics")
+        assert sampled == plain
+
+    def test_sample_serialization(self):
+        import json
+
+        samples = _run(metrics_interval=500.0).metrics
+        payload = json.loads(json.dumps([sample.to_dict() for sample in samples]))
+        assert payload[-1]["completed_requests"] == samples[-1].completed_requests
+        assert 0.0 <= payload[-1]["ort_hit_rate"] <= 1.0
+
+
+class TestTimeline:
+    def test_rates_from_cumulative(self):
+        samples = _run(metrics_interval=500.0).metrics
+        timeline = metrics_timeline(samples)
+        assert len(timeline["iops"]) == len(timeline["t_us"])
+        assert any(rate > 0 for rate in timeline["iops"])
+
+    def test_short_run_degrades_gracefully(self):
+        samples = _run(metrics_interval=500.0).metrics
+        assert metrics_timeline(samples[:1]) == {"t_us": [samples[0].t_us]}
+        assert "not enough" in metrics_report(samples[:1])
+
+    def test_report_renders(self):
+        samples = _run(metrics_interval=500.0).metrics
+        report = metrics_report(samples)
+        assert "IOPS" in report
+        assert "mu" in report

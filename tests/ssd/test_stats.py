@@ -40,6 +40,22 @@ class TestLatencyStats:
         with pytest.raises(ValueError):
             LatencyStats().add(-1.0)
 
+    def test_max_us(self):
+        stats = LatencyStats()
+        assert stats.max_us == 0.0
+        for value in (7.0, 42.0, 3.0):
+            stats.add(value)
+        assert stats.max_us == 42.0
+
+    def test_cached_array_invalidated_by_add(self):
+        stats = LatencyStats()
+        stats.add(10.0)
+        first = stats.samples
+        assert stats.samples is first  # cached between queries
+        stats.add(20.0)
+        assert len(stats.samples) == 2
+        assert stats.mean_us == 15.0
+
 
 class TestSimulationStats:
     def test_iops(self):
@@ -68,10 +84,14 @@ class TestSimulationStats:
         stats.write_latency.add(700.0)
         stats.counters = FTLCounters(flash_programs=3, program_time_us=2100.0)
         payload = json.loads(json.dumps(stats.to_dict()))
+        assert payload["schema_version"] == 2
         assert payload["ftl"] == "cubeFTL"
         assert payload["iops"] == pytest.approx(10_000.0)
         assert payload["read_latency"]["count"] == 1
+        assert payload["read_latency"]["p999_us"] == pytest.approx(80.0)
+        assert payload["read_latency"]["max_us"] == pytest.approx(80.0)
         assert payload["counters"]["flash_programs"] == 3
+        assert payload["counters"]["vfy_skipped"] == 0
         assert payload["counters"]["mean_t_prog_us"] == pytest.approx(700.0)
 
 

@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Validate a ``repro-ssd simulate --json`` result file (schema v2) and,
+optionally, a ``--trace`` JSONL span file.
+
+Used by the CI smoke step to catch schema drift and tiling-contract
+regressions on a tiny simulation::
+
+    python tools/check_schema.py out.json --trace trace.jsonl
+
+Exits nonzero with a list of problems on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+REQUIRED_TOP_LEVEL = [
+    "schema_version",
+    "ftl",
+    "workload",
+    "duration_us",
+    "completed_requests",
+    "iops",
+    "read_latency",
+    "write_latency",
+    "counters",
+]
+
+REQUIRED_LATENCY_KEYS = [
+    "count",
+    "mean_us",
+    "p50_us",
+    "p90_us",
+    "p99_us",
+    "p999_us",
+    "max_us",
+]
+
+#: every counter the typed serialization must emit, with its type
+REQUIRED_COUNTERS = {
+    "host_read_pages": int,
+    "host_write_pages": int,
+    "buffer_read_hits": int,
+    "flash_reads": int,
+    "flash_programs": int,
+    "leader_programs": int,
+    "follower_programs": int,
+    "gc_reads": int,
+    "gc_programs": int,
+    "erases": int,
+    "retired_blocks": int,
+    "reprograms": int,
+    "read_retries": int,
+    "retried_reads": int,
+    "vfy_skipped": int,
+    "program_time_us": (int, float),
+    "read_time_us": (int, float),
+    "mean_t_prog_us": (int, float),
+    "mean_num_retry": (int, float),
+}
+
+
+def check_stats(document: dict) -> List[str]:
+    errors: List[str] = []
+    for key in REQUIRED_TOP_LEVEL:
+        if key not in document:
+            errors.append(f"missing top-level key {key!r}")
+    if errors:
+        return errors
+    if document["schema_version"] != 2:
+        errors.append(
+            f"schema_version is {document['schema_version']!r}, expected 2"
+        )
+    for block_name in ("read_latency", "write_latency"):
+        block = document[block_name]
+        for key in REQUIRED_LATENCY_KEYS:
+            if key not in block:
+                errors.append(f"{block_name} missing {key!r}")
+    counters = document["counters"]
+    for key, expected_type in REQUIRED_COUNTERS.items():
+        if key not in counters:
+            errors.append(f"counters missing {key!r}")
+        elif not isinstance(counters[key], expected_type):
+            errors.append(
+                f"counters[{key!r}] is {type(counters[key]).__name__}, "
+                f"expected {expected_type}"
+            )
+    if "metrics" in document:
+        if not isinstance(document["metrics"], list):
+            errors.append("metrics must be a list of samples")
+        elif document["metrics"]:
+            sample = document["metrics"][0]
+            for key in ("t_us", "completed_requests", "buffer_utilization"):
+                if key not in sample:
+                    errors.append(f"metrics sample missing {key!r}")
+    return errors
+
+
+def check_trace(path: str) -> List[str]:
+    # imported lazily: the stats check must work without PYTHONPATH=src
+    from repro.obs.analyze import validate_trace
+    from repro.obs.trace import Span
+
+    spans = []
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                spans.append(Span.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError) as exc:
+                return [f"{path}:{line_no}: unparseable span: {exc}"]
+    if not spans:
+        return [f"{path}: no spans recorded"]
+    return validate_trace(spans)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("stats_json", help="simulate --json output file")
+    parser.add_argument(
+        "--trace", default=None, help="simulate --trace JSONL file to validate"
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.stats_json) as handle:
+        document = json.load(handle)
+    errors = check_stats(document)
+    if args.trace is not None:
+        errors += check_trace(args.trace)
+    if errors:
+        for error in errors:
+            print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    n_spans = "-"
+    if args.trace is not None:
+        with open(args.trace) as handle:
+            n_spans = sum(1 for line in handle if line.strip())
+    print(
+        f"OK: schema v{document['schema_version']}, "
+        f"{document['completed_requests']} requests, {n_spans} spans"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
