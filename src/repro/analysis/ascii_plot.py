@@ -29,6 +29,82 @@ def bar_chart(
     return "\n".join(lines)
 
 
+#: shade ramp used by :func:`heatmap`, darkest last
+HEAT_RAMP = " .:-=+*#%@"
+
+
+def heatmap(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: Sequence[Sequence[float]],
+    unit: str = "",
+    col_header_every: int = 8,
+) -> str:
+    """Character heatmap of a rows x cols value grid.
+
+    Each cell is one character from :data:`HEAT_RAMP`, scaled linearly
+    between the grid's min and max (a flat grid renders mid-ramp).  A
+    sparse column ruler is printed when there are many columns (e.g. 48
+    h-layers), and the value range is annotated so shades are readable.
+    """
+    if len(values) != len(row_labels):
+        raise ValueError("values must have one row per row label")
+    for row in values:
+        if len(row) != len(col_labels):
+            raise ValueError("every row must have one value per col label")
+    if not row_labels or not col_labels:
+        return "(empty heatmap)"
+    flat = [v for row in values for v in row]
+    lo, hi = min(flat), max(flat)
+    span = hi - lo
+    label_width = max(len(str(label)) for label in row_labels)
+
+    def shade(value: float) -> str:
+        if span == 0:
+            return HEAT_RAMP[len(HEAT_RAMP) // 2]
+        index = int((value - lo) / span * (len(HEAT_RAMP) - 1))
+        return HEAT_RAMP[index]
+
+    lines = []
+    if len(col_labels) > col_header_every:
+        ruler = [" "] * len(col_labels)
+        for index in range(0, len(col_labels), col_header_every):
+            text = str(col_labels[index])
+            for offset, ch in enumerate(text):
+                if index + offset < len(ruler):
+                    ruler[index + offset] = ch
+        lines.append(" " * (label_width + 3) + "".join(ruler))
+    else:
+        header = " ".join(f"{str(label):>3}" for label in col_labels)
+        lines.append(" " * (label_width + 3) + header)
+    for label, row in zip(row_labels, values):
+        if len(col_labels) > col_header_every:
+            cells = "".join(shade(value) for value in row)
+        else:
+            cells = " ".join(f"{shade(value):>3}" for value in row)
+        lines.append(f"{str(label):>{label_width}} | {cells}")
+    lines.append(
+        f"{'':>{label_width}}   scale: ' '={lo:g}{unit} .. '@'={hi:g}{unit}"
+    )
+    return "\n".join(lines)
+
+
+def histogram_chart(
+    buckets: Dict[str, int], width: int = 40, unit: str = ""
+) -> str:
+    """Horizontal bar rendering of histogram bucket counts (upper-edge
+    label -> count), skipping nothing so empty buckets stay visible."""
+    if not buckets:
+        return "(empty histogram)"
+    peak = max(buckets.values())
+    label_width = max(len(f"<= {label}") for label in buckets)
+    lines = []
+    for label, count in buckets.items():
+        bar = "#" * (round(width * count / peak) if peak else 0)
+        lines.append(f"{f'<= {label}':>{label_width}} | {bar} {count}{unit}")
+    return "\n".join(lines)
+
+
 def cdf_chart(
     samples_by_label: Dict[str, Sequence[float]],
     width: int = 60,

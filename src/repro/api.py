@@ -25,6 +25,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Union
 
 from repro.obs.metrics import MetricsSample
+from repro.obs.profile import WallClockProfiler
+from repro.obs.registry import TelemetryRegistry
 from repro.obs.trace import InMemorySink, JsonlSink, Span, Tracer
 from repro.ssd.config import SSDConfig
 from repro.ssd.controller import SSDSimulation
@@ -44,6 +46,10 @@ class SimulationResult:
     metrics: Optional[List[MetricsSample]] = None
     #: path of the written JSONL trace when ``trace`` was a path
     trace_path: Optional[str] = None
+    #: registry snapshot when ``telemetry=True`` was requested, else None
+    telemetry: Optional[dict] = None
+    #: wall-clock section attribution when ``profile=True``, else None
+    profile: Optional[dict] = None
 
     @property
     def iops(self) -> float:
@@ -63,6 +69,14 @@ class SimulationResult:
             return breakdown_report(load_trace(self.trace_path))
         raise ValueError("run with trace='memory' or trace=PATH first")
 
+    def telemetry_report(self) -> str:
+        """ASCII heatmaps/histograms of the device telemetry snapshot."""
+        from repro.obs.analyze import telemetry_report
+
+        if self.telemetry is None:
+            raise ValueError("run with telemetry=True first")
+        return telemetry_report(self.telemetry)
+
 
 def run_simulation(
     config: SSDConfig,
@@ -76,6 +90,8 @@ def run_simulation(
     seed: int = 7,
     trace: Optional[str] = None,
     metrics_interval: Optional[float] = None,
+    telemetry: bool = False,
+    profile: bool = False,
     open_loop: bool = False,
     max_events: Optional[int] = None,
     **ftl_kwargs,
@@ -101,6 +117,15 @@ def run_simulation(
     metrics_interval:
         Simulated microseconds between metrics snapshots; ``None``
         disables sampling.
+    telemetry:
+        Attach a :class:`~repro.obs.registry.TelemetryRegistry` with
+        the device instruments (per-die busy time, queue depths,
+        per-h-layer retries/tPROG, ORT hits) and return its snapshot
+        in ``result.telemetry``.  Off by default; an untelemetered run
+        is bit-for-bit the plain run.
+    profile:
+        Attach a :class:`~repro.obs.profile.WallClockProfiler` and
+        return its section attribution in ``result.profile``.
     open_loop:
         Replay at recorded arrival times instead of closed-loop at
         ``queue_depth`` (the trace must carry arrivals).
@@ -110,13 +135,26 @@ def run_simulation(
     if trace is not None:
         sink = InMemorySink() if trace == "memory" else JsonlSink(trace)
         tracer = Tracer(sink)
-    sim = SSDSimulation(config, ftl=ftl, tracer=tracer, **ftl_kwargs)
+    registry = TelemetryRegistry() if telemetry else None
+    profiler = WallClockProfiler() if profile else None
+    if profiler is not None:
+        profiler.push("setup")
+    sim = SSDSimulation(
+        config,
+        ftl=ftl,
+        tracer=tracer,
+        telemetry=registry,
+        profiler=profiler,
+        **ftl_kwargs,
+    )
     if prefill > 0:
         sim.prefill(prefill)
     if isinstance(workload, str):
         workload = make_workload(
             workload, config.logical_pages, n_requests, seed=seed
         )
+    if profiler is not None:
+        profiler.pop()
     try:
         if open_loop:
             stats = sim.run_open_loop(
@@ -140,4 +178,6 @@ def run_simulation(
         spans=sink.spans if isinstance(sink, InMemorySink) else None,
         metrics=stats.metrics,
         trace_path=trace if trace not in (None, "memory") else None,
+        telemetry=registry.snapshot() if registry is not None else None,
+        profile=profiler.to_dict() if profiler is not None else None,
     )

@@ -24,14 +24,27 @@ from repro.api import run_simulation
 from repro.faults import CAMPAIGNS, get_campaign
 from repro.nand.geometry import BlockGeometry, SSDGeometry
 from repro.nand.reliability import AgingState
+from repro.obs.log import LEVELS, configure_logging, get_logger, log_event
 from repro.ssd.config import SSDConfig
 from repro.workloads import WORKLOAD_GENERATORS
+
+# fixed name so `python -m repro.cli` and the installed entry point
+# emit identical logger= fields
+logger = get_logger("repro.cli")
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-ssd",
         description="cubeFTL reproduction: characterization and SSD simulation",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=LEVELS,
+        default="warning",
+        dest="log_level",
+        help="threshold for structured 'REPRO key=value' diagnostics on "
+        "stderr (default: warning)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -96,6 +109,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="sample time-sliced metrics every US simulated microseconds "
         "and print the timeline",
     )
+    simulate.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record device telemetry (per-die busy time, queue depths, "
+        "per-h-layer retries / tPROG, ORT hits) and print the heatmaps; "
+        "the snapshot is embedded in --json output when both are given",
+    )
+    simulate.add_argument(
+        "--profile",
+        action="store_true",
+        help="attribute host wall-clock time to subsystems (FTL, NAND "
+        "model, event queue, tracing) and print the table",
+    )
     add_sim_args(simulate)
 
     compare = sub.add_parser(
@@ -132,6 +158,8 @@ def _run(args: argparse.Namespace, ftl: str):
         seed=args.seed,
         trace=getattr(args, "trace", None),
         metrics_interval=getattr(args, "metrics_interval", None),
+        telemetry=getattr(args, "telemetry", False),
+        profile=getattr(args, "profile", False),
     )
 
 
@@ -181,14 +209,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     recovery = stats.recovery
     if recovery is not None and recovery.any():
-        print(
-            f"recovery: {recovery.program_fails} program fails, "
-            f"{recovery.erase_fails} erase fails, "
-            f"{recovery.blocks_retired} blocks retired, "
-            f"{recovery.scrubs} scrubs, "
-            f"{recovery.ort_invalidations} ORT invalidations, "
-            f"{recovery.recovered_reads} recovered reads, "
-            f"{recovery.uncorrectable_after_recovery} uncorrectable"
+        log_event(
+            logger,
+            "warning",
+            "fault_recovery",
+            program_fails=recovery.program_fails,
+            erase_fails=recovery.erase_fails,
+            blocks_retired=recovery.blocks_retired,
+            scrubs=recovery.scrubs,
+            ort_invalidations=recovery.ort_invalidations,
+            recovered_reads=recovery.recovered_reads,
+            uncorrectable=recovery.uncorrectable_after_recovery,
         )
     if args.trace:
         from repro.obs.analyze import breakdown_report, load_trace
@@ -200,11 +231,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
         print()
         print(metrics_report(result.metrics))
+    if args.telemetry:
+        print()
+        print(result.telemetry_report())
+    if args.profile:
+        from repro.obs.profile import profile_report
+
+        print()
+        print(profile_report(result.profile))
     if args.json:
         import json
 
+        payload = stats.to_dict()
+        if args.telemetry:
+            payload["telemetry"] = result.telemetry
         with open(args.json, "w") as handle:
-            json.dump(stats.to_dict(), handle, indent=2)
+            json.dump(payload, handle, indent=2)
         print(f"stats written to {args.json}")
     return 0
 
@@ -239,6 +281,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    configure_logging(args.log_level)
     if args.command == "characterize":
         return _cmd_characterize(args)
     if args.command == "simulate":

@@ -33,6 +33,10 @@ class OptimalReadTable:
     _entries: Dict[Tuple[int, int, int], int] = field(default_factory=dict)
     _hits: int = 0
     _misses: int = 0
+    #: optional :class:`~repro.obs.device.OrtTelemetry` recording hook
+    #: (per-h-layer hit/miss counts); pure recording, never mutates the
+    #: table, so attached telemetry cannot change any lookup result
+    telemetry: object = field(default=None, repr=False, compare=False)
 
     def get(self, chip_id: int, block: int, layer: int) -> int:
         """Offset hint for reading any WL of an h-layer.
@@ -43,8 +47,12 @@ class OptimalReadTable:
         key = (chip_id, block, layer)
         if key in self._entries:
             self._hits += 1
+            if self.telemetry is not None:
+                self.telemetry.record_lookup(layer, True)
             return self._entries[key]
         self._misses += 1
+        if self.telemetry is not None:
+            self.telemetry.record_lookup(layer, False)
         return self.default_offset
 
     def update(self, chip_id: int, block: int, layer: int, final_offset: int) -> None:

@@ -175,6 +175,11 @@ class NandChip:
         self.reads_done = 0
         self.programs_done = 0
         self.erases_done = 0
+        #: optional :class:`~repro.obs.device.ChipTelemetry` recording
+        #: hook, installed by ``attach_device_telemetry``; recording
+        #: never mutates chip state, so simulated results are identical
+        #: with or without it
+        self.telemetry = None
 
         wls = geometry.wls_per_block
         self._erase_counts = np.zeros(n_blocks, dtype=np.int32)
@@ -239,6 +244,8 @@ class NandChip:
             )
         self._erase_counts[block] += 1
         self.erases_done += 1
+        if self.telemetry is not None:
+            self.telemetry.record_erase()
         self._programmed[block, :] = False
         self._penalty[block, :] = 1.0
         self._prog_noise[block, :] = 1.0
@@ -324,8 +331,11 @@ class NandChip:
             start > 1 for start in params.verify_plan.start_loops
         ):
             t_prog += self.timing.t_param_set_us
+        t_prog = self._op_latency(t_prog)
+        if self.telemetry is not None:
+            self.telemetry.record_program(layer, t_prog)
         return ProgramResult(
-            t_prog_us=self._op_latency(t_prog),
+            t_prog_us=t_prog,
             ispp=ispp_result,
             monitored=ispp_result.monitored,
             post_program_ber=post_ber,
@@ -394,6 +404,8 @@ class NandChip:
             correctable = self.ecc.correctable(ber)
         tag = self._tags.get((block, wl_index, page)) if self.store_tags else None
         self.reads_done += 1
+        if self.telemetry is not None:
+            self.telemetry.record_read(layer, num_retry)
         total_raw = self.timing.read_us(num_retry)
         t_read = self._op_latency(total_raw)
         # the retry share survives latency faults because the factor is

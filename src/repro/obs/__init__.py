@@ -18,13 +18,25 @@ package provides that attribution in three parts:
 - :mod:`repro.obs.analyze` -- turns a trace into per-stage latency
   breakdowns (queueing vs. NAND vs. retry time) and a metrics timeline
   (ASCII plot + dict).
+- :mod:`repro.obs.registry` -- a Prometheus-style
+  :class:`TelemetryRegistry` of named, labelled counters / gauges /
+  histograms; :mod:`repro.obs.device` attaches the per-die /
+  per-channel / per-h-layer device instruments to a built simulation.
+- :mod:`repro.obs.profile` -- an opt-in :class:`WallClockProfiler`
+  attributing *host* time to subsystems (FTL, NAND model, event
+  queue, tracing).
+- :mod:`repro.obs.log` -- structured ``REPRO key=value`` diagnostics
+  on :mod:`logging` (:func:`configure_logging`, :func:`log_event`).
 
 The supported entry point is :func:`repro.api.run_simulation` with its
 ``trace=`` and ``metrics_interval=`` arguments; see
 ``docs/OBSERVABILITY.md`` for the trace format and span taxonomy.
 """
 
+from repro.obs.log import configure_logging, get_logger, log_event
 from repro.obs.metrics import MetricsSample, MetricsSampler
+from repro.obs.profile import WallClockProfiler
+from repro.obs.registry import Counter, Gauge, Histogram, TelemetryRegistry
 from repro.obs.trace import (
     InMemorySink,
     JsonlSink,
@@ -35,12 +47,20 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
     "InMemorySink",
     "JsonlSink",
     "MetricsSample",
     "MetricsSampler",
     "NullSink",
     "Span",
+    "TelemetryRegistry",
     "TraceSink",
     "Tracer",
+    "WallClockProfiler",
+    "configure_logging",
+    "get_logger",
+    "log_event",
 ]

@@ -214,15 +214,36 @@ def breakdown_report(spans: Sequence[Span]) -> str:
 # ----------------------------------------------------------------------
 
 
+#: every series :func:`metrics_timeline` emits (beyond ``t_us``); the
+#: timeline always carries all of them -- empty on short runs -- so
+#: consumers can index keys without guarding against partial dicts
+TIMELINE_SERIES = (
+    "iops",
+    "write_pages_per_s",
+    "read_pages_per_s",
+    "gc_programs_per_s",
+    "erases_per_s",
+    "buffer_utilization",
+    "free_blocks",
+    "follower_fraction",
+    "ort_hit_rate",
+)
+
+
 def metrics_timeline(samples: Sequence[MetricsSample]) -> Dict[str, List[float]]:
     """Differentiate cumulative samples into per-interval rates.
 
     Returns a dict of aligned series keyed by name; ``t_us`` holds the
-    interval end times.  Rates are per second of simulated time.
+    interval end times.  Rates are per second of simulated time.  A run
+    shorter than one sampling interval (fewer than two distinct-time
+    samples) yields the same keys with empty series, never a partial
+    dict.
     """
+    timeline: Dict[str, List[float]] = {"t_us": []}
+    for name in TIMELINE_SERIES:
+        timeline[name] = []
     if len(samples) < 2:
-        return {"t_us": [sample.t_us for sample in samples]}
-    timeline: Dict[str, List[float]] = defaultdict(list)
+        return timeline
     for previous, current in zip(samples, samples[1:]):
         dt_s = (current.t_us - previous.t_us) / 1e6
         if dt_s <= 0:
@@ -245,17 +266,34 @@ def metrics_timeline(samples: Sequence[MetricsSample]) -> Dict[str, List[float]]
         timeline["free_blocks"].append(float(current.free_blocks))
         timeline["follower_fraction"].append(current.follower_fraction)
         timeline["ort_hit_rate"].append(current.ort_hit_rate)
-    return dict(timeline)
+    return timeline
 
 
 def metrics_report(samples: Sequence[MetricsSample], width: int = 60) -> str:
-    """ASCII timeline of IOPS, buffer utilization and ORT hit rate."""
+    """ASCII timeline of IOPS, buffer utilization and ORT hit rate.
+
+    Degrades gracefully on runs shorter than one sampling interval:
+    instead of an empty (or misleading) timeline it reports the final
+    snapshot's headline values, so the caller always gets *something*
+    truthful to print.
+    """
     from repro.analysis.ascii_plot import series_chart
 
+    if not samples:
+        return "(no metrics samples recorded)"
     timeline = metrics_timeline(samples)
-    xs = timeline.get("t_us", [])
+    xs = timeline["t_us"]
     if len(xs) < 2:
-        return "(not enough samples for a timeline)"
+        final = samples[-1]
+        return (
+            f"(run shorter than one metrics interval: {len(samples)} "
+            f"sample(s), no timeline)\n"
+            f"final sample @ {final.t_us:.0f} us: "
+            f"{final.completed_requests} requests, "
+            f"mu={final.buffer_utilization:.2f}, "
+            f"free_blocks={final.free_blocks}, "
+            f"ort_hit_rate={final.ort_hit_rate:.2f}"
+        )
     parts = []
     parts.append("IOPS per interval:")
     parts.append(series_chart(xs, {"iops": timeline["iops"]}, width=width))
@@ -273,3 +311,130 @@ def metrics_report(samples: Sequence[MetricsSample], width: int = 60) -> str:
         )
     )
     return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# telemetry snapshots (registry heatmaps and histograms)
+# ----------------------------------------------------------------------
+
+
+def _series(snapshot: dict, name: str) -> List[dict]:
+    instrument = snapshot.get(name)
+    return instrument["series"] if instrument else []
+
+
+def _grid(
+    series: List[dict], row_key: str, col_key: str, value
+) -> Tuple[List[str], List[str], List[List[float]]]:
+    """Pivot labelled series into a dense rows x cols value grid.
+
+    ``value(entry)`` extracts the cell value; missing (row, col)
+    combinations become 0.  Label values are sorted numerically where
+    possible so die/layer axes come out in device order.
+    """
+
+    def order(values):
+        try:
+            return sorted(values, key=int)
+        except (TypeError, ValueError):
+            return sorted(values, key=str)
+
+    rows = order({entry["labels"][row_key] for entry in series})
+    cols = order({entry["labels"][col_key] for entry in series})
+    cells = {
+        (entry["labels"][row_key], entry["labels"][col_key]): value(entry)
+        for entry in series
+    }
+    grid = [[cells.get((row, col), 0.0) for col in cols] for row in rows]
+    return [str(row) for row in rows], [str(col) for col in cols], grid
+
+
+def _hist_mean(entry: dict) -> float:
+    return entry["sum"] / entry["count"] if entry["count"] else 0.0
+
+
+def telemetry_report(snapshot: dict, include_histograms: bool = True) -> str:
+    """Render a registry snapshot's device telemetry as ASCII heatmaps.
+
+    Sections (each skipped when its instrument recorded nothing):
+
+    - per-die busy time (rows: channel, cols: die) -- load balance
+    - per-die x h-layer mean read retries -- where the retry time goes
+    - per-h-layer mean tPROG -- the paper's per-WL program-time surface
+    - per-h-layer ORT hit rate -- which layers the table is serving
+    - die / channel queue-depth histograms -- congestion shape
+    """
+    from repro.analysis.ascii_plot import heatmap, histogram_chart
+
+    parts: List[str] = []
+
+    busy = _series(snapshot, "chip_busy_us")
+    if busy:
+        rows, cols, grid = _grid(
+            busy, "channel", "die", lambda entry: entry["value"]
+        )
+        parts.append("die busy time (rows: channel, cols: die, us):")
+        parts.append(heatmap(rows, cols, grid, unit=" us"))
+
+    retries = _series(snapshot, "nand_read_retries")
+    observed = [entry for entry in retries if entry["count"]]
+    if observed:
+        rows, cols, grid = _grid(observed, "die", "h_layer", _hist_mean)
+        parts.append("")
+        parts.append("mean read retries (rows: die, cols: h-layer):")
+        parts.append(heatmap(rows, cols, grid))
+
+    programs = _series(snapshot, "nand_program_us")
+    observed = [entry for entry in programs if entry["count"]]
+    if observed:
+        layers = sorted(observed, key=lambda entry: int(entry["labels"]["h_layer"]))
+        parts.append("")
+        parts.append("mean tPROG per h-layer (us):")
+        parts.append(
+            heatmap(
+                ["tPROG"],
+                [str(entry["labels"]["h_layer"]) for entry in layers],
+                [[_hist_mean(entry) for entry in layers]],
+                unit=" us",
+            )
+        )
+
+    lookups = _series(snapshot, "ort_lookups")
+    if lookups:
+        per_layer: Dict[str, Dict[str, float]] = defaultdict(
+            lambda: {"hit": 0.0, "miss": 0.0}
+        )
+        for entry in lookups:
+            labels = entry["labels"]
+            per_layer[labels["h_layer"]][labels["outcome"]] = entry["value"]
+        layers = sorted(per_layer, key=int)
+        rates = []
+        for layer in layers:
+            counts = per_layer[layer]
+            total = counts["hit"] + counts["miss"]
+            rates.append(counts["hit"] / total if total else 0.0)
+        parts.append("")
+        parts.append("ORT hit rate per h-layer:")
+        parts.append(heatmap(["hit rate"], layers, [rates]))
+
+    if include_histograms:
+        for name, title in (
+            ("chip_queue_depth", "die FIFO queue depth at arrival (all dies):"),
+            ("bus_queue_depth", "channel FIFO queue depth at arrival:"),
+        ):
+            series = _series(snapshot, name)
+            if not series:
+                continue
+            merged: Dict[str, int] = {}
+            for entry in series:
+                for bucket, count in entry["buckets"].items():
+                    merged[bucket] = merged.get(bucket, 0) + count
+            if not sum(merged.values()):
+                continue
+            parts.append("")
+            parts.append(title)
+            parts.append(histogram_chart(merged))
+
+    if not parts:
+        return "(telemetry snapshot contains no device series)"
+    return "\n".join(part for part in parts)

@@ -1,0 +1,166 @@
+"""Device-level telemetry: per-die / per-channel / per-h-layer signals.
+
+:func:`attach_device_telemetry` wires a
+:class:`~repro.obs.registry.TelemetryRegistry` into a built simulation:
+chip-model hooks (reads, programs, erases, per-h-layer retry counts),
+FIFO-resource hooks (busy time and arrival queue depth per die and per
+channel), the event engine (events processed, peak queue length), the
+ORT (per-h-layer hit/miss counts), and the FTL counter collectors.
+
+The hooks only *record*: they never schedule events or mutate simulated
+state, so an attached registry cannot change any simulated result.
+With no registry attached, every hook site is one ``is None`` test.
+
+Instrument catalog (see docs/OBSERVABILITY.md for the full table):
+
+===========================  =========  ====================  =========
+name                         type       labels                unit
+===========================  =========  ====================  =========
+``chip_busy_us``             counter    die, channel          us
+``chip_queue_depth``         histogram  die                   jobs
+``bus_busy_us``              counter    channel               us
+``bus_queue_depth``          histogram  channel               jobs
+``nand_ops``                 counter    die, op               ops
+``nand_read_retries``        histogram  die, h_layer          retries
+``nand_program_us``          histogram  h_layer               us
+``ort_lookups``              counter    h_layer, outcome      lookups
+``ftl_counter``              gauge      ftl, counter          (mixed)
+``ftl_recovery``             gauge      ftl, event            events
+``buffer_utilization``       gauge      ftl                   fraction
+``buffer_occupancy``         gauge      ftl                   pages
+``free_blocks``              gauge      ftl                   blocks
+``ort_entries``              gauge      ftl                   entries
+``ort_hit_rate``             gauge      ftl                   fraction
+``engine_events_processed``  gauge      --                    events
+``engine_peak_pending``      gauge      --                    events
+``engine_now_us``            gauge      --                    us
+===========================  =========  ====================  =========
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import (
+    QUEUE_DEPTH_BUCKETS,
+    RETRY_BUCKETS,
+    Counter,
+    Histogram,
+    TelemetryRegistry,
+    bind_engine,
+    bind_ftl,
+)
+
+#: bucket upper edges for per-WL program latency (us); spans the default
+#: timing model from heavily VFY-skipped followers to env-shifted leaders
+PROGRAM_US_BUCKETS = (400, 600, 800, 1000, 1200, 1600, 2000)
+
+
+class ChipTelemetry:
+    """Recording hooks one :class:`~repro.nand.chip.NandChip` calls into."""
+
+    __slots__ = ("die", "_ops", "_retries", "_program_us")
+
+    def __init__(self, registry: TelemetryRegistry, die: int) -> None:
+        self.die = die
+        self._ops = registry.counter(
+            "nand_ops", "NAND operations executed per die",
+            unit="ops", labelnames=("die", "op"),
+        )
+        self._retries = registry.histogram(
+            "nand_read_retries",
+            "read retries per page read, resolved per die and h-layer",
+            unit="retries", labelnames=("die", "h_layer"),
+            buckets=RETRY_BUCKETS,
+        )
+        self._program_us = registry.histogram(
+            "nand_program_us", "per-WL program latency, resolved per h-layer",
+            unit="us", labelnames=("h_layer",), buckets=PROGRAM_US_BUCKETS,
+        )
+
+    def record_read(self, layer: int, num_retry: int) -> None:
+        self._ops.labels(die=self.die, op="read").inc()
+        self._retries.labels(die=self.die, h_layer=layer).observe(num_retry)
+
+    def record_program(self, layer: int, t_prog_us: float) -> None:
+        self._ops.labels(die=self.die, op="program").inc()
+        self._program_us.labels(h_layer=layer).observe(t_prog_us)
+
+    def record_erase(self) -> None:
+        self._ops.labels(die=self.die, op="erase").inc()
+
+
+class ResourceTelemetry:
+    """Recording hooks one :class:`~repro.sim.resources.FifoResource`
+    calls into (arrival queue depth, accumulated service time)."""
+
+    __slots__ = ("_depth", "_busy")
+
+    def __init__(self, depth: Histogram, busy: Counter) -> None:
+        self._depth = depth
+        self._busy = busy
+
+    def record_arrival(self, depth: int) -> None:
+        self._depth.observe(depth)
+
+    def record_service(self, duration_us: float) -> None:
+        self._busy.inc(duration_us)
+
+
+class OrtTelemetry:
+    """Recording hook the ORT calls into on each lookup."""
+
+    __slots__ = ("_lookups",)
+
+    def __init__(self, registry: TelemetryRegistry) -> None:
+        self._lookups = registry.counter(
+            "ort_lookups", "ORT lookups per h-layer, split by outcome",
+            unit="lookups", labelnames=("h_layer", "outcome"),
+        )
+
+    def record_lookup(self, layer: int, hit: bool) -> None:
+        outcome = "hit" if hit else "miss"
+        self._lookups.labels(h_layer=layer, outcome=outcome).inc()
+
+
+def attach_device_telemetry(
+    registry: TelemetryRegistry, controller, ftl
+) -> None:
+    """Wire a registry into a built controller + FTL pair.
+
+    Must run before the simulation starts (hooks are snapshot-free
+    recording callbacks; attaching mid-run would merely miss the
+    operations already executed).
+    """
+    geometry = controller.config.geometry
+    chip_depth = registry.histogram(
+        "chip_queue_depth", "die-FIFO queue depth seen by each arriving job",
+        unit="jobs", labelnames=("die",), buckets=QUEUE_DEPTH_BUCKETS,
+    )
+    chip_busy = registry.counter(
+        "chip_busy_us", "accumulated die service time",
+        unit="us", labelnames=("die", "channel"),
+    )
+    bus_depth = registry.histogram(
+        "bus_queue_depth", "channel-FIFO queue depth seen by each arriving job",
+        unit="jobs", labelnames=("channel",), buckets=QUEUE_DEPTH_BUCKETS,
+    )
+    bus_busy = registry.counter(
+        "bus_busy_us", "accumulated channel transfer time",
+        unit="us", labelnames=("channel",),
+    )
+    for chip_id, chip in enumerate(controller.chips):
+        chip.telemetry = ChipTelemetry(registry, die=chip_id)
+        channel = geometry.channel_of_chip(chip_id)
+        controller.chip_resource(chip_id).telemetry = ResourceTelemetry(
+            chip_depth.labels(die=chip_id),
+            chip_busy.labels(die=chip_id, channel=channel),
+        )
+    for channel in range(geometry.n_channels):
+        controller._bus_resources[channel].telemetry = ResourceTelemetry(
+            bus_depth.labels(channel=channel),
+            bus_busy.labels(channel=channel),
+        )
+    opm = getattr(ftl, "opm", None)
+    if opm is not None:
+        opm.ort.telemetry = OrtTelemetry(registry)
+    bind_engine(registry, controller.engine)
+    bind_ftl(registry, ftl)

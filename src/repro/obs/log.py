@@ -1,0 +1,105 @@
+"""Structured, machine-parseable diagnostics on :mod:`logging`.
+
+Simulation *results* go to stdout; *diagnostics* (stall reports, fault
+and recovery summaries, bench progress) go through Python's ``logging``
+with a fixed, machine-parseable line format::
+
+    REPRO level=ERROR logger=repro.ssd.controller event=stall completed=42 pending=3 ...
+
+The leading ``REPRO`` token plus ``key=value`` pairs make the lines
+trivially greppable and parseable (``dict(pair.split("=", 1) for pair
+in line.split()[1:])``).  Values containing whitespace are quoted with
+:func:`repr`.
+
+Library modules call :func:`get_logger` and :func:`log_event`; nothing
+is printed unless the application configures a handler --
+:func:`configure_logging` installs one on the ``repro`` root logger
+(the CLI's ``--log-level`` flag calls it).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+#: leading token of every structured diagnostic line
+PREFIX = "REPRO"
+
+LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+class _StructuredFormatter(logging.Formatter):
+    """``REPRO level=... logger=... <message>`` lines."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        return (
+            f"{PREFIX} level={record.levelname} logger={record.name} "
+            f"{record.getMessage()}"
+        )
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (e.g. ``repro.cli``)."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def format_fields(event: str, **fields: object) -> str:
+    """``event=<event> key=value ...`` with deterministic field order
+    (insertion order) and repr-quoted values containing whitespace."""
+    parts = [f"event={event}"]
+    for key, value in fields.items():
+        text = str(value)
+        if any(ch.isspace() for ch in text):
+            text = repr(text)
+        parts.append(f"{key}={text}")
+    return " ".join(parts)
+
+
+def log_event(
+    logger: logging.Logger, level: str, event: str, **fields: object
+) -> None:
+    """Emit one structured ``event=... key=value ...`` diagnostic."""
+    logger.log(logging.getLevelName(level.upper()), format_fields(event, **fields))
+
+
+def configure_logging(level: str = "warning", stream=None) -> logging.Logger:
+    """Install the structured handler on the ``repro`` root logger.
+
+    Idempotent: reconfiguring replaces the previously installed
+    handler instead of stacking a second one.  Returns the root
+    ``repro`` logger.
+    """
+    if level.lower() not in LEVELS:
+        raise ValueError(f"unknown log level {level!r} (choose from {LEVELS})")
+    root = logging.getLogger("repro")
+    root.setLevel(getattr(logging, level.upper()))
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(_StructuredFormatter())
+    for existing in list(root.handlers):
+        if getattr(existing, "_repro_structured", False):
+            root.removeHandler(existing)
+    handler._repro_structured = True
+    root.addHandler(handler)
+    root.propagate = False
+    return root
+
+
+def parse_line(line: str) -> Optional[dict]:
+    """Parse one structured line back into a dict (None if not ours).
+
+    The inverse of the emit format, for tests and log scrapers; quoted
+    values are unescaped with a best-effort ``strip``.
+    """
+    parts = line.strip().split()
+    if not parts or parts[0] != PREFIX:
+        return None
+    fields = {}
+    for part in parts[1:]:
+        if "=" not in part:
+            continue
+        key, value = part.split("=", 1)
+        fields[key] = value.strip("'\"")
+    return fields

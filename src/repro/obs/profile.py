@@ -1,0 +1,138 @@
+"""Opt-in self-profiling: where does simulator *wall-clock* time go?
+
+The ROADMAP's north star is a simulator that runs as fast as the
+hardware allows, which requires knowing whether host time is spent in
+the FTL logic, the NAND device model, event-queue maintenance, or the
+tracing layer.  :class:`WallClockProfiler` is a tiny exclusive-time
+section profiler: sections are pushed/popped around the interesting
+code paths and elapsed :func:`time.perf_counter` time is always charged
+to the *innermost* open section, so nesting subtracts automatically
+(a NAND-model section opened inside an FTL dispatch steals its own time
+from the dispatch bucket).
+
+Attribution map (see :func:`attach_profiler`):
+
+==============  ========================================================
+section         host time spent in
+==============  ========================================================
+``setup``       building the SSD, prefill, workload generation
+``event_queue`` heap maintenance inside the engine loop
+``dispatch``    event callbacks minus nested sections -- FTL logic,
+                request bookkeeping, statistics
+``nand``        the NAND chip model (program / read / erase)
+``tracing``     span construction and sink emission
+``other``       anything outside the engine loop (result packing, ...)
+==============  ========================================================
+
+Profiling is pure observation: it wraps host-side calls with timers and
+never touches simulated time, so a profiled run's *simulated* results
+are identical to an unprofiled run's (asserted by the test suite).
+Wall-clock numbers themselves are, of course, host-dependent.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, List
+
+
+class WallClockProfiler:
+    """Exclusive-time wall-clock attribution over named sections."""
+
+    __slots__ = ("seconds", "_stack", "_mark", "_t0")
+
+    def __init__(self) -> None:
+        #: section name -> exclusive seconds
+        self.seconds: Dict[str, float] = {}
+        self._stack: List[str] = []
+        self._mark = perf_counter()
+        self._t0 = self._mark
+
+    def push(self, name: str) -> None:
+        """Open a section; time since the last push/pop is charged to
+        the previously innermost section (or ``other`` at top level)."""
+        now = perf_counter()
+        self._charge(now)
+        self._stack.append(name)
+        self._mark = now
+
+    def pop(self) -> None:
+        """Close the innermost section, charging it the elapsed time."""
+        now = perf_counter()
+        self._charge(now)
+        self._stack.pop()
+        self._mark = now
+
+    def _charge(self, now: float) -> None:
+        owner = self._stack[-1] if self._stack else "other"
+        self.seconds[owner] = self.seconds.get(owner, 0.0) + (now - self._mark)
+
+    @contextmanager
+    def section(self, name: str):
+        self.push(name)
+        try:
+            yield
+        finally:
+            self.pop()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        return perf_counter() - self._t0
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary: per-section exclusive seconds + total."""
+        self._charge(perf_counter())
+        self._mark = perf_counter()
+        sections = {name: self.seconds[name] for name in sorted(self.seconds)}
+        return {"total_s": self.total_seconds, "sections_s": sections}
+
+    def report(self) -> str:
+        """Human-readable per-subsystem wall-clock table."""
+        return profile_report(self.to_dict())
+
+
+def profile_report(summary: dict) -> str:
+    """Render a :meth:`WallClockProfiler.to_dict` summary as a table."""
+    from repro.analysis.tables import format_table
+
+    total = sum(summary["sections_s"].values()) or 1.0
+    rows = [
+        [name, f"{seconds:.3f}", f"{100.0 * seconds / total:.1f} %"]
+        for name, seconds in sorted(
+            summary["sections_s"].items(), key=lambda kv: -kv[1]
+        )
+    ]
+    rows.append(["total", f"{summary['total_s']:.3f}", "100.0 %"])
+    return format_table(["subsystem", "wall s", "share"], rows)
+
+
+def _wrap_timed(profiler: WallClockProfiler, name: str, fn):
+    def timed(*args, **kwargs):
+        profiler.push(name)
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            profiler.pop()
+
+    return timed
+
+
+def attach_profiler(profiler: WallClockProfiler, controller, tracer=None) -> None:
+    """Instrument a built simulation for wall-clock attribution.
+
+    Chip-model entry points are wrapped in a ``nand`` section and the
+    trace sink's emit in ``tracing``; the engine loop itself attributes
+    ``event_queue`` vs. ``dispatch`` when given the profiler (see
+    :meth:`repro.sim.engine.Engine.run`).  Wrapping replaces *bound
+    attributes on the instances*, so the classes stay untouched and an
+    unprofiled simulation pays nothing.
+    """
+    for chip in controller.chips:
+        chip.program_wl = _wrap_timed(profiler, "nand", chip.program_wl)
+        chip.read_page = _wrap_timed(profiler, "nand", chip.read_page)
+        chip.erase_block = _wrap_timed(profiler, "nand", chip.erase_block)
+    if tracer is not None:
+        tracer.sink.emit = _wrap_timed(profiler, "tracing", tracer.sink.emit)

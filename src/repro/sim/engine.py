@@ -73,6 +73,7 @@ class Engine:
         self._seq = 0
         self._queue: List[Event] = []
         self._processed = 0
+        self._peak_pending = 0
 
     @property
     def now(self) -> float:
@@ -89,6 +90,12 @@ class Engine:
         """Number of events executed so far."""
         return self._processed
 
+    @property
+    def peak_pending(self) -> int:
+        """Largest queue length observed (telemetry; includes cancelled
+        events still in the heap)."""
+        return self._peak_pending
+
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run ``delay`` microseconds from now."""
         if delay < 0:
@@ -96,6 +103,8 @@ class Engine:
         event = Event(self._now + delay, self._seq, callback)
         self._seq += 1
         heapq.heappush(self._queue, event)
+        if len(self._queue) > self._peak_pending:
+            self._peak_pending = len(self._queue)
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
@@ -105,6 +114,8 @@ class Engine:
         event = Event(time, self._seq, callback)
         self._seq += 1
         heapq.heappush(self._queue, event)
+        if len(self._queue) > self._peak_pending:
+            self._peak_pending = len(self._queue)
         return event
 
     def every(self, interval: float, callback: Callable[[], None]) -> RecurringEvent:
@@ -128,9 +139,20 @@ class Engine:
         self,
         until: Optional[float] = None,
         max_events: Optional[int] = None,
+        profiler=None,
     ) -> None:
         """Run until the queue drains, ``until`` is reached, or
-        ``max_events`` have executed."""
+        ``max_events`` have executed.
+
+        When a :class:`~repro.obs.profile.WallClockProfiler` is passed,
+        host wall-clock time is attributed per event: heap maintenance
+        to ``event_queue`` and callback execution to ``dispatch`` (minus
+        any nested sections -- the NAND model and the tracer push their
+        own, so ``dispatch`` is effectively FTL + engine-glue time).
+        The event sequence is identical with or without a profiler.
+        """
+        if profiler is not None:
+            return self._run_profiled(until, max_events, profiler)
         executed = 0
         while self._queue:
             if max_events is not None and executed >= max_events:
@@ -143,6 +165,40 @@ class Engine:
                 self._now = until
                 return
             self.step()
+            executed += 1
+        if until is not None and until > self._now:
+            self._now = until
+
+    def _run_profiled(
+        self,
+        until: Optional[float],
+        max_events: Optional[int],
+        profiler,
+    ) -> None:
+        """The :meth:`run` loop with per-event wall-clock attribution."""
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                return
+            profiler.push("event_queue")
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                profiler.pop()
+                continue
+            if until is not None and head.time > until:
+                self._now = until
+                profiler.pop()
+                return
+            event = heapq.heappop(self._queue)
+            self._now = event.time
+            self._processed += 1
+            profiler.pop()
+            profiler.push("dispatch")
+            try:
+                event.callback()
+            finally:
+                profiler.pop()
             executed += 1
         if until is not None and until > self._now:
             self._now = until

@@ -31,6 +31,10 @@ class FifoResource:
         self._busy = False
         self._busy_time = 0.0
         self._service_count = 0
+        #: optional :class:`~repro.obs.device.ResourceTelemetry` hook
+        #: (arrival queue depth, service durations); recording only,
+        #: never scheduling, so the event sequence is unaffected
+        self.telemetry = None
 
     @property
     def busy(self) -> bool:
@@ -56,6 +60,11 @@ class FifoResource:
 
     def submit(self, job: Job, on_done: Optional[Done] = None) -> None:
         """Queue a job; it runs when the server reaches it."""
+        if self.telemetry is not None:
+            # depth this arrival sees: waiting jobs plus the one in service
+            self.telemetry.record_arrival(
+                len(self._queue) + (1 if self._busy else 0)
+            )
         self._queue.append((job, on_done))
         if not self._busy:
             self._start_next()
@@ -71,6 +80,8 @@ class FifoResource:
             raise ValueError("job duration must be >= 0")
         self._busy_time += duration
         self._service_count += 1
+        if self.telemetry is not None:
+            self.telemetry.record_service(duration)
 
         def _complete() -> None:
             # free the server first so completion callbacks observe a

@@ -22,11 +22,14 @@ from repro.nand.geometry import PageAddress
 from repro.nand.ispp import IsppEngine
 from repro.nand.read_retry import ReadRetryModel
 from repro.nand.reliability import ReliabilityModel
+from repro.obs.log import get_logger, log_event
 from repro.sim.engine import Engine
 from repro.sim.resources import FifoResource
 from repro.ssd.config import SSDConfig
 from repro.ssd.stats import SimulationStats
 from repro.workloads.base import IORequest, Trace
+
+logger = get_logger(__name__)
 
 
 class SimulationStalledError(RuntimeError):
@@ -126,6 +129,8 @@ class SSDSimulation:
         ftl: str = "page",
         *,
         tracer=None,
+        telemetry=None,
+        profiler=None,
         **ftl_kwargs,
     ) -> None:
         # local import: repro.ftl imports repro.ssd.config, so importing
@@ -138,6 +143,19 @@ class SSDSimulation:
         # controller.tracer at construction time
         self.controller.tracer = tracer
         self.ftl = make_ftl(ftl, config, self.controller, **ftl_kwargs)
+        #: optional :class:`~repro.obs.registry.TelemetryRegistry`; its
+        #: hooks only record, so simulated results are unchanged by it
+        self.telemetry = telemetry
+        if telemetry is not None:
+            from repro.obs.device import attach_device_telemetry
+
+            attach_device_telemetry(telemetry, self.controller, self.ftl)
+        #: optional :class:`~repro.obs.profile.WallClockProfiler`
+        self.profiler = profiler
+        if profiler is not None:
+            from repro.obs.profile import attach_profiler
+
+            attach_profiler(profiler, self.controller, tracer)
 
     # ------------------------------------------------------------------
 
@@ -222,6 +240,26 @@ class SSDSimulation:
 
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _log_stall(completed: int, pending: Dict[int, IORequest]) -> None:
+        """Structured diagnostic mirroring the stall exception, so log
+        scrapers see the deadlock even when the caller swallows it."""
+        sample = sorted(
+            pending.values(), key=lambda r: (r.lpn, r.n_pages)
+        )[:_STALL_DETAIL_LIMIT]
+        log_event(
+            logger,
+            "error",
+            "stall",
+            completed=completed,
+            pending=len(pending),
+            first_pending=";".join(
+                f"{'read' if request.is_read else 'write'}"
+                f"@lpn{request.lpn}x{request.n_pages}"
+                for request in sample
+            ),
+        )
+
     def _make_sampler(self, interval_us: Optional[float], completed_fn):
         if interval_us is None:
             return None
@@ -294,8 +332,9 @@ class SSDSimulation:
             sampler.start()
         for _ in range(queue_depth):
             issue_next()
-        engine.run(max_events=max_events)
+        engine.run(max_events=max_events, profiler=self.profiler)
         if state["outstanding"] > 0 and max_events is None:
+            self._log_stall(state["completed"], pending)
             raise SimulationStalledError(
                 _stall_message(state["completed"], pending)
             )
@@ -363,8 +402,9 @@ class SSDSimulation:
                 self.ftl.submit(request, on_complete)
 
             engine.schedule_at(start_us + request.arrival_us, issue)
-        engine.run(max_events=max_events)
+        engine.run(max_events=max_events, profiler=self.profiler)
         if state["outstanding"] > 0 and max_events is None:
+            self._log_stall(state["completed"], pending)
             raise SimulationStalledError(
                 _stall_message(state["completed"], pending)
             )

@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Regenerate the golden trace after an *intentional* model change::
+
+    PYTHONPATH=src python tests/obs/golden/regen.py
+
+Keep the parameters in lockstep with ``tests/obs/test_golden_trace.py``.
+"""
+
+import os
+
+from repro.api import run_simulation
+from repro.ssd.config import SSDConfig
+
+if __name__ == "__main__":
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)), "trace.jsonl")
+    run_simulation(
+        SSDConfig.small(logical_fraction=0.4), "OLTP", ftl="cube",
+        queue_depth=8, prefill=0.4, n_requests=120, seed=7, trace=path,
+    )
+    print(f"regenerated {path}")

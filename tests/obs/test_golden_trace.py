@@ -1,0 +1,44 @@
+"""Byte-identical JSONL traces against a committed golden baseline.
+
+The trace path is pure-Python float arithmetic with a fixed key order
+and Python's deterministic float repr, so a given (config, workload,
+seed) must reproduce the committed bytes exactly -- on any host and
+with telemetry attached or not.  A diff here means the simulated
+timeline itself moved: either an intentional model change (regenerate
+the golden with ``tests/obs/golden/regen.py``) or an accidental
+perturbation (fix it).
+"""
+
+import os
+
+from repro.api import run_simulation
+from repro.ssd.config import SSDConfig
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden", "trace.jsonl")
+
+
+def _run_traced(path, **kwargs):
+    config = SSDConfig.small(logical_fraction=0.4)
+    return run_simulation(
+        config, "OLTP", ftl="cube", queue_depth=8, prefill=0.4,
+        n_requests=120, seed=7, trace=path, **kwargs,
+    )
+
+
+def _golden_bytes():
+    with open(GOLDEN, "rb") as handle:
+        return handle.read()
+
+
+class TestGoldenTrace:
+    def test_trace_matches_golden(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        _run_traced(path)
+        with open(path, "rb") as handle:
+            assert handle.read() == _golden_bytes()
+
+    def test_trace_matches_golden_with_telemetry_and_profile(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        _run_traced(path, telemetry=True, profile=True)
+        with open(path, "rb") as handle:
+            assert handle.read() == _golden_bytes()

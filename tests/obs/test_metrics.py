@@ -72,9 +72,21 @@ class TestTimeline:
         assert any(rate > 0 for rate in timeline["iops"])
 
     def test_short_run_degrades_gracefully(self):
+        from repro.obs.analyze import TIMELINE_SERIES
+
         samples = _run(metrics_interval=500.0).metrics
-        assert metrics_timeline(samples[:1]) == {"t_us": [samples[0].t_us]}
-        assert "not enough" in metrics_report(samples[:1])
+        timeline = metrics_timeline(samples[:1])
+        # every series key is present (just empty), so consumers that
+        # index timeline["iops"] etc. never KeyError on short runs
+        assert timeline["t_us"] == []
+        for key in TIMELINE_SERIES:
+            assert timeline[key] == []
+        report = metrics_report(samples[:1])
+        assert "shorter than one metrics interval" in report
+        assert "final sample" in report
+
+    def test_no_samples_report(self):
+        assert "no metrics samples" in metrics_report([])
 
     def test_report_renders(self):
         samples = _run(metrics_interval=500.0).metrics

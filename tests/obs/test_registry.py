@@ -1,0 +1,128 @@
+"""The telemetry registry: instruments, labels, snapshots."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import CardinalityError, TelemetryRegistry
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = TelemetryRegistry()
+        counter = registry.counter("ops", "operations")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value == 3
+
+    def test_negative_increment_rejected(self):
+        counter = TelemetryRegistry().counter("ops", "operations")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labelled_children_are_independent(self):
+        registry = TelemetryRegistry()
+        ops = registry.counter("nand_ops", "ops", labelnames=("die", "op"))
+        ops.labels(die=0, op="read").inc()
+        ops.labels(die=0, op="read").inc()
+        ops.labels(die=1, op="read").inc()
+        assert ops.labels(die=0, op="read").value == 2
+        assert ops.labels(die=1, op="read").value == 1
+
+    def test_label_names_must_match_declaration(self):
+        ops = TelemetryRegistry().counter("ops", "ops", labelnames=("die",))
+        with pytest.raises(ValueError):
+            ops.labels(channel=0)
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = TelemetryRegistry().gauge("depth", "queue depth")
+        gauge.set(4.0)
+        gauge.inc(-1.0)
+        assert gauge.value == 3.0
+
+
+class TestHistogram:
+    def test_bucket_edges_assign_observations(self):
+        hist = TelemetryRegistry().histogram("lat", "latency", buckets=(1, 2, 4))
+        for value in (0.5, 1.0, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        # buckets are non-cumulative: <=1, <=2, <=4, overflow
+        assert hist.bucket_counts() == {"1": 2, "2": 1, "4": 1, "+inf": 1}
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(106.0)
+        assert hist.mean == pytest.approx(106.0 / 5)
+
+    def test_edge_value_lands_in_lower_bucket(self):
+        hist = TelemetryRegistry().histogram("lat", "latency", buckets=(1, 2))
+        hist.observe(2)
+        assert hist.bucket_counts()["2"] == 1
+        assert hist.bucket_counts()["+inf"] == 0
+
+    def test_edges_must_increase(self):
+        registry = TelemetryRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("bad", "x", buckets=(1, 1, 2))
+        with pytest.raises(ValueError):
+            registry.histogram("bad2", "x", buckets=())
+
+
+class TestRegistry:
+    def test_declare_once_returns_same_instrument(self):
+        registry = TelemetryRegistry()
+        first = registry.counter("ops", "operations")
+        again = registry.counter("ops", "operations")
+        assert first is again
+
+    def test_kind_mismatch_rejected(self):
+        registry = TelemetryRegistry()
+        registry.counter("ops", "operations")
+        with pytest.raises(ValueError):
+            registry.gauge("ops", "operations")
+
+    def test_cardinality_limit(self):
+        registry = TelemetryRegistry()
+        ops = registry.counter("ops", "ops", labelnames=("i",))
+        limit = 64
+        ops._max_series = limit
+        for index in range(limit):
+            ops.labels(i=index).inc()
+        with pytest.raises(CardinalityError):
+            ops.labels(i=limit).inc()
+
+    def test_collectors_run_at_snapshot(self):
+        registry = TelemetryRegistry()
+        gauge = registry.gauge("free", "free blocks")
+        state = {"free": 11}
+        registry.add_collector(lambda: gauge.set(state["free"]))
+        state["free"] = 7
+        snap = registry.snapshot()
+        assert snap["free"]["series"][0]["value"] == 7
+
+    def test_snapshot_deterministic_and_json_safe(self):
+        def build():
+            registry = TelemetryRegistry()
+            ops = registry.counter("ops", "ops", labelnames=("die",))
+            lat = registry.histogram(
+                "lat", "latency", buckets=(1, 4), labelnames=("die",)
+            )
+            # touch series in different orders: output must not care
+            for die in (3, 0, 2, 1):
+                ops.labels(die=die).inc(die)
+                lat.labels(die=die).observe(die)
+            return registry.snapshot()
+
+        first = json.dumps(build(), sort_keys=False)
+        second = json.dumps(build(), sort_keys=False)
+        assert first == second
+        series = json.loads(first)["ops"]["series"]
+        assert [entry["labels"]["die"] for entry in series] == ["0", "1", "2", "3"]
+
+    def test_instrument_metadata_in_snapshot(self):
+        registry = TelemetryRegistry()
+        registry.counter("ops", "operations serviced", unit="ops")
+        snap = registry.snapshot()
+        assert snap["ops"]["help"] == "operations serviced"
+        assert snap["ops"]["kind"] == "counter"
+        assert snap["ops"]["unit"] == "ops"

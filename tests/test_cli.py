@@ -36,6 +36,73 @@ class TestSimulate:
         with pytest.raises(SystemExit):
             main(["simulate", "--ftl", "bogus"])
 
+    def test_telemetry_and_profile_flags(self, capsys):
+        exit_code = main([
+            "simulate", "--ftl", "cube", "--workload", "OLTP",
+            "--requests", "200", "--warmup", "0",
+            "--blocks-per-chip", "8", "--prefill", "0.3",
+            "--queue-depth", "8", "--telemetry", "--profile",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "die busy time" in out
+        assert "subsystem" in out  # the profiler table header
+
+    def test_telemetry_embedded_in_json(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "out.json")
+        exit_code = main([
+            "simulate", "--ftl", "cube", "--workload", "OLTP",
+            "--requests", "200", "--warmup", "0",
+            "--blocks-per-chip", "8", "--prefill", "0.3",
+            "--queue-depth", "8", "--telemetry", "--json", path,
+        ])
+        assert exit_code == 0
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["schema_version"] == 2
+        assert "chip_busy_us" in payload["telemetry"]
+
+    def test_json_without_telemetry_has_no_extra_key(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "out.json")
+        main([
+            "simulate", "--ftl", "cube", "--workload", "OLTP",
+            "--requests", "200", "--warmup", "0",
+            "--blocks-per-chip", "8", "--prefill", "0.3",
+            "--queue-depth", "8", "--json", path,
+        ])
+        with open(path) as handle:
+            assert "telemetry" not in json.load(handle)
+
+    def test_fault_report_routed_through_structured_log(self, capsys):
+        exit_code = main([
+            "--log-level", "info",
+            "simulate", "--ftl", "cube", "--workload", "OLTP",
+            "--requests", "400", "--warmup", "0",
+            "--blocks-per-chip", "8", "--prefill", "0.3",
+            "--queue-depth", "8", "--faults", "heavy",
+        ])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        # the old ad-hoc multi-line report ("recovery: N program fails,
+        # ...") is gone from stdout; the one-line stats summary remains
+        assert "program fails" not in captured.out
+        from repro.obs.log import parse_line
+
+        events = [
+            parsed
+            for parsed in map(parse_line, captured.err.splitlines())
+            if parsed is not None
+        ]
+        assert any(parsed["event"] == "fault_recovery" for parsed in events)
+
+    def test_bad_log_level_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--log-level", "chatty", "simulate"])
+
 
 class TestCompare:
     def test_three_ftl_comparison(self, capsys):

@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Seeded continuous-benchmark runner.
+
+Runs a fixed, seeded set of simulation cases and writes one
+``BENCH_<n>.json`` snapshot (auto-incrementing at the repo root) with,
+per case: simulated IOPS, latency percentiles, host wall-clock, peak
+RSS, the FTL counters, and the device-telemetry registry snapshot.
+Successive BENCH files are diffed with ``tools/bench_compare.py``; CI
+runs the smoke size against the committed baseline::
+
+    PYTHONPATH=src python tools/bench.py --smoke --out /tmp/BENCH_ci.json
+    PYTHONPATH=src python tools/bench_compare.py BENCH_0.json /tmp/BENCH_ci.json
+
+The *simulated* metrics (IOPS, percentiles, counters, telemetry) are
+deterministic for a given seed and case list -- the simulator's
+reliability model is hash-based, not host-dependent -- so they are
+comparable across machines.  Wall-clock and RSS are host-dependent and
+informational only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import re
+import sys
+import time
+from typing import Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, REPO_ROOT)  # for benchmarks.runner configs
+
+BENCH_SCHEMA_VERSION = 1
+
+
+def _cases():
+    """(name, ftl, workload, aging) drawn from the benchmark configs.
+
+    Every FTL of the paper comparison on the write-heavy OLTP mix, the
+    read-heavier Proxy mix on cubeFTL, and one aged-device case (where
+    read retries and the ORT actually matter) -- a small spread that
+    still exercises every subsystem the registry instruments.
+    """
+    from benchmarks.runner import AGING_STATES, FTLS
+
+    fresh = AGING_STATES["fresh (0K P/E)"]
+    aged = AGING_STATES["2K P/E + 1-year"]
+    cases = [(f"{ftl}-OLTP", ftl, "OLTP", fresh) for ftl in FTLS]
+    cases.append(("cube-Proxy", "cube", "Proxy", fresh))
+    cases.append(("cube-OLTP-aged", "cube", "OLTP", aged))
+    return cases
+
+#: sizing knobs: smoke is the CI-friendly size, full the nightly one
+SIZES = {
+    "smoke": dict(
+        requests=600, warmup=100, blocks_per_chip=8, prefill=0.3, queue_depth=8
+    ),
+    "full": dict(
+        requests=4000, warmup=500, blocks_per_chip=16, prefill=0.5,
+        queue_depth=16,
+    ),
+}
+
+
+def _peak_rss_kb() -> Optional[int]:
+    try:
+        import resource
+    except ImportError:  # non-POSIX host
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    # ru_maxrss is KB on Linux, bytes on macOS
+    scale = 1024 if sys.platform == "darwin" else 1
+    return int(usage.ru_maxrss // scale)
+
+
+def _latency_dict(hist) -> dict:
+    return {
+        "count": len(hist),
+        "mean_us": hist.mean_us,
+        "p50_us": hist.percentile(50),
+        "p90_us": hist.percentile(90),
+        "p99_us": hist.percentile(99),
+        "max_us": hist.max_us,
+    }
+
+
+def run_case(
+    name: str, ftl: str, workload: str, size: dict, seed: int, aging=None
+) -> dict:
+    from repro.api import run_simulation
+    from repro.nand.geometry import BlockGeometry, SSDGeometry
+    from repro.ssd.config import SSDConfig
+
+    geometry = SSDGeometry(
+        n_channels=2,
+        chips_per_channel=4,
+        blocks_per_chip=size["blocks_per_chip"],
+        block=BlockGeometry(),
+    )
+    config = SSDConfig(geometry=geometry)
+    if aging is not None:
+        config = config.with_aging(aging)
+    started = time.perf_counter()
+    result = run_simulation(
+        config,
+        workload,
+        ftl=ftl,
+        queue_depth=size["queue_depth"],
+        warmup_requests=size["warmup"],
+        prefill=size["prefill"],
+        n_requests=size["requests"],
+        seed=seed,
+        telemetry=True,
+    )
+    wall = time.perf_counter() - started
+    stats = result.stats
+    return {
+        "name": name,
+        "ftl": ftl,
+        "workload": workload,
+        "requests": size["requests"],
+        "iops": stats.iops,
+        "read_latency": _latency_dict(stats.read_latency),
+        "write_latency": _latency_dict(stats.write_latency),
+        "wall_clock_s": wall,
+        "peak_rss_kb": _peak_rss_kb(),
+        "counters": stats.to_dict()["counters"],
+        "telemetry": result.telemetry,
+    }
+
+
+def next_bench_path(directory: str) -> str:
+    taken = set()
+    for entry in os.listdir(directory):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", entry)
+        if match:
+            taken.add(int(match.group(1)))
+    index = 0
+    while index in taken:
+        index += 1
+    return os.path.join(directory, f"BENCH_{index}.json")
+
+
+def run_bench(smoke: bool, seed: int, label: str) -> dict:
+    size = SIZES["smoke" if smoke else "full"]
+    cases = []
+    for name, ftl, workload, aging in _cases():
+        print(f"bench: {name} ({'smoke' if smoke else 'full'})...", flush=True)
+        cases.append(run_case(name, ftl, workload, size, seed, aging=aging))
+    return {
+        "bench_schema_version": BENCH_SCHEMA_VERSION,
+        "label": label,
+        "smoke": smoke,
+        "seed": seed,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "cases": cases,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run (fewer requests, smaller device)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--label", default="", help="free-form tag stored in the snapshot"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: next free BENCH_<n>.json at repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    document = run_bench(args.smoke, args.seed, args.label)
+    out = args.out or next_bench_path(REPO_ROOT)
+    with open(out, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for case in document["cases"]:
+        print(
+            f"  {case['name']:>12}: {case['iops']:8.0f} IOPS, "
+            f"read p99 {case['read_latency']['p99_us']:7.1f} us, "
+            f"write p99 {case['write_latency']['p99_us']:7.1f} us, "
+            f"{case['wall_clock_s']:.2f} s wall"
+        )
+    print(f"bench snapshot written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

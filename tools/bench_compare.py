@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Diff two ``tools/bench.py`` snapshots and fail on regressions.
+
+Cases are matched by name.  A case regresses when, beyond tolerance
+(default 10 %):
+
+- IOPS dropped: ``new.iops < old.iops * (1 - tol)``
+- p99 latency rose: ``new.p99 > old.p99 * (1 + tol)`` (read or write)
+
+The simulated metrics are seeded and deterministic, so on an unchanged
+simulator the deltas are exactly zero; the tolerance is headroom for
+*intentional* model changes, which should regenerate the baseline.
+Wall-clock and RSS are host-dependent and reported informationally;
+``--wall-tolerance`` opts into gating on wall-clock too (useful when
+both snapshots come from the same machine, e.g. one CI job)::
+
+    PYTHONPATH=src python tools/bench_compare.py BENCH_0.json BENCH_1.json
+
+Exits 1 on any regression, 2 on mismatched snapshots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+
+def _pct(new: float, old: float) -> str:
+    if old == 0:
+        return "n/a" if new == 0 else "+inf"
+    return f"{100.0 * (new - old) / old:+.1f} %"
+
+
+def compare_case(
+    old: dict, new: dict, tolerance: float, wall_tolerance: Optional[float]
+) -> List[str]:
+    """Regression messages for one matched case (empty when clean)."""
+    problems = []
+    if new["iops"] < old["iops"] * (1.0 - tolerance):
+        problems.append(
+            f"{new['name']}: IOPS regressed {old['iops']:.0f} -> "
+            f"{new['iops']:.0f} ({_pct(new['iops'], old['iops'])})"
+        )
+    for block in ("read_latency", "write_latency"):
+        old_p99 = old[block]["p99_us"]
+        new_p99 = new[block]["p99_us"]
+        if new_p99 > old_p99 * (1.0 + tolerance):
+            problems.append(
+                f"{new['name']}: {block} p99 regressed {old_p99:.1f} -> "
+                f"{new_p99:.1f} us ({_pct(new_p99, old_p99)})"
+            )
+    if wall_tolerance is not None:
+        old_wall = old["wall_clock_s"]
+        new_wall = new["wall_clock_s"]
+        if new_wall > old_wall * (1.0 + wall_tolerance):
+            problems.append(
+                f"{new['name']}: wall-clock regressed {old_wall:.2f} -> "
+                f"{new_wall:.2f} s ({_pct(new_wall, old_wall)})"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old", help="baseline BENCH_<n>.json")
+    parser.add_argument("new", help="candidate BENCH_<n>.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed relative drift in IOPS / p99 latency (default 0.10)",
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=None,
+        help="also gate on wall-clock with this tolerance (off by default: "
+        "wall time is host-dependent)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.old) as handle:
+        old_doc = json.load(handle)
+    with open(args.new) as handle:
+        new_doc = json.load(handle)
+    if old_doc.get("smoke") != new_doc.get("smoke"):
+        print(
+            "FAIL: comparing a smoke snapshot against a full one",
+            file=sys.stderr,
+        )
+        return 2
+
+    old_cases = {case["name"]: case for case in old_doc["cases"]}
+    new_cases = {case["name"]: case for case in new_doc["cases"]}
+    missing = sorted(set(old_cases) - set(new_cases))
+    if missing:
+        print(f"FAIL: cases missing from {args.new}: {missing}", file=sys.stderr)
+        return 2
+
+    problems: List[str] = []
+    for name in sorted(old_cases):
+        old_case, new_case = old_cases[name], new_cases[name]
+        problems += compare_case(
+            old_case, new_case, args.tolerance, args.wall_tolerance
+        )
+        print(
+            f"{name:>12}: IOPS {old_case['iops']:8.0f} -> "
+            f"{new_case['iops']:8.0f} "
+            f"({_pct(new_case['iops'], old_case['iops'])}), "
+            f"read p99 {_pct(new_case['read_latency']['p99_us'], old_case['read_latency']['p99_us'])}, "
+            f"write p99 {_pct(new_case['write_latency']['p99_us'], old_case['write_latency']['p99_us'])}, "
+            f"wall {_pct(new_case['wall_clock_s'], old_case['wall_clock_s'])} (info)"
+        )
+    extra = sorted(set(new_cases) - set(old_cases))
+    if extra:
+        print(f"note: new cases not in baseline: {extra}")
+
+    if problems:
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        return 1
+    print(f"OK: {len(old_cases)} case(s) within {args.tolerance:.0%} tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,13 @@
 #!/usr/bin/env python
-"""Validate a ``repro-ssd simulate --json`` result file (schema v2) and,
-optionally, a ``--trace`` JSONL span file.
+"""Validate a ``repro-ssd simulate --json`` result file (schema v2),
+optionally a ``--trace`` JSONL span file, and/or a ``tools/bench.py``
+snapshot (``--bench``).
 
 Used by the CI smoke step to catch schema drift and tiling-contract
 regressions on a tiny simulation::
 
     python tools/check_schema.py out.json --trace trace.jsonl
+    python tools/check_schema.py --bench BENCH_0.json
 
 Exits nonzero with a list of problems on any violation.
 """
@@ -99,6 +101,69 @@ def check_stats(document: dict) -> List[str]:
     return errors
 
 
+REQUIRED_BENCH_CASE_KEYS = [
+    "name",
+    "ftl",
+    "workload",
+    "requests",
+    "iops",
+    "read_latency",
+    "write_latency",
+    "wall_clock_s",
+    "peak_rss_kb",
+    "counters",
+    "telemetry",
+]
+
+REQUIRED_BENCH_LATENCY_KEYS = [
+    "count",
+    "mean_us",
+    "p50_us",
+    "p90_us",
+    "p99_us",
+    "max_us",
+]
+
+
+def check_bench(document: dict) -> List[str]:
+    errors: List[str] = []
+    if document.get("bench_schema_version") != 1:
+        errors.append(
+            f"bench_schema_version is "
+            f"{document.get('bench_schema_version')!r}, expected 1"
+        )
+    for key in ("smoke", "seed", "host", "cases"):
+        if key not in document:
+            errors.append(f"missing top-level key {key!r}")
+    cases = document.get("cases")
+    if not isinstance(cases, list) or not cases:
+        errors.append("cases must be a non-empty list")
+        return errors
+    for index, case in enumerate(cases):
+        where = f"cases[{index}]"
+        for key in REQUIRED_BENCH_CASE_KEYS:
+            if key not in case:
+                errors.append(f"{where} missing {key!r}")
+        for block_name in ("read_latency", "write_latency"):
+            block = case.get(block_name)
+            if not isinstance(block, dict):
+                continue
+            for key in REQUIRED_BENCH_LATENCY_KEYS:
+                if key not in block:
+                    errors.append(f"{where}.{block_name} missing {key!r}")
+        telemetry = case.get("telemetry")
+        if isinstance(telemetry, dict):
+            for instrument in ("ftl_counter", "chip_busy_us", "nand_ops"):
+                if instrument not in telemetry:
+                    errors.append(
+                        f"{where}.telemetry missing instrument {instrument!r}"
+                    )
+    names = [case.get("name") for case in cases]
+    if len(names) != len(set(names)):
+        errors.append("case names must be unique")
+    return errors
+
+
 def check_trace(path: str) -> List[str]:
     # imported lazily: the stats check must work without PYTHONPATH=src
     from repro.obs.analyze import validate_trace
@@ -121,29 +186,51 @@ def check_trace(path: str) -> List[str]:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("stats_json", help="simulate --json output file")
+    parser.add_argument(
+        "stats_json", nargs="?", default=None,
+        help="simulate --json output file",
+    )
     parser.add_argument(
         "--trace", default=None, help="simulate --trace JSONL file to validate"
     )
+    parser.add_argument(
+        "--bench", default=None, help="tools/bench.py snapshot to validate"
+    )
     args = parser.parse_args(argv)
+    if args.stats_json is None and args.bench is None:
+        parser.error("give a stats_json file and/or --bench")
 
-    with open(args.stats_json) as handle:
-        document = json.load(handle)
-    errors = check_stats(document)
+    errors: List[str] = []
+    document = None
+    if args.stats_json is not None:
+        with open(args.stats_json) as handle:
+            document = json.load(handle)
+        errors += check_stats(document)
     if args.trace is not None:
         errors += check_trace(args.trace)
+    bench_doc = None
+    if args.bench is not None:
+        with open(args.bench) as handle:
+            bench_doc = json.load(handle)
+        errors += [f"{args.bench}: {error}" for error in check_bench(bench_doc)]
     if errors:
         for error in errors:
             print(f"FAIL: {error}", file=sys.stderr)
         return 1
-    n_spans = "-"
-    if args.trace is not None:
-        with open(args.trace) as handle:
-            n_spans = sum(1 for line in handle if line.strip())
-    print(
-        f"OK: schema v{document['schema_version']}, "
-        f"{document['completed_requests']} requests, {n_spans} spans"
-    )
+    if document is not None:
+        n_spans = "-"
+        if args.trace is not None:
+            with open(args.trace) as handle:
+                n_spans = sum(1 for line in handle if line.strip())
+        print(
+            f"OK: schema v{document['schema_version']}, "
+            f"{document['completed_requests']} requests, {n_spans} spans"
+        )
+    if bench_doc is not None:
+        print(
+            f"OK: bench schema v{bench_doc['bench_schema_version']}, "
+            f"{len(bench_doc['cases'])} case(s)"
+        )
     return 0
 
 
