@@ -21,8 +21,11 @@ Example::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Union
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel import RunSpec
 
 from repro.obs.metrics import MetricsSample
 from repro.obs.profile import WallClockProfiler
@@ -180,4 +183,83 @@ def run_simulation(
         trace_path=trace if trace not in (None, "memory") else None,
         telemetry=registry.snapshot() if registry is not None else None,
         profile=profiler.to_dict() if profiler is not None else None,
+    )
+
+
+@dataclass
+class BatchResult:
+    """What :func:`run_many` produced for a batch of named runs.
+
+    ``results`` is aligned with the input specs (input order, not
+    completion order); a failed shard leaves ``None`` there and an entry
+    in ``errors``.  ``telemetry`` is the combined registry snapshot
+    merged across the specs that requested telemetry (see
+    :func:`repro.parallel.merge.merge_snapshots` for the per-kind merge
+    semantics), or ``None`` when no spec did.
+    """
+
+    names: List[str]
+    results: List[Optional[SimulationResult]]
+    errors: Dict[str, str] = field(default_factory=dict)
+    telemetry: Optional[dict] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def result_for(self, name: str) -> SimulationResult:
+        result = self.results[self.names.index(name)]
+        if result is None:
+            raise KeyError(
+                f"run {name!r} failed: {self.errors.get(name, 'unknown error')}"
+            )
+        return result
+
+
+def run_many(
+    specs: Sequence["RunSpec"],
+    jobs: int = 1,
+    base_seed: int = 7,
+    on_progress: Optional[Callable[[str, bool], None]] = None,
+) -> BatchResult:
+    """Run a batch of :class:`~repro.parallel.RunSpec` runs, sharded
+    across up to ``jobs`` worker processes.
+
+    The batch result is a pure function of ``(specs, base_seed)``: each
+    spec's seed is its pinned ``seed`` or ``derive_seed(base_seed,
+    spec.name)``, shards are crash-isolated (a dying worker fails only
+    its own run), and results come back in spec order.  ``jobs=1`` runs
+    everything inline and is the reference the parallel path reproduces
+    bit-for-bit.
+
+    ``on_progress`` (if given) is called with ``(name, ok)`` as each run
+    finishes, in completion order.
+    """
+    from repro.parallel import merge_snapshots, run_shards, specs_to_shards
+
+    shards = specs_to_shards(specs, base_seed)
+    progress = None
+    if on_progress is not None:
+        callback = on_progress
+
+        def progress(outcome):
+            callback(outcome.name, outcome.ok)
+
+    outcomes = run_shards(shards, jobs=jobs, on_progress=progress)
+    results: List[Optional[SimulationResult]] = []
+    errors: Dict[str, str] = {}
+    for outcome in outcomes:
+        if outcome.ok:
+            results.append(outcome.result)
+        else:
+            results.append(None)
+            errors[outcome.name] = outcome.error or "unknown error"
+    telemetered = [
+        r.telemetry for r in results if r is not None and r.telemetry is not None
+    ]
+    return BatchResult(
+        names=[spec.name for spec in specs],
+        results=results,
+        errors=errors,
+        telemetry=merge_snapshots(telemetered) if telemetered else None,
     )

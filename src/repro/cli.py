@@ -11,6 +11,13 @@ Three subcommands cover the common flows::
     repro-ssd compare --workload Proxy --pe 2000 --retention 12
         replay one workload against pageFTL / vertFTL / cubeFTL and print
         the normalized comparison (one Fig. 17 slice)
+
+    repro-ssd sweep --ftls page,cube --workloads OLTP,Proxy \\
+            --aging 0:0 2000:12 --jobs 4
+        run the cross product of FTLs x workloads x aging states (x fault
+        campaigns), sharded over worker processes; each cell's seed is
+        derived only from the base seed and the cell's name, so the sweep
+        output is identical for any --jobs value
 """
 
 from __future__ import annotations
@@ -128,6 +135,68 @@ def _build_parser() -> argparse.ArgumentParser:
         "compare", help="replay a workload on the three FTLs of the paper"
     )
     add_sim_args(compare)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an FTL x workload x aging (x faults) cross product "
+        "across worker processes",
+    )
+    sweep.add_argument(
+        "--ftls",
+        default="page,vert,cube",
+        help="comma-separated FTL variants (default: page,vert,cube)",
+    )
+    sweep.add_argument(
+        "--workloads",
+        default="OLTP",
+        help="comma-separated workload names (default: OLTP)",
+    )
+    sweep.add_argument(
+        "--aging",
+        nargs="+",
+        default=["0:0"],
+        metavar="PE:MONTHS",
+        help="aging states as PE:MONTHS pairs, e.g. --aging 0:0 2000:12 "
+        "(default: fresh only)",
+    )
+    sweep.add_argument(
+        "--faults",
+        nargs="+",
+        choices=sorted(CAMPAIGNS),
+        default=["none"],
+        help="fault campaigns to sweep over (default: none)",
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes to shard the sweep across (default 1: "
+        "inline; results are identical for any value)",
+    )
+    sweep.add_argument("--requests", type=int, default=2000)
+    sweep.add_argument("--warmup", type=int, default=500)
+    sweep.add_argument("--queue-depth", type=int, default=32)
+    sweep.add_argument("--blocks-per-chip", type=int, default=16)
+    sweep.add_argument("--prefill", type=float, default=0.5)
+    sweep.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="base seed; each cell runs with derive_seed(seed, cell_name)",
+    )
+    sweep.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record device telemetry per cell and include the merged "
+        "snapshot in --json output",
+    )
+    sweep.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the full sweep results (per-cell schema-v2 stats, "
+        "derived seeds, errors) as JSON to PATH",
+    )
     return parser
 
 
@@ -279,6 +348,128 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_specs(args: argparse.Namespace):
+    """RunSpecs for the sweep's cross product, in deterministic order.
+
+    Each cell's name encodes every swept dimension, and the name is all
+    the seed derivation sees -- so a cell keeps its seed (and its
+    results) when other cells are added to or removed from the sweep.
+    """
+    from repro.parallel import RunSpec
+
+    ftls = [f for f in args.ftls.split(",") if f]
+    workloads = [w for w in args.workloads.split(",") if w]
+    agings = []
+    for pair in args.aging:
+        try:
+            pe_text, months_text = pair.split(":", 1)
+            agings.append(AgingState(int(pe_text), float(months_text)))
+        except ValueError:
+            raise SystemExit(
+                f"bad --aging value {pair!r} (expected PE:MONTHS, e.g. 2000:12)"
+            )
+    geometry = SSDGeometry(
+        n_channels=2,
+        chips_per_channel=4,
+        blocks_per_chip=args.blocks_per_chip,
+        block=BlockGeometry(),
+    )
+    base_config = SSDConfig(geometry=geometry)
+    specs = []
+    for ftl in ftls:
+        for workload in workloads:
+            for aging in agings:
+                for fault in args.faults:
+                    name = f"{ftl}-{workload}-pe{aging.pe_cycles}-ret{aging.retention_months:g}"
+                    if fault != "none":
+                        name += f"-{fault}"
+                    config = base_config.with_aging(aging).with_faults(
+                        get_campaign(fault)
+                    )
+                    specs.append(
+                        RunSpec(
+                            name=name,
+                            config=config,
+                            workload=workload,
+                            ftl=ftl,
+                            queue_depth=args.queue_depth,
+                            warmup_requests=args.warmup,
+                            prefill=args.prefill,
+                            n_requests=args.requests,
+                            telemetry=args.telemetry,
+                        )
+                    )
+    return specs
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.api import run_many
+    from repro.parallel import resolve_seed
+
+    specs = _sweep_specs(args)
+    if not specs:
+        raise SystemExit("sweep is empty: no FTLs or workloads selected")
+    print(f"sweep: {len(specs)} cell(s), {args.jobs} job(s)")
+
+    def progress(name: str, ok: bool) -> None:
+        print(f"  {name}: {'done' if ok else 'FAILED'}", flush=True)
+
+    batch = run_many(
+        specs, jobs=args.jobs, base_seed=args.seed, on_progress=progress
+    )
+    rows = []
+    for spec, result in zip(specs, batch.results):
+        if result is None:
+            rows.append([spec.name, str(resolve_seed(spec, args.seed)),
+                         "FAILED", "-", "-", "-"])
+            continue
+        stats = result.stats
+        rows.append(
+            [
+                spec.name,
+                str(resolve_seed(spec, args.seed)),
+                f"{stats.iops:.0f}",
+                f"{stats.read_latency.percentile(99):.0f}",
+                f"{stats.write_latency.percentile(99):.0f}",
+                f"{stats.counters.mean_num_retry:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["cell", "seed", "IOPS", "read p99 us", "write p99 us",
+             "retries/read"],
+            rows,
+        )
+    )
+    if args.json:
+        import json
+
+        payload = {
+            "base_seed": args.seed,
+            "runs": [
+                {
+                    "name": spec.name,
+                    "seed": resolve_seed(spec, args.seed),
+                    "ftl": spec.ftl,
+                    "workload": spec.workload,
+                    "stats": result.stats.to_dict() if result else None,
+                    "error": batch.errors.get(spec.name),
+                }
+                for spec, result in zip(specs, batch.results)
+            ],
+        }
+        if batch.telemetry is not None:
+            payload["telemetry"] = batch.telemetry
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"sweep results written to {args.json}")
+    if batch.errors:
+        for name, error in batch.errors.items():
+            print(f"FAILED cell {name}:\n{error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     configure_logging(args.log_level)
@@ -288,6 +479,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_simulate(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -32,6 +32,12 @@ class PageMapper:
         self._valid_count = np.zeros(
             (geometry.n_chips, geometry.blocks_per_chip), dtype=np.int32
         )
+        # bound methods cached for the translation fast path: ndarray.item
+        # returns a plain Python int without materializing a numpy scalar,
+        # which roughly halves the cost of the per-page lookup -- the
+        # single hottest mapping operation on read-dominated workloads
+        self._l2p_item = self._l2p.item
+        self._p2l_item = self._p2l.item
 
     # ------------------------------------------------------------------
 
@@ -48,11 +54,12 @@ class PageMapper:
 
     def lookup(self, lpn: int) -> int:
         """PPN currently holding an LPN, or :data:`UNMAPPED`."""
-        self._check_lpn(lpn)
-        return int(self._l2p[lpn])
+        if 0 <= lpn < self.logical_pages:
+            return self._l2p_item(lpn)
+        raise IndexError(f"LPN {lpn} out of range [0, {self.logical_pages})")
 
     def lpn_of(self, ppn: int) -> int:
-        return int(self._p2l[ppn])
+        return self._p2l_item(ppn)
 
     def is_valid(self, ppn: int) -> bool:
         return bool(self._valid[ppn])
@@ -68,7 +75,7 @@ class PageMapper:
             raise IndexError(f"PPN {ppn} out of range")
         if self._valid[ppn]:
             raise ValueError(f"PPN {ppn} already holds valid data")
-        old = int(self._l2p[lpn])
+        old = self._l2p_item(lpn)
         if old != UNMAPPED:
             self._invalidate_ppn(old)
         self._l2p[lpn] = ppn
@@ -81,7 +88,7 @@ class PageMapper:
     def invalidate_lpn(self, lpn: int) -> None:
         """Drop an LPN's mapping (trim / overwrite-in-buffer)."""
         self._check_lpn(lpn)
-        old = int(self._l2p[lpn])
+        old = self._l2p_item(lpn)
         if old != UNMAPPED:
             self._invalidate_ppn(old)
             self._l2p[lpn] = UNMAPPED

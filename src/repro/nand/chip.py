@@ -195,6 +195,14 @@ class NandChip:
         self._program_nonce = 0
         self._tags: Dict[Tuple[int, int, int], object] = {}
         self._features: Dict[int, Tuple[int, ...]] = {}
+        # allocation caches for the per-operation hot path: AgingState is
+        # frozen, so one instance per (block, erase-epoch) can be shared
+        # by every read of the block instead of being rebuilt per page
+        # read.  Invalidated on erase and on baseline changes; bounded by
+        # n_blocks (and by distinct dynamic P/E values for the
+        # zero-retention states the program path uses).
+        self._block_aging_cache: Dict[int, AgingState] = {}
+        self._fresh_aging_cache: Dict[int, AgingState] = {}
 
     # ------------------------------------------------------------------
     # aging control (experiment pre-conditioning)
@@ -207,14 +215,29 @@ class NandChip:
     def set_baseline_aging(self, aging: AgingState) -> None:
         """Pre-condition the chip (e.g. "2 K P/E with 1-year retention")."""
         self._baseline = aging
+        self._block_aging_cache.clear()
+        self._fresh_aging_cache.clear()
 
     def block_aging(self, block: int) -> AgingState:
         """Effective aging of one block: baseline plus dynamic erases."""
         self._check_block(block)
-        return AgingState(
-            pe_cycles=self._baseline.pe_cycles + int(self._erase_counts[block]),
-            retention_months=self._baseline.retention_months,
-        )
+        aging = self._block_aging_cache.get(block)
+        if aging is None:
+            aging = AgingState(
+                pe_cycles=self._baseline.pe_cycles + int(self._erase_counts[block]),
+                retention_months=self._baseline.retention_months,
+            )
+            self._block_aging_cache[block] = aging
+        return aging
+
+    def _fresh_aging(self, pe_cycles: int) -> AgingState:
+        """Shared zero-retention AgingState for a dynamic P/E count (the
+        immediate post-program read-back condition)."""
+        aging = self._fresh_aging_cache.get(pe_cycles)
+        if aging is None:
+            aging = AgingState(pe_cycles, 0.0)
+            self._fresh_aging_cache[pe_cycles] = aging
+        return aging
 
     def block_pe(self, block: int) -> int:
         self._check_block(block)
@@ -243,6 +266,7 @@ class NandChip:
                 t_us=self._op_latency(self.timing.t_erase_us),
             )
         self._erase_counts[block] += 1
+        self._block_aging_cache.pop(block, None)
         self.erases_done += 1
         if self.telemetry is not None:
             self.telemetry.record_erase()
@@ -316,7 +340,7 @@ class NandChip:
                 self._tags[(block, wl_index, page)] = tag
 
         # immediate read-back BER: no retention yet, current block P/E
-        aging_now = AgingState(self.block_pe(block), 0.0)
+        aging_now = self._fresh_aging(self.block_pe(block))
         post_ber = (
             self.reliability.wl_ber(self.chip_id, block, layer, wl, aging_now)
             * ispp_result.ber_penalty

@@ -1,0 +1,89 @@
+"""Experiment-level shard specs for the parallel runner.
+
+:class:`RunSpec` names one simulation run (a benchmark case, one cell of
+a parameter sweep, one fault campaign) declaratively, so it pickles into
+a worker process; :func:`execute_run_spec` is the module-level worker
+the runner invokes.  :func:`specs_to_shards` turns RunSpecs into
+:class:`~repro.parallel.runner.ShardSpec` items, resolving each spec's
+seed through the fixed derivation rule when the spec does not pin one:
+
+    spec.seed if spec.seed is not None else derive_seed(base_seed, spec.name)
+
+Seeds therefore depend only on (base_seed, name) -- never on worker
+count or shard-to-worker assignment -- which is what makes sweep results
+bit-for-bit reproducible under any ``--jobs`` value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence
+
+from repro.parallel.runner import ShardSpec
+from repro.parallel.seeds import derive_seed
+from repro.ssd.config import SSDConfig
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One named simulation run, fully described by values that pickle.
+
+    ``seed=None`` (the default) means "derive from the base seed and my
+    name"; pin an explicit seed to opt out (the benchmark harness does,
+    to stay comparable with its committed baselines).
+    """
+
+    name: str
+    config: SSDConfig
+    workload: str
+    ftl: str = "cube"
+    queue_depth: int = 32
+    warmup_requests: int = 0
+    prefill: float = 0.9
+    n_requests: int = 8000
+    seed: Optional[int] = None
+    telemetry: bool = False
+    ftl_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+def execute_run_spec(spec: RunSpec, seed: int):
+    """Worker entry point: run one spec, return its SimulationResult."""
+    from repro.api import run_simulation
+
+    return run_simulation(
+        spec.config,
+        spec.workload,
+        ftl=spec.ftl,
+        queue_depth=spec.queue_depth,
+        warmup_requests=spec.warmup_requests,
+        prefill=spec.prefill,
+        n_requests=spec.n_requests,
+        seed=seed,
+        telemetry=spec.telemetry,
+        **spec.ftl_kwargs,
+    )
+
+
+def resolve_seed(spec: RunSpec, base_seed: int) -> int:
+    """The seed a spec runs with (pinned, or derived from its name)."""
+    return spec.seed if spec.seed is not None else derive_seed(base_seed, spec.name)
+
+
+def specs_to_shards(
+    specs: Sequence[RunSpec], base_seed: int
+) -> "list[ShardSpec]":
+    names = [spec.name for spec in specs]
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    if duplicates:
+        raise ValueError(
+            f"duplicate RunSpec names {duplicates}: the name is the shard's "
+            "seed-derivation identity, so it must be unique per run"
+        )
+    return [
+        ShardSpec(
+            name=spec.name,
+            fn=execute_run_spec,
+            kwargs={"spec": spec, "seed": resolve_seed(spec, base_seed)},
+        )
+        for spec in specs
+    ]

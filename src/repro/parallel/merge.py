@@ -1,0 +1,103 @@
+"""Merging per-shard telemetry snapshots into one combined snapshot.
+
+Each shard runs with its own :class:`~repro.obs.registry.TelemetryRegistry`
+and returns the registry's :meth:`snapshot` dict.  :func:`merge_snapshots`
+folds those dicts into one snapshot with the same shape, so downstream
+consumers (JSON dumps, dashboards, tests) need not care whether a run
+was sharded.
+
+Merge semantics per instrument kind:
+
+- **counter** -- series values sum; totals across shards add up exactly.
+- **histogram** -- ``count``, ``sum`` and every bucket count sum, which
+  is the exact distribution of the union of observations (bucket edges
+  must match across shards; mismatched edges are schema drift and raise).
+- **gauge** -- series values **sum**.  That is exact for gauges that are
+  really per-shard totals exported through collectors (the
+  ``ftl_counter`` / ``ftl_recovery`` bridges, busy time), which is what
+  the simulator's registries predominantly hold.  For ratio-style gauges
+  (``buffer_utilization``, ``ort_hit_rate``) a cross-shard sum has no
+  physical meaning -- consume those from the per-shard snapshots, which
+  :func:`~repro.api.run_many` keeps alongside the merged view.
+
+Determinism: instruments and series stay sorted exactly as
+:meth:`TelemetryRegistry.snapshot` emits them, and merging is order-
+insensitive (addition commutes), so the merged snapshot is identical for
+any shard completion order.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Sequence
+
+
+def _series_key(row: dict) -> str:
+    """Stable identity of one series row: its label set (sorted)."""
+    labels = row.get("labels") or {}
+    return json.dumps(labels, sort_keys=True)
+
+
+def _merge_rows(kind: str, name: str, into: dict, row: dict) -> None:
+    if kind in ("counter", "gauge"):
+        into["value"] = into.get("value", 0.0) + row.get("value", 0.0)
+        return
+    if kind == "histogram":
+        into["count"] = into.get("count", 0) + row.get("count", 0)
+        into["sum"] = into.get("sum", 0.0) + row.get("sum", 0.0)
+        buckets, incoming = into.setdefault("buckets", {}), row.get("buckets", {})
+        if buckets and list(buckets) != list(incoming):
+            raise ValueError(
+                f"histogram {name!r} has mismatched bucket edges across "
+                f"shards ({list(buckets)} vs {list(incoming)})"
+            )
+        for edge, count in incoming.items():
+            buckets[edge] = buckets.get(edge, 0) + count
+        return
+    raise ValueError(f"instrument {name!r} has unknown kind {kind!r}")
+
+
+def merge_snapshots(snapshots: Sequence[Optional[dict]]) -> dict:
+    """Fold per-shard registry snapshots into one combined snapshot.
+
+    ``None`` entries (shards run without telemetry, or failed shards)
+    are skipped.  Instruments appearing in only some shards merge fine;
+    the same name appearing with different kinds across shards raises.
+    """
+    merged_meta: Dict[str, dict] = {}
+    merged_series: Dict[str, Dict[str, dict]] = {}
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for name, instrument in snapshot.items():
+            kind = instrument.get("kind", "?")
+            meta = merged_meta.get(name)
+            if meta is None:
+                merged_meta[name] = {
+                    "kind": kind,
+                    "help": instrument.get("help", ""),
+                    "unit": instrument.get("unit", ""),
+                    "labelnames": list(instrument.get("labelnames", [])),
+                }
+                merged_series[name] = {}
+            elif meta["kind"] != kind:
+                raise ValueError(
+                    f"instrument {name!r} is a {meta['kind']} in one shard "
+                    f"and a {kind} in another"
+                )
+            rows = merged_series[name]
+            for row in instrument.get("series", []):
+                key = _series_key(row)
+                into = rows.get(key)
+                if into is None:
+                    into = rows[key] = (
+                        {"labels": dict(row["labels"])} if "labels" in row else {}
+                    )
+                _merge_rows(kind, name, into, row)
+    result = {}
+    for name in sorted(merged_meta):
+        meta = dict(merged_meta[name])
+        rows = merged_series[name]
+        meta["series"] = [rows[key] for key in sorted(rows)]
+        result[name] = meta
+    return result

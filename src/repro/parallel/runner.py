@@ -1,0 +1,150 @@
+"""Crash-isolated process-pool shard runner.
+
+The unit of work is a :class:`ShardSpec`: a named, picklable call.  The
+runner executes up to ``jobs`` shards concurrently, each in its own
+``multiprocessing.Process``, and returns one :class:`ShardOutcome` per
+spec **in input order** -- never in completion order.  Combined with the
+rule that a shard's seed derives only from its name (see
+:mod:`repro.parallel.seeds`), this makes the merged output of a run a
+pure function of the spec list: bit-for-bit identical for any worker
+count and any scheduling of the workers.
+
+Isolation is per-shard, not per-pool.  ``concurrent.futures`` pools
+treat an abnormally dying worker as fatal for the whole pool
+(``BrokenProcessPool``); here a shard whose process segfaults, is
+OOM-killed, or raises simply yields an ``ok=False`` outcome carrying the
+error, and every other shard still completes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _wait_connections
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One unit of parallel work.
+
+    ``fn`` must be picklable (a module-level function) and is invoked as
+    ``fn(**kwargs)`` in the worker process; whatever it returns must
+    pickle back.  ``name`` identifies the shard in reports and is the
+    sole input (besides the base seed) to its seed derivation.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ShardOutcome:
+    """Result slot for one shard, ok or not.
+
+    ``error`` is a human-readable failure description -- the worker's
+    formatted traceback when the shard raised, or an exit-code note when
+    the process died without reporting (segfault, OOM kill).
+    """
+
+    name: str
+    ok: bool
+    result: Any = None
+    error: Optional[str] = None
+
+
+def _shard_main(spec: ShardSpec, conn) -> None:
+    """Worker entry point: run the shard, report through the pipe."""
+    try:
+        result = spec.fn(**spec.kwargs)
+        conn.send(("ok", result))
+    except BaseException:
+        conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+def _run_inline(specs: Sequence[ShardSpec], on_progress) -> List[ShardOutcome]:
+    outcomes = []
+    for spec in specs:
+        try:
+            outcomes.append(ShardOutcome(spec.name, True, spec.fn(**spec.kwargs)))
+        except Exception:
+            outcomes.append(
+                ShardOutcome(spec.name, False, error=traceback.format_exc())
+            )
+        if on_progress is not None:
+            on_progress(outcomes[-1])
+    return outcomes
+
+
+def run_shards(
+    specs: Sequence[ShardSpec],
+    jobs: int = 1,
+    on_progress: Optional[Callable[[ShardOutcome], None]] = None,
+) -> List[ShardOutcome]:
+    """Run shards with up to ``jobs`` worker processes.
+
+    Returns outcomes aligned with ``specs`` (input order).  With
+    ``jobs <= 1`` the shards run inline in this process -- same outcome
+    semantics, no subprocess overhead -- which is also the reference
+    behaviour parallel runs must reproduce bit-for-bit.
+
+    ``on_progress`` (if given) is called with each :class:`ShardOutcome`
+    as it lands, in *completion* order; it runs in this process and must
+    not raise.
+    """
+    if jobs <= 1 or len(specs) <= 1:
+        return _run_inline(specs, on_progress)
+
+    # spawn (not fork): workers start from a clean interpreter, so shard
+    # results cannot depend on state the parent accumulated -- the same
+    # property that keeps reruns and different worker counts identical
+    ctx = mp.get_context("spawn")
+    outcomes: List[Optional[ShardOutcome]] = [None] * len(specs)
+    pending = list(enumerate(specs))  # input order; workers pull from front
+    active: Dict[Any, tuple] = {}  # recv conn -> (index, spec, process)
+
+    def _launch() -> None:
+        while pending and len(active) < jobs:
+            index, spec = pending.pop(0)
+            recv, send = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_shard_main, args=(spec, send), daemon=True
+            )
+            process.start()
+            # the child holds its own handle; keeping ours open would
+            # make recv block forever after a worker dies mid-shard
+            send.close()
+            active[recv] = (index, spec, process)
+
+    _launch()
+    while active:
+        for conn in _wait_connections(list(active)):
+            index, spec, process = active.pop(conn)
+            try:
+                status, payload = conn.recv()
+            except EOFError:
+                status, payload = None, None
+            conn.close()
+            process.join()
+            if status == "ok":
+                outcome = ShardOutcome(spec.name, True, payload)
+            elif status == "error":
+                outcome = ShardOutcome(spec.name, False, error=payload)
+            else:
+                outcome = ShardOutcome(
+                    spec.name,
+                    False,
+                    error=(
+                        f"worker died without reporting "
+                        f"(exit code {process.exitcode})"
+                    ),
+                )
+            outcomes[index] = outcome
+            if on_progress is not None:
+                on_progress(outcome)
+        _launch()
+    return outcomes  # type: ignore[return-value]

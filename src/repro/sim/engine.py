@@ -10,20 +10,40 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional
 
+#: lazy-deletion compaction threshold: the heap is rebuilt (cancelled
+#: events dropped) once at least this many cancelled events are queued
+#: *and* they make up at least half the heap.  Compaction never changes
+#: the pop order -- (time, seq) is a strict total order, so any valid
+#: heap over the same live events drains identically.
+COMPACT_MIN_CANCELLED = 64
+
 
 class Event:
-    """A scheduled callback.  Cancel by setting :attr:`cancelled`."""
+    """A scheduled callback.  Cancel via :meth:`cancel`."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "engine")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        engine: Optional["Engine"] = None,
+    ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        #: owning engine while the event sits in its queue; cleared on
+        #: pop so a late cancel of an already-fired event is a no-op
+        self.engine = engine
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.engine is not None:
+            self.engine._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -53,7 +73,11 @@ class RecurringEvent:
         if self.stopped:
             return
         self.callback()
-        if self.engine.pending > 0:
+        # re-arm only while a *live* event remains: ``pending`` counts
+        # cancelled events still in the heap, so gating on it would keep
+        # the sampler alive on a queue of corpses and advance the clock
+        # past the last real event
+        if self.engine.live_pending > 0:
             self.event = self.engine.schedule(self.interval, self._fire)
         else:
             self.event = None
@@ -74,6 +98,8 @@ class Engine:
         self._queue: List[Event] = []
         self._processed = 0
         self._peak_pending = 0
+        self._cancelled = 0
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -84,6 +110,29 @@ class Engine:
     def pending(self) -> int:
         """Number of events still queued (including cancelled ones)."""
         return len(self._queue)
+
+    @property
+    def live_pending(self) -> int:
+        """Number of queued events that will actually fire."""
+        return len(self._queue) - self._cancelled
+
+    @property
+    def compactions(self) -> int:
+        """Lazy-deletion heap rebuilds performed (telemetry)."""
+        return self._compactions
+
+    def _note_cancel(self) -> None:
+        """One queued event was cancelled; compact the heap when corpses
+        dominate it (lazy deletion keeps cancellation itself O(1))."""
+        self._cancelled += 1
+        if (
+            self._cancelled >= COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 >= len(self._queue)
+        ):
+            self._queue = [e for e in self._queue if not e.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled = 0
+            self._compactions += 1
 
     @property
     def processed(self) -> int:
@@ -100,7 +149,7 @@ class Engine:
         """Schedule ``callback`` to run ``delay`` microseconds from now."""
         if delay < 0:
             raise ValueError("delay must be >= 0")
-        event = Event(self._now + delay, self._seq, callback)
+        event = Event(self._now + delay, self._seq, callback, self)
         self._seq += 1
         heapq.heappush(self._queue, event)
         if len(self._queue) > self._peak_pending:
@@ -111,7 +160,7 @@ class Engine:
         """Schedule ``callback`` at an absolute time (>= now)."""
         if time < self._now:
             raise ValueError("cannot schedule in the past")
-        event = Event(time, self._seq, callback)
+        event = Event(time, self._seq, callback, self)
         self._seq += 1
         heapq.heappush(self._queue, event)
         if len(self._queue) > self._peak_pending:
@@ -120,14 +169,17 @@ class Engine:
 
     def every(self, interval: float, callback: Callable[[], None]) -> RecurringEvent:
         """Run ``callback`` every ``interval`` microseconds while other
-        events remain queued (observability hooks ride on this)."""
+        *live* events remain queued (observability hooks ride on this);
+        cancelled events never keep a recurring callback alive."""
         return RecurringEvent(self, interval, callback)
 
     def step(self) -> bool:
         """Execute the next event.  Returns False when the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            event.engine = None
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = event.time
             self._processed += 1
@@ -160,6 +212,8 @@ class Engine:
             head = self._queue[0]
             if head.cancelled:
                 heapq.heappop(self._queue)
+                head.engine = None
+                self._cancelled -= 1
                 continue
             if until is not None and head.time > until:
                 self._now = until
@@ -184,6 +238,8 @@ class Engine:
             head = self._queue[0]
             if head.cancelled:
                 heapq.heappop(self._queue)
+                head.engine = None
+                self._cancelled -= 1
                 profiler.pop()
                 continue
             if until is not None and head.time > until:
@@ -191,6 +247,7 @@ class Engine:
                 profiler.pop()
                 return
             event = heapq.heappop(self._queue)
+            event.engine = None
             self._now = event.time
             self._processed += 1
             profiler.pop()

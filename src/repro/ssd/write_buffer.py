@@ -42,8 +42,16 @@ class WriteBuffer:
             raise ValueError("capacity_pages must be >= 1")
         self.capacity = capacity_pages
         self._staged: "OrderedDict[int, BufferEntry]" = OrderedDict()
-        self._inflight: Dict[int, List[BufferEntry]] = {}
+        # per-LPN in-flight copies keyed by write version.  Versions are
+        # strictly increasing per LPN and dict order is insertion order,
+        # so the last value is always the freshest copy -- and removal
+        # by version in :meth:`complete` is O(1) instead of a list scan.
+        self._inflight: Dict[int, Dict[int, BufferEntry]] = {}
         self._inflight_count = 0
+        # write sequence number per LPN with a staged or in-flight copy.
+        # Entries are dropped as soon as the last copy of the LPN leaves
+        # the buffer (the mapping is bound by then), so the dict is
+        # bounded by the buffer capacity, not by the touched LPN space.
         self._versions: Dict[int, int] = {}
         self.coalesced_writes = 0
         #: high-water mark of :attr:`occupancy` (burst-absorption signal
@@ -112,21 +120,30 @@ class WriteBuffer:
         group: List[BufferEntry] = []
         while self._staged and len(group) < max_pages:
             _, entry = self._staged.popitem(last=False)
-            self._inflight.setdefault(entry.lpn, []).append(entry)
+            self._inflight.setdefault(entry.lpn, {})[entry.version] = entry
             self._inflight_count += 1
             group.append(entry)
         return group
 
     def complete(self, entries: List[BufferEntry]) -> None:
-        """Mark dispatched pages durable, freeing their slots."""
+        """Mark dispatched pages durable, freeing their slots.
+
+        An LPN whose last buffered copy just left (nothing staged, no
+        other version in flight) also drops its version entry: the FTL
+        binds the mapping before completing, so the sequence number has
+        no consumer left and keeping it would leak memory over the whole
+        touched-LPN space on long runs."""
         for entry in entries:
-            bucket = self._inflight.get(entry.lpn)
-            if not bucket or entry not in bucket:
-                raise ValueError(f"LPN {entry.lpn} was not in flight")
-            bucket.remove(entry)
-            if not bucket:
-                del self._inflight[entry.lpn]
+            lpn = entry.lpn
+            bucket = self._inflight.get(lpn)
+            if not bucket or bucket.get(entry.version) is not entry:
+                raise ValueError(f"LPN {lpn} was not in flight")
+            del bucket[entry.version]
             self._inflight_count -= 1
+            if not bucket:
+                del self._inflight[lpn]
+                if lpn not in self._staged:
+                    del self._versions[lpn]
 
     # ------------------------------------------------------------------
     # read coherence
@@ -142,7 +159,8 @@ class WriteBuffer:
             return self._staged[lpn].data
         bucket = self._inflight.get(lpn)
         if bucket:
-            return bucket[-1].data
+            # insertion order == version order, so the last entry wins
+            return next(reversed(bucket.values())).data
         raise KeyError(f"LPN {lpn} not buffered")
 
     def latest_version(self, lpn: int) -> int:

@@ -1,0 +1,55 @@
+"""End-to-end determinism: serial vs ``--jobs 4`` BENCH snapshots.
+
+Runs the real ``tools/bench.py`` entry point twice in subprocesses (the
+parallel path spawns workers, so the script must run as a real file, not
+an importlib-loaded module) and asserts the canonical snapshots are
+*byte-for-byte* identical -- the tentpole reproducibility guarantee.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+BENCH = os.path.join(REPO_ROOT, "tools", "bench.py")
+
+
+def _run_bench(out, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.run(
+        [sys.executable, BENCH, "--smoke", "--canonical", "--out", out, *extra],
+        env=env,
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.slow
+def test_serial_and_jobs4_snapshots_are_byte_identical(tmp_path):
+    serial_path = str(tmp_path / "serial.json")
+    parallel_path = str(tmp_path / "parallel.json")
+    serial = _run_bench(serial_path)
+    assert serial.returncode == 0, serial.stderr
+    parallel = _run_bench(parallel_path, "--jobs", "4")
+    assert parallel.returncode == 0, parallel.stderr
+
+    with open(serial_path, "rb") as handle:
+        serial_bytes = handle.read()
+    with open(parallel_path, "rb") as handle:
+        parallel_bytes = handle.read()
+    assert serial_bytes == parallel_bytes
+
+    # sanity: the snapshot is real (all cases present, simulated metrics in)
+    document = json.loads(serial_bytes)
+    assert document["canonical"] is True
+    assert len(document["cases"]) == 5
+    assert all("wall_clock_s" not in case for case in document["cases"])
+    assert all(case["iops"] > 0 for case in document["cases"])

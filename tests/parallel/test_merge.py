@@ -1,0 +1,86 @@
+"""Telemetry-snapshot merge semantics."""
+
+import pytest
+
+from repro.obs.registry import TelemetryRegistry
+from repro.parallel import merge_snapshots
+
+
+def _registry_snapshot(counter_value, gauge_value, observations):
+    registry = TelemetryRegistry()
+    registry.counter("ops", "operations").inc(counter_value)
+    registry.gauge("busy_us", "busy time", unit="us").set(gauge_value)
+    labelled = registry.counter("per_die", "per-die ops", labelnames=("die",))
+    labelled.labels(die=0).inc(counter_value)
+    hist = registry.histogram("depth", "queue depth", buckets=(1, 4, 16))
+    for value in observations:
+        hist.observe(value)
+    return registry.snapshot()
+
+
+class TestMergeSnapshots:
+    def test_counters_and_gauges_sum(self):
+        merged = merge_snapshots(
+            [_registry_snapshot(3, 10.0, []), _registry_snapshot(4, 2.5, [])]
+        )
+        assert merged["ops"]["series"][0]["value"] == 7.0
+        assert merged["busy_us"]["series"][0]["value"] == 12.5
+
+    def test_labelled_series_merge_by_label_set(self):
+        merged = merge_snapshots(
+            [_registry_snapshot(1, 0, []), _registry_snapshot(2, 0, [])]
+        )
+        (row,) = merged["per_die"]["series"]
+        assert row["labels"] == {"die": "0"}
+        assert row["value"] == 3.0
+
+    def test_histograms_sum_exactly(self):
+        merged = merge_snapshots(
+            [
+                _registry_snapshot(0, 0, [1, 2, 20]),
+                _registry_snapshot(0, 0, [3, 17]),
+            ]
+        )
+        (row,) = merged["depth"]["series"]
+        assert row["count"] == 5
+        assert row["sum"] == 43.0
+        assert row["buckets"] == {"1": 1, "4": 2, "16": 0, "+inf": 2}
+
+    def test_merge_is_order_insensitive(self):
+        a = _registry_snapshot(3, 1.0, [1, 9])
+        b = _registry_snapshot(5, 2.0, [2])
+        assert merge_snapshots([a, b]) == merge_snapshots([b, a])
+
+    def test_none_and_missing_instruments_are_fine(self):
+        registry = TelemetryRegistry()
+        registry.counter("only_here", "partial").inc(2)
+        merged = merge_snapshots(
+            [None, _registry_snapshot(1, 1.0, []), registry.snapshot()]
+        )
+        assert merged["only_here"]["series"][0]["value"] == 2.0
+        assert merged["ops"]["series"][0]["value"] == 1.0
+
+    def test_merged_shape_matches_registry_snapshot_shape(self):
+        snapshot = _registry_snapshot(1, 2.0, [3])
+        merged = merge_snapshots([snapshot])
+        assert merged == snapshot
+
+    def test_kind_conflict_raises(self):
+        a = TelemetryRegistry()
+        a.counter("x", "as counter").inc()
+        b = TelemetryRegistry()
+        b.gauge("x", "as gauge").set(1)
+        with pytest.raises(ValueError, match="counter.*gauge"):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_bucket_mismatch_raises(self):
+        a = TelemetryRegistry()
+        a.histogram("h", "x", buckets=(1, 2)).observe(1)
+        b = TelemetryRegistry()
+        b.histogram("h", "x", buckets=(1, 3)).observe(1)
+        with pytest.raises(ValueError, match="bucket"):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_empty_input(self):
+        assert merge_snapshots([]) == {}
+        assert merge_snapshots([None, None]) == {}

@@ -1,0 +1,99 @@
+"""The crash-isolated shard runner.
+
+Worker functions live at module level so they pickle into spawn-started
+worker processes.
+"""
+
+import os
+import time
+
+from repro.parallel import ShardSpec, run_shards
+
+
+def _double(x):
+    return 2 * x
+
+
+def _sleep_then_double(x, delay):
+    time.sleep(delay)
+    return 2 * x
+
+
+def _raise(message):
+    raise ValueError(message)
+
+
+def _hard_exit(code):
+    os._exit(code)  # simulates a segfault / OOM kill: no reporting at all
+
+
+def _specs(n):
+    return [ShardSpec(name=f"s{i}", fn=_double, kwargs={"x": i}) for i in range(n)]
+
+
+class TestInlinePath:
+    def test_results_in_order(self):
+        outcomes = run_shards(_specs(4), jobs=1)
+        assert [o.name for o in outcomes] == ["s0", "s1", "s2", "s3"]
+        assert [o.result for o in outcomes] == [0, 2, 4, 6]
+        assert all(o.ok for o in outcomes)
+
+    def test_exception_is_isolated(self):
+        specs = _specs(2) + [ShardSpec("bad", _raise, {"message": "boom"})]
+        outcomes = run_shards(specs, jobs=1)
+        assert [o.ok for o in outcomes] == [True, True, False]
+        assert "ValueError" in outcomes[2].error
+        assert "boom" in outcomes[2].error
+
+    def test_progress_callback_sees_every_shard(self):
+        seen = []
+        run_shards(_specs(3), jobs=1, on_progress=lambda o: seen.append(o.name))
+        assert sorted(seen) == ["s0", "s1", "s2"]
+
+
+class TestProcessPool:
+    def test_results_in_input_order_not_completion_order(self):
+        # s0 sleeps longest, so it finishes last -- but must come first
+        specs = [
+            ShardSpec(
+                name=f"s{i}",
+                fn=_sleep_then_double,
+                kwargs={"x": i, "delay": 0.3 if i == 0 else 0.0},
+            )
+            for i in range(3)
+        ]
+        outcomes = run_shards(specs, jobs=3)
+        assert [o.name for o in outcomes] == ["s0", "s1", "s2"]
+        assert [o.result for o in outcomes] == [0, 2, 4]
+
+    def test_worker_exception_is_isolated(self):
+        specs = _specs(3) + [ShardSpec("bad", _raise, {"message": "kaput"})]
+        outcomes = run_shards(specs, jobs=2)
+        assert [o.ok for o in outcomes] == [True, True, True, False]
+        assert "kaput" in outcomes[3].error
+        assert [o.result for o in outcomes[:3]] == [0, 2, 4]
+
+    def test_hard_worker_death_is_isolated(self):
+        # a worker dying without reporting (exit code, no traceback) must
+        # fail only its own shard; every other shard still completes
+        specs = _specs(3) + [ShardSpec("dead", _hard_exit, {"code": 3})]
+        outcomes = run_shards(specs, jobs=2)
+        assert [o.ok for o in outcomes] == [True, True, True, False]
+        assert "exit code 3" in outcomes[3].error
+        assert [o.result for o in outcomes[:3]] == [0, 2, 4]
+
+    def test_more_shards_than_jobs(self):
+        outcomes = run_shards(_specs(7), jobs=2)
+        assert [o.result for o in outcomes] == [2 * i for i in range(7)]
+
+    def test_progress_callback_sees_every_shard(self):
+        seen = []
+        run_shards(_specs(4), jobs=2, on_progress=lambda o: seen.append(o.name))
+        assert sorted(seen) == ["s0", "s1", "s2", "s3"]
+
+    def test_parallel_matches_inline(self):
+        inline = run_shards(_specs(5), jobs=1)
+        pooled = run_shards(_specs(5), jobs=4)
+        assert [(o.name, o.ok, o.result) for o in inline] == [
+            (o.name, o.ok, o.result) for o in pooled
+        ]

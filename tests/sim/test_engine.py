@@ -96,3 +96,95 @@ class TestEngine:
             engine.schedule(1.0, lambda: None)
         engine.run()
         assert engine.processed == 3
+
+
+class TestRecurringEvents:
+    def test_rearms_while_live_events_remain(self):
+        engine = Engine()
+        samples = []
+        for t in (1.5, 3.5):
+            engine.schedule(t, lambda: None)
+        engine.every(1.0, lambda: samples.append(engine.now))
+        engine.run()
+        assert samples  # sampled at least once alongside the live events
+
+    def test_does_not_rearm_on_cancelled_corpses(self):
+        """Regression: ``_fire`` used to gate on ``pending``, which counts
+        cancelled events -- a queue holding only corpses kept the sampler
+        alive and marched the clock past the last real event."""
+        engine = Engine()
+        samples = []
+        engine.every(1.0, lambda: samples.append(engine.now))
+        corpse = engine.schedule(100.0, lambda: None)
+        corpse.cancel()
+        engine.run()
+        assert samples == [1.0]  # fired once, then saw no live work
+        assert engine.now < 100.0
+
+    def test_sampler_cannot_keep_engine_alive_alone(self):
+        engine = Engine()
+        ticks = []
+        engine.every(2.0, lambda: ticks.append(engine.now))
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        # final tick happens at most one interval past the last live event
+        assert ticks and ticks[-1] <= 5.0 + 2.0
+        assert engine.now <= 5.0 + 2.0
+
+    def test_stop_cancels_pending_occurrence(self):
+        engine = Engine()
+        ticks = []
+        recurring = engine.every(1.0, lambda: ticks.append(engine.now))
+        engine.schedule(10.0, lambda: None)
+        recurring.stop()
+        engine.run()
+        assert ticks == []
+
+
+class TestHeapCompaction:
+    def test_mass_cancellation_compacts_heap(self):
+        engine = Engine()
+        fired = []
+        events = [
+            engine.schedule(float(i + 1), lambda i=i: fired.append(i))
+            for i in range(200)
+        ]
+        for event in events[::2]:
+            event.cancel()
+        assert engine.compactions >= 1
+        assert engine.pending == engine.live_pending == 100
+
+    def test_compaction_preserves_pop_order(self):
+        engine = Engine()
+        fired = []
+        events = [
+            engine.schedule(float(200 - i), lambda i=i: fired.append(i))
+            for i in range(200)
+        ]
+        for event in events[:150]:
+            event.cancel()
+        assert engine.compactions >= 1
+        engine.run()
+        # survivors are i in [150, 200) scheduled at time 200-i: they must
+        # fire in ascending time order, i.e. descending i
+        assert fired == list(range(199, 149, -1))
+
+    def test_cancel_is_idempotent(self):
+        engine = Engine()
+        event = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()  # double cancel must not double-count
+        assert engine.live_pending == 1
+        engine.run()
+        assert engine.processed == 1
+
+    def test_cancel_after_pop_is_noop(self):
+        engine = Engine()
+        event = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.step()
+        event.cancel()  # already fired: must not corrupt accounting
+        assert engine.live_pending == 1
+        engine.run()
+        assert engine.processed == 2

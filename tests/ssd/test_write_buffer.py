@@ -119,6 +119,59 @@ class TestVersioning:
         assert buffer.latest_version(77) == 0
 
 
+class TestVersionPruning:
+    """Regression: ``_versions`` grew monotonically over the whole LPN
+    space (never pruned) -- an unbounded leak on long runs."""
+
+    def test_version_dropped_when_last_copy_leaves(self, buffer):
+        buffer.admit(1, None, None)
+        group = buffer.pop_group(1)
+        buffer.complete(group)
+        assert buffer._versions == {}
+        assert buffer.latest_version(1) == 0
+
+    def test_versions_bounded_under_churn(self):
+        buffer = WriteBuffer(capacity_pages=4)
+        for lpn in range(5000):
+            buffer.admit(lpn, None, None)
+            buffer.complete(buffer.pop_group(4))
+        assert len(buffer._versions) <= buffer.capacity
+        assert buffer.occupancy == 0
+        assert buffer._versions == {}
+
+    def test_version_survives_while_any_copy_is_buffered(self, buffer):
+        buffer.admit(1, "v1", None)
+        first = buffer.pop_group(1)
+        buffer.admit(1, "v2", None)  # staged again while v1 in flight
+        buffer.complete(first)
+        # staged copy still present: the version counter must survive so
+        # the next coalesce/flush keeps strictly increasing versions
+        assert buffer.latest_version(1) == 2
+        second = buffer.pop_group(1)
+        buffer.complete(second)
+        assert buffer.latest_version(1) == 0
+
+    def test_out_of_order_completion_of_two_versions(self, buffer):
+        buffer.admit(1, "v1", None)
+        first = buffer.pop_group(1)
+        buffer.admit(1, "v2", None)
+        second = buffer.pop_group(1)
+        assert buffer.latest_data(1) == "v2"  # newest in-flight copy wins
+        buffer.complete(second)  # flashes can complete out of order
+        assert buffer.latest_version(1) == 1 + 1  # v1 still in flight
+        buffer.complete(first)
+        assert buffer.latest_version(1) == 0
+        assert buffer.occupancy == 0
+
+    def test_complete_rejects_entry_completed_twice(self, buffer):
+        buffer.admit(1, None, None)
+        buffer.admit(2, None, None)
+        group = buffer.pop_group(2)
+        buffer.complete(group)
+        with pytest.raises(ValueError):
+            buffer.complete([group[0]])
+
+
 @given(
     operations=st.lists(
         st.tuples(st.sampled_from(["admit", "pop", "complete"]),

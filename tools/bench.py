@@ -16,6 +16,17 @@ deterministic for a given seed and case list -- the simulator's
 reliability model is hash-based, not host-dependent -- so they are
 comparable across machines.  Wall-clock and RSS are host-dependent and
 informational only.
+
+``--jobs N`` shards the cases across N crash-isolated worker processes
+(via :mod:`repro.parallel`); every case keeps the same explicit seed and
+the snapshot lists cases in the same order, so the simulated metrics are
+identical to a serial run.  ``--canonical`` additionally drops the
+host-dependent fields (wall-clock, RSS, host info), making the snapshot
+*byte-for-byte* identical for any ``--jobs`` value::
+
+    PYTHONPATH=src python tools/bench.py --smoke --canonical --jobs 4 --out a.json
+    PYTHONPATH=src python tools/bench.py --smoke --canonical --out b.json
+    cmp a.json b.json   # identical
 """
 
 from __future__ import annotations
@@ -144,13 +155,57 @@ def next_bench_path(directory: str) -> str:
     return os.path.join(directory, f"BENCH_{index}.json")
 
 
-def run_bench(smoke: bool, seed: int, label: str) -> dict:
+#: per-case fields that depend on the machine, not the simulation; the
+#: ``--canonical`` mode strips these (plus the top-level ``host`` block)
+HOST_DEPENDENT_FIELDS = ("wall_clock_s", "peak_rss_kb")
+
+
+def canonicalize(document: dict) -> dict:
+    """Drop host-dependent fields so snapshots compare byte-for-byte."""
+    document = dict(document)
+    document.pop("host", None)
+    document["canonical"] = True
+    document["cases"] = [
+        {k: v for k, v in case.items() if k not in HOST_DEPENDENT_FIELDS}
+        for case in document["cases"]
+    ]
+    return document
+
+
+def run_bench(smoke: bool, seed: int, label: str, jobs: int = 1) -> dict:
+    """Run every case (serially or across ``jobs`` workers) and build
+    the snapshot document.
+
+    Cases appear in the snapshot in definition order regardless of
+    worker completion order, and every case runs with the same explicit
+    ``seed`` under any ``jobs`` value, so the simulated metrics cannot
+    depend on how the run was sharded.  A crashed case becomes an entry
+    in the document's ``errors`` list instead of aborting the batch.
+    """
+    from repro.parallel import ShardSpec, run_shards
+
     size = SIZES["smoke" if smoke else "full"]
-    cases = []
-    for name, ftl, workload, aging in _cases():
-        print(f"bench: {name} ({'smoke' if smoke else 'full'})...", flush=True)
-        cases.append(run_case(name, ftl, workload, size, seed, aging=aging))
-    return {
+    mode = "smoke" if smoke else "full"
+    shards = [
+        ShardSpec(
+            name=name,
+            fn=run_case,
+            kwargs=dict(
+                name=name, ftl=ftl, workload=workload, size=size,
+                seed=seed, aging=aging,
+            ),
+        )
+        for name, ftl, workload, aging in _cases()
+    ]
+
+    def progress(outcome):
+        status = "done" if outcome.ok else "FAILED"
+        print(f"bench: {outcome.name} ({mode}) {status}", flush=True)
+
+    outcomes = run_shards(shards, jobs=jobs, on_progress=progress)
+    cases = [o.result for o in outcomes if o.ok]
+    errors = [{"name": o.name, "error": o.error} for o in outcomes if not o.ok]
+    document = {
         "bench_schema_version": BENCH_SCHEMA_VERSION,
         "label": label,
         "smoke": smoke,
@@ -162,6 +217,9 @@ def run_bench(smoke: bool, seed: int, label: str) -> dict:
         },
         "cases": cases,
     }
+    if errors:
+        document["errors"] = errors
+    return document
 
 
 def main(argv=None) -> int:
@@ -180,21 +238,42 @@ def main(argv=None) -> int:
         default=None,
         help="output path (default: next free BENCH_<n>.json at repo root)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes to shard the cases across (default 1: "
+        "serial; any value yields identical simulated metrics)",
+    )
+    parser.add_argument(
+        "--canonical",
+        action="store_true",
+        help="strip host-dependent fields (wall-clock, RSS, host info) so "
+        "snapshots are byte-identical across hosts and --jobs values",
+    )
     args = parser.parse_args(argv)
 
-    document = run_bench(args.smoke, args.seed, args.label)
+    document = run_bench(args.smoke, args.seed, args.label, jobs=args.jobs)
+    if args.canonical:
+        document = canonicalize(document)
     out = args.out or next_bench_path(REPO_ROOT)
     with open(out, "w") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
     for case in document["cases"]:
+        wall = case.get("wall_clock_s")
         print(
             f"  {case['name']:>12}: {case['iops']:8.0f} IOPS, "
             f"read p99 {case['read_latency']['p99_us']:7.1f} us, "
-            f"write p99 {case['write_latency']['p99_us']:7.1f} us, "
-            f"{case['wall_clock_s']:.2f} s wall"
+            f"write p99 {case['write_latency']['p99_us']:7.1f} us"
+            + (f", {wall:.2f} s wall" if wall is not None else "")
         )
     print(f"bench snapshot written to {out}")
+    if document.get("errors"):
+        for failure in document["errors"]:
+            print(f"FAILED case {failure['name']}:\n{failure['error']}",
+                  file=sys.stderr)
+        return 1
     return 0
 
 

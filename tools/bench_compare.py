@@ -28,32 +28,70 @@ from typing import List, Optional
 
 
 def _pct(new: float, old: float) -> str:
+    if new is None or old is None:
+        return "n/a"
     if old == 0:
         return "n/a" if new == 0 else "+inf"
     return f"{100.0 * (new - old) / old:+.1f} %"
 
 
+class SchemaDriftError(Exception):
+    """A snapshot lacks a key this comparator gates on.
+
+    BENCH generations can drift (fields added, renamed, dropped); the
+    comparator must *name* the missing key and the snapshot it came
+    from, not die with a KeyError traceback -- a crashed CI diff is
+    indistinguishable from a broken comparator."""
+
+
+def _metric(case: dict, source: str, *path: str):
+    """Fetch a (possibly nested) metric, naming any missing key."""
+    value = case
+    walked = []
+    for key in path:
+        walked.append(key)
+        if not isinstance(value, dict) or key not in value:
+            name = case.get("name", "?") if isinstance(case, dict) else "?"
+            raise SchemaDriftError(
+                f"case {name!r} in {source} is missing metric "
+                f"{'.'.join(walked)!r} (bench schema drift -- regenerate "
+                f"the baseline or pin matching bench generations)"
+            )
+        value = value[key]
+    return value
+
+
 def compare_case(
-    old: dict, new: dict, tolerance: float, wall_tolerance: Optional[float]
+    old: dict,
+    new: dict,
+    tolerance: float,
+    wall_tolerance: Optional[float],
+    old_source: str = "<old>",
+    new_source: str = "<new>",
 ) -> List[str]:
-    """Regression messages for one matched case (empty when clean)."""
+    """Regression messages for one matched case (empty when clean).
+
+    Raises :class:`SchemaDriftError` when a gated metric is absent from
+    either snapshot."""
     problems = []
-    if new["iops"] < old["iops"] * (1.0 - tolerance):
+    old_iops = _metric(old, old_source, "iops")
+    new_iops = _metric(new, new_source, "iops")
+    if new_iops < old_iops * (1.0 - tolerance):
         problems.append(
-            f"{new['name']}: IOPS regressed {old['iops']:.0f} -> "
-            f"{new['iops']:.0f} ({_pct(new['iops'], old['iops'])})"
+            f"{new['name']}: IOPS regressed {old_iops:.0f} -> "
+            f"{new_iops:.0f} ({_pct(new_iops, old_iops)})"
         )
     for block in ("read_latency", "write_latency"):
-        old_p99 = old[block]["p99_us"]
-        new_p99 = new[block]["p99_us"]
+        old_p99 = _metric(old, old_source, block, "p99_us")
+        new_p99 = _metric(new, new_source, block, "p99_us")
         if new_p99 > old_p99 * (1.0 + tolerance):
             problems.append(
                 f"{new['name']}: {block} p99 regressed {old_p99:.1f} -> "
                 f"{new_p99:.1f} us ({_pct(new_p99, old_p99)})"
             )
     if wall_tolerance is not None:
-        old_wall = old["wall_clock_s"]
-        new_wall = new["wall_clock_s"]
+        old_wall = _metric(old, old_source, "wall_clock_s")
+        new_wall = _metric(new, new_source, "wall_clock_s")
         if new_wall > old_wall * (1.0 + wall_tolerance):
             problems.append(
                 f"{new['name']}: wall-clock regressed {old_wall:.2f} -> "
@@ -91,6 +129,22 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 2
+    for source, document in ((args.old, old_doc), (args.new, new_doc)):
+        if not isinstance(document.get("cases"), list):
+            print(
+                f"FAIL: {source} has no 'cases' list "
+                "(not a tools/bench.py snapshot, or bench schema drift)",
+                file=sys.stderr,
+            )
+            return 2
+        unnamed = [c for c in document["cases"] if "name" not in c]
+        if unnamed:
+            print(
+                f"FAIL: {source} has {len(unnamed)} case(s) without a "
+                "'name' key (bench schema drift)",
+                file=sys.stderr,
+            )
+            return 2
 
     old_cases = {case["name"]: case for case in old_doc["cases"]}
     new_cases = {case["name"]: case for case in new_doc["cases"]}
@@ -99,19 +153,35 @@ def main(argv=None) -> int:
         print(f"FAIL: cases missing from {args.new}: {missing}", file=sys.stderr)
         return 2
 
+    def info(case, *path):
+        """Informational metric: None (printed as n/a) when absent."""
+        value = case
+        for key in path:
+            if not isinstance(value, dict) or key not in value:
+                return None
+            value = value[key]
+        return value
+
     problems: List[str] = []
     for name in sorted(old_cases):
         old_case, new_case = old_cases[name], new_cases[name]
-        problems += compare_case(
-            old_case, new_case, args.tolerance, args.wall_tolerance
-        )
+        try:
+            problems += compare_case(
+                old_case, new_case, args.tolerance, args.wall_tolerance,
+                old_source=args.old, new_source=args.new,
+            )
+        except SchemaDriftError as drift:
+            print(f"FAIL: {drift}", file=sys.stderr)
+            return 2
+        old_iops = info(old_case, "iops")
+        new_iops = info(new_case, "iops")
         print(
-            f"{name:>12}: IOPS {old_case['iops']:8.0f} -> "
-            f"{new_case['iops']:8.0f} "
-            f"({_pct(new_case['iops'], old_case['iops'])}), "
-            f"read p99 {_pct(new_case['read_latency']['p99_us'], old_case['read_latency']['p99_us'])}, "
-            f"write p99 {_pct(new_case['write_latency']['p99_us'], old_case['write_latency']['p99_us'])}, "
-            f"wall {_pct(new_case['wall_clock_s'], old_case['wall_clock_s'])} (info)"
+            f"{name:>12}: IOPS "
+            f"{old_iops:8.0f} -> {new_iops:8.0f} "
+            f"({_pct(new_iops, old_iops)}), "
+            f"read p99 {_pct(info(new_case, 'read_latency', 'p99_us'), info(old_case, 'read_latency', 'p99_us'))}, "
+            f"write p99 {_pct(info(new_case, 'write_latency', 'p99_us'), info(old_case, 'write_latency', 'p99_us'))}, "
+            f"wall {_pct(info(new_case, 'wall_clock_s'), info(old_case, 'wall_clock_s'))} (info)"
         )
     extra = sorted(set(new_cases) - set(old_cases))
     if extra:
