@@ -21,7 +21,7 @@ Example::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -53,6 +53,10 @@ class SimulationResult:
     telemetry: Optional[dict] = None
     #: wall-clock section attribution when ``profile=True``, else None
     profile: Optional[dict] = None
+    #: invariant-checker report when ``check=`` was requested, else None
+    #: (violation counts, oracle stats, and the ``state_digest`` of the
+    #: final logical state for differential comparisons)
+    check: Optional[dict] = None
 
     @property
     def iops(self) -> float:
@@ -97,6 +101,7 @@ def run_simulation(
     profile: bool = False,
     open_loop: bool = False,
     max_events: Optional[int] = None,
+    check=None,
     **ftl_kwargs,
 ) -> SimulationResult:
     """Build, prefill, and run one SSD simulation.
@@ -132,7 +137,19 @@ def run_simulation(
     open_loop:
         Replay at recorded arrival times instead of closed-loop at
         ``queue_depth`` (the trace must carry arrivals).
+    check:
+        ``None`` disables runtime invariant checking (the default; the
+        simulation is bit-for-bit the unchecked run).  ``True`` /
+        ``"on"`` attaches an :class:`~repro.check.InvariantChecker`
+        (per-event invariants plus one deep audit at the end);
+        ``"strict"`` also deep-audits after every erase and
+        periodically during the run.  A :class:`~repro.check.CheckConfig`
+        passes through as-is.  The report lands in ``result.check``;
+        any violation raises
+        :class:`~repro.check.InvariantViolation`.
     """
+    from repro.check import InvariantChecker, parse_check_level
+
     tracer: Optional[Tracer] = None
     sink = None
     if trace is not None:
@@ -140,6 +157,22 @@ def run_simulation(
         tracer = Tracer(sink)
     registry = TelemetryRegistry() if telemetry else None
     profiler = WallClockProfiler() if profile else None
+    checker = None
+    check_config = parse_check_level(check)
+    if check_config is not None:
+        # the data-integrity oracle reads content tags back; forcing
+        # store_tags on changes only what the chips *remember*, never
+        # any timing or random draw, so checked and unchecked runs stay
+        # event-for-event identical
+        if not config.store_tags:
+            config = replace(config, store_tags=True)
+        checker = InvariantChecker(check_config)
+        checker.context.update(
+            ftl=ftl,
+            workload=workload if isinstance(workload, str) else workload.name,
+            seed=seed,
+            check=check_config.level,
+        )
     if profiler is not None:
         profiler.push("setup")
     sim = SSDSimulation(
@@ -148,6 +181,7 @@ def run_simulation(
         tracer=tracer,
         telemetry=registry,
         profiler=profiler,
+        checker=checker,
         **ftl_kwargs,
     )
     if prefill > 0:
@@ -176,6 +210,9 @@ def run_simulation(
     finally:
         if tracer is not None:
             tracer.close()
+    # finalize before the telemetry snapshot so collected gauges include
+    # the end-of-run deep audit
+    check_report = checker.finalize() if checker is not None else None
     return SimulationResult(
         stats=stats,
         spans=sink.spans if isinstance(sink, InMemorySink) else None,
@@ -183,6 +220,7 @@ def run_simulation(
         trace_path=trace if trace not in (None, "memory") else None,
         telemetry=registry.snapshot() if registry is not None else None,
         profile=profiler.to_dict() if profiler is not None else None,
+        check=check_report,
     )
 
 

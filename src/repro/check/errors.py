@@ -1,0 +1,91 @@
+"""Structured invariant-violation reporting.
+
+An :class:`InvariantViolation` is raised by the runtime checker
+(:mod:`repro.check.invariants`) the moment a simulator-wide invariant
+breaks.  The exception carries everything needed to act on the report
+without re-running under a debugger: which invariant broke, the
+offending LPN / PPN / chip / block, the simulated timestamp, the run
+context (seed, FTL, workload -- enough to replay the violating run),
+and, when request tracing is active, the most recent trace spans
+leading up to the violation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class InvariantViolation(AssertionError):
+    """A runtime invariant of the simulator was violated.
+
+    Subclasses :class:`AssertionError` so existing ``pytest.raises``
+    patterns and ad-hoc assertion handling keep working.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        *,
+        lpn: Optional[int] = None,
+        ppn: Optional[int] = None,
+        chip: Optional[int] = None,
+        block: Optional[int] = None,
+        time_us: Optional[float] = None,
+        context: Optional[Dict[str, object]] = None,
+        recent_spans: Optional[List[dict]] = None,
+        details: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.invariant = invariant
+        self.message = message
+        self.lpn = lpn
+        self.ppn = ppn
+        self.chip = chip
+        self.block = block
+        self.time_us = time_us
+        self.context = dict(context or {})
+        self.recent_spans = list(recent_spans or [])
+        self.details = dict(details or {})
+        super().__init__(self._compose())
+
+    def _compose(self) -> str:
+        parts = [f"[{self.invariant}] {self.message}"]
+        located = []
+        for name in ("lpn", "ppn", "chip", "block"):
+            value = getattr(self, name)
+            if value is not None:
+                located.append(f"{name}={value}")
+        if located:
+            parts.append("at " + " ".join(located))
+        if self.time_us is not None:
+            parts.append(f"t={self.time_us:.3f}us")
+        if self.context:
+            rendered = " ".join(
+                f"{key}={self.context[key]}" for key in sorted(self.context)
+            )
+            parts.append(f"run({rendered})")
+        if self.details:
+            rendered = " ".join(
+                f"{key}={self.details[key]}" for key in sorted(self.details)
+            )
+            parts.append(f"details({rendered})")
+        if self.recent_spans:
+            lines = [f"last {len(self.recent_spans)} trace spans:"]
+            for span in self.recent_spans:
+                lines.append(f"  {span}")
+            parts.append("\n".join(lines))
+        return "\n".join(parts)
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering (telemetry / report embedding)."""
+        return {
+            "invariant": self.invariant,
+            "message": self.message,
+            "lpn": self.lpn,
+            "ppn": self.ppn,
+            "chip": self.chip,
+            "block": self.block,
+            "time_us": self.time_us,
+            "context": dict(self.context),
+            "details": dict(self.details),
+        }

@@ -1,0 +1,155 @@
+"""Data-integrity oracle: a shadow store verifying every completed read.
+
+The simulator's data convention is that every flash page stores a
+*content tag* (an inert Python object carried through programs, GC
+relocation and rewrites).  The oracle keeps its own shadow copy of the
+logical space -- LPN -> the tag the host last wrote -- entirely outside
+the FTL's structures, and checks every completed read against it:
+
+- buffer hits must return the freshest admitted tag;
+- flash reads must return the tag that was current *when the read
+  started* (a concurrent overwrite may legally land after the read was
+  issued, so the expectation is pinned at issue time);
+- reads of never-written LPNs must find no shadow entry (a shadow entry
+  with no mapping means the FTL silently lost data).
+
+Reads that remain uncorrectable after the FTL's bounded recovery are
+*data-loss escapes*: the device genuinely lost the page, the FTL
+reported it (``uncorrectable_after_recovery``), and the oracle records
+the escape instead of flagging a violation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.check.errors import InvariantViolation
+
+
+class ShadowStore:
+    """LPN -> last-written content tag, maintained independently of the
+    FTL's mapping tables."""
+
+    def __init__(self) -> None:
+        self._tags: Dict[int, object] = {}
+        self.writes_recorded = 0
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def __contains__(self, lpn: int) -> bool:
+        return lpn in self._tags
+
+    def record(self, lpn: int, tag: object) -> None:
+        self._tags[lpn] = tag
+        self.writes_recorded += 1
+
+    def expected(self, lpn: int) -> Optional[object]:
+        return self._tags.get(lpn)
+
+    def items(self):
+        return self._tags.items()
+
+
+class DataIntegrityOracle:
+    """End-to-end read verification against a :class:`ShadowStore`.
+
+    The oracle raises through a ``report`` callback (supplied by the
+    :class:`~repro.check.invariants.InvariantChecker`) so every
+    violation is counted and enriched with timestamp / trace context in
+    one place.
+    """
+
+    def __init__(self, report) -> None:
+        self.shadow = ShadowStore()
+        self._report = report
+        self.reads_verified = 0
+        self.buffer_reads_verified = 0
+        self.unmapped_reads = 0
+        self.data_loss_escapes = 0
+
+    # -- write side ------------------------------------------------------
+
+    def record_write(self, lpn: int, tag: object) -> None:
+        """A host write (or scrub re-admission) staged ``tag`` for an
+        LPN; it becomes the expected content of every later read."""
+        self.shadow.record(lpn, tag)
+
+    def seed_prefilled(self, n_pages: int) -> None:
+        """Prefill writes LPN ``i`` with tag ``i`` for the first
+        ``n_pages`` logical pages (untimed, outside the datapath)."""
+        for lpn in range(n_pages):
+            self.shadow.record(lpn, lpn)
+
+    # -- read side -------------------------------------------------------
+
+    def expected(self, lpn: int) -> Optional[object]:
+        """Pin the expectation for a read at issue time."""
+        return self.shadow.expected(lpn)
+
+    def verify_buffer_read(self, lpn: int, data: object) -> None:
+        """A read served from the write buffer must see the freshest
+        admitted copy."""
+        self.buffer_reads_verified += 1
+        expected = self.shadow.expected(lpn)
+        if lpn in self.shadow and data != expected:
+            self._report(
+                InvariantViolation(
+                    "data_integrity",
+                    f"buffer read of LPN {lpn} returned {data!r}, "
+                    f"expected {expected!r}",
+                    lpn=lpn,
+                )
+            )
+
+    def verify_unmapped_read(self, lpn: int) -> None:
+        """An unmapped, unbuffered LPN must never have recorded data:
+        a shadow entry here means the FTL dropped a mapping."""
+        self.unmapped_reads += 1
+        if lpn in self.shadow:
+            self._report(
+                InvariantViolation(
+                    "data_integrity",
+                    f"LPN {lpn} was written (tag "
+                    f"{self.shadow.expected(lpn)!r}) but the FTL serves it "
+                    "as never-written: mapping lost",
+                    lpn=lpn,
+                )
+            )
+
+    def verify_flash_read(
+        self,
+        lpn: int,
+        ppn: int,
+        expected: Optional[object],
+        data: object,
+        correctable: bool,
+    ) -> None:
+        """A completed flash read must return the tag pinned at issue
+        time; uncorrectable escapes are recorded, not flagged."""
+        if not correctable:
+            self.data_loss_escapes += 1
+            return
+        self.reads_verified += 1
+        if expected is not None and data != expected:
+            self._report(
+                InvariantViolation(
+                    "data_integrity",
+                    f"flash read of LPN {lpn} returned tag {data!r}, "
+                    f"expected {expected!r}",
+                    lpn=lpn,
+                    ppn=ppn,
+                )
+            )
+
+    # -- reporting -------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "writes_recorded": self.shadow.writes_recorded,
+            "shadow_lpns": len(self.shadow),
+            "reads_verified": self.reads_verified,
+            "buffer_reads_verified": self.buffer_reads_verified,
+            "unmapped_reads": self.unmapped_reads,
+            "data_loss_escapes": self.data_loss_escapes,
+        }

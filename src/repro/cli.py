@@ -18,6 +18,13 @@ Three subcommands cover the common flows::
         campaigns), sharded over worker processes; each cell's seed is
         derived only from the base seed and the cell's name, so the sweep
         output is identical for any --jobs value
+
+    repro-ssd fuzz --seed 7 --ops 400 --check=strict
+        replay one seeded random workload through several FTLs under the
+        runtime invariant checker and diff their final logical state
+
+``simulate`` and ``compare`` accept ``--check[=strict]`` to attach the
+runtime invariant checker to normal runs.
 """
 
 from __future__ import annotations
@@ -89,6 +96,18 @@ def _build_parser() -> argparse.ArgumentParser:
             default="none",
             help="fault-injection campaign (default: none)",
         )
+        p.add_argument(
+            "--check",
+            nargs="?",
+            const="on",
+            choices=["on", "strict"],
+            default=None,
+            help="attach the runtime invariant checker (bare --check: "
+            "per-event invariants + data-integrity oracle + one deep "
+            "audit at the end; --check=strict: also deep-audit after "
+            "every erase and periodically); any violation aborts with "
+            "the offending LPN/PPN/block and timestamp",
+        )
 
     simulate = sub.add_parser("simulate", help="replay a workload on one FTL")
     simulate.add_argument(
@@ -135,6 +154,48 @@ def _build_parser() -> argparse.ArgumentParser:
         "compare", help="replay a workload on the three FTLs of the paper"
     )
     add_sim_args(compare)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzz: replay one seeded random workload "
+        "through several FTLs under the invariant checker and diff the "
+        "final logical state",
+    )
+    fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="trace + device seed; a failing report is replayed by "
+        "rerunning with the same seed (default: 7)",
+    )
+    fuzz.add_argument(
+        "--ops",
+        type=int,
+        default=400,
+        help="host requests in the generated trace (default: 400)",
+    )
+    fuzz.add_argument(
+        "--ftls",
+        default="page,vert,cube,oracle",
+        help="comma-separated FTL variants to diff "
+        "(default: page,vert,cube,oracle)",
+    )
+    fuzz.add_argument(
+        "--check",
+        nargs="?",
+        const="strict",
+        choices=["on", "strict"],
+        default="strict",
+        help="checker level (default: strict)",
+    )
+    fuzz.add_argument(
+        "--faults",
+        choices=sorted(CAMPAIGNS),
+        default="none",
+        help="run the fuzz under a fault campaign (default: none)",
+    )
+    fuzz.add_argument("--queue-depth", type=int, default=8)
+    fuzz.add_argument("--prefill", type=float, default=0.4)
 
     sweep = sub.add_parser(
         "sweep",
@@ -229,6 +290,7 @@ def _run(args: argparse.Namespace, ftl: str):
         metrics_interval=getattr(args, "metrics_interval", None),
         telemetry=getattr(args, "telemetry", False),
         profile=getattr(args, "profile", False),
+        check=getattr(args, "check", None),
     )
 
 
@@ -308,6 +370,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
         print()
         print(profile_report(result.profile))
+    if args.check is not None and result.check is not None:
+        oracle = result.check["oracle"]
+        print(
+            f"check[{result.check['level']}]: 0 violations; "
+            f"{oracle['reads_verified'] + oracle['buffer_reads_verified']} "
+            f"reads verified, {result.check['deep_scans']} deep audits, "
+            f"digest {result.check['state_digest'][:16]}"
+        )
     if args.json:
         import json
 
@@ -345,6 +415,32 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.check.fuzz import run_fuzz
+
+    ftls = [f for f in args.ftls.split(",") if f]
+    if not ftls:
+        raise SystemExit("fuzz needs at least one FTL")
+    report = run_fuzz(
+        seed=args.seed,
+        ops=args.ops,
+        ftls=ftls,
+        level=args.check,
+        faults=get_campaign(args.faults),
+        queue_depth=args.queue_depth,
+        prefill=args.prefill,
+    )
+    print(report.summary())
+    if not report.ok:
+        print(
+            f"reproduce with: repro-ssd fuzz --seed {args.seed} "
+            f"--ops {args.ops} --ftls {args.ftls} --check={args.check}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -479,6 +575,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_simulate(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     raise AssertionError(f"unhandled command {args.command!r}")

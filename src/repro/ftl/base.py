@@ -156,6 +156,11 @@ class BaseFTL:
         # hook down to a single pointer comparison (tracing records but
         # never schedules, so the event sequence is identical either way)
         self.tracer = getattr(controller, "tracer", None)
+        # runtime invariant checker shared with the controller; None
+        # keeps every hook down to a single pointer comparison (checking
+        # records and verifies but never schedules events, so the event
+        # sequence is identical either way)
+        self.checker = getattr(controller, "checker", None)
         self._scrubbed_lpns: set = set()
         self._pending_writes: Deque[Tuple[_ActiveRequest, int]] = deque()
         self._inflight_programs: Dict[int, int] = {
@@ -265,6 +270,15 @@ class BaseFTL:
                 on_complete(done, now_us)
 
             active.on_complete = traced_complete
+        checker = self.checker
+        if checker is not None:
+            inner_complete = active.on_complete
+
+            def checked_complete(done: _ActiveRequest, now_us: float) -> None:
+                inner_complete(done, now_us)
+                checker.on_request_complete(done.spec, now_us)
+
+            active.on_complete = checked_complete
         if request.is_read:
             self._start_read(active)
         else:
@@ -284,6 +298,7 @@ class BaseFTL:
         last, then try to flush."""
         progressed = False
         tracer = self.tracer
+        checker = self.checker
         while self._pending_writes:
             active, next_page = self._pending_writes[0]
             spec = active.spec
@@ -292,6 +307,8 @@ class BaseFTL:
                 if not self.buffer.can_admit(lpn):
                     break
                 self.buffer.admit(lpn, data=lpn, waiter=active)
+                if checker is not None:
+                    checker.on_host_write(lpn, lpn)
                 if tracer is not None:
                     now = self.controller.now
                     tracer.span(
@@ -679,6 +696,7 @@ class BaseFTL:
 
     def _read_lpn(self, lpn: int, active: _ActiveRequest) -> None:
         tracer = self.tracer
+        checker = self.checker
 
         def buffer_done(lpn: int = lpn) -> None:
             now = self.controller.now
@@ -691,16 +709,25 @@ class BaseFTL:
 
         if self.buffer.contains(lpn):
             self.counters.buffer_read_hits += 1
+            if checker is not None:
+                checker.on_buffer_read(lpn, self.buffer.latest_data(lpn))
             self.controller.engine.schedule(self.config.buffer_read_us, buffer_done)
             return
         ppn = self.mapper.lookup(lpn)
         if ppn == UNMAPPED:
             # never-written page: served from the mapping table directly
+            if checker is not None:
+                checker.on_unmapped_read(lpn)
             self.controller.engine.schedule(self.config.buffer_read_us, buffer_done)
             return
         chip_id, address = self.geometry.ppn_to_address(ppn)
+        # the expected content is pinned at issue time: a concurrent
+        # overwrite may legally land after the flash read was issued
+        expected = checker.pin_read(lpn) if checker is not None else None
 
         def on_data(result: ReadResult, lpn: int = lpn, ppn: int = ppn) -> None:
+            if checker is not None:
+                checker.on_flash_read(lpn, ppn, expected, result)
             if self.faults is not None:
                 self._maybe_scrub(lpn, ppn, result)
             active.page_done(self.controller.now)
@@ -730,6 +757,8 @@ class BaseFTL:
             return
         self._scrubbed_lpns.add(lpn)
         self.buffer.admit(lpn, data=lpn, waiter=None)
+        if self.checker is not None:
+            self.checker.on_host_write(lpn, lpn)
         self.recovery.scrubs += 1
         self._maybe_flush()
 

@@ -118,6 +118,10 @@ class BlockManager:
 
     def __init__(self, geometry: SSDGeometry) -> None:
         self.geometry = geometry
+        #: optional lifecycle observer (the runtime invariant checker).
+        #: Called with (chip_id, block, old_state, new_state) after every
+        #: transition; ``None`` (the default) costs one pointer test.
+        self.observer = None
         self._free: Dict[int, _FreePool] = {}
         self._state: Dict[int, List[BlockState]] = {}
         self._failing: Dict[int, Set[int]] = {}
@@ -151,12 +155,20 @@ class BlockManager:
         else:
             block = free.take_min(key)
         self._state[chip_id][block] = BlockState.ACTIVE
+        if self.observer is not None:
+            self.observer.on_block_transition(
+                chip_id, block, BlockState.FREE, BlockState.ACTIVE
+            )
         return block
 
     def mark_full(self, chip_id: int, block: int) -> None:
         if self._state[chip_id][block] is not BlockState.ACTIVE:
             raise ValueError(f"block {block} is not active")
         self._state[chip_id][block] = BlockState.FULL
+        if self.observer is not None:
+            self.observer.on_block_transition(
+                chip_id, block, BlockState.ACTIVE, BlockState.FULL
+            )
 
     def mark_free(self, chip_id: int, block: int) -> None:
         """Return an erased block to the free pool."""
@@ -168,6 +180,10 @@ class BlockManager:
         self._state[chip_id][block] = BlockState.FREE
         self._failing[chip_id].discard(block)
         self._free[chip_id].append(block)
+        if self.observer is not None:
+            self.observer.on_block_transition(
+                chip_id, block, state, BlockState.FREE
+            )
 
     # ------------------------------------------------------------------
     # failing blocks and retirement
@@ -183,6 +199,8 @@ class BlockManager:
         if self._state[chip_id][block] is not BlockState.FULL:
             raise ValueError(f"block {block} is not full")
         self._failing[chip_id].add(block)
+        if self.observer is not None:
+            self.observer.on_block_failing(chip_id, block)
 
     def is_failing(self, chip_id: int, block: int) -> bool:
         return block in self._failing[chip_id]
@@ -215,6 +233,10 @@ class BlockManager:
         self._failing[chip_id].discard(block)
         self._state[chip_id][block] = BlockState.RETIRED
         self._retired_reasons[chip_id][block] = reason
+        if self.observer is not None:
+            self.observer.on_block_transition(
+                chip_id, block, state, BlockState.RETIRED
+            )
 
     def retired_count(self, chip_id: int) -> int:
         return sum(

@@ -6,7 +6,7 @@ translates in O(1) per access with modest memory.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -152,3 +152,102 @@ class PageMapper:
 
     def mapped_lpn_count(self) -> int:
         return int((self._l2p != UNMAPPED).sum())
+
+    def audit(self) -> Optional[dict]:
+        """Structured full-table audit for the runtime checker.
+
+        Returns ``None`` when the tables are consistent, else a dict
+        naming the first inconsistency found (``message`` plus the
+        offending ``lpn`` / ``ppn`` / ``chip`` / ``block`` where
+        applicable).  The happy path is fully vectorized; offender
+        localization only runs once an inconsistency exists.
+        """
+        l2p, p2l, valid = self._l2p, self._p2l, self._valid
+        mapped_lpns = np.nonzero(l2p != UNMAPPED)[0]
+        mapped_ppns = l2p[mapped_lpns]
+
+        # two LPNs sharing a PPN
+        if len(np.unique(mapped_ppns)) != len(mapped_ppns):
+            order = np.argsort(mapped_ppns, kind="stable")
+            sorted_ppns = mapped_ppns[order]
+            where = np.nonzero(sorted_ppns[1:] == sorted_ppns[:-1])[0][0]
+            ppn = int(sorted_ppns[where])
+            first = int(mapped_lpns[order[where]])
+            second = int(mapped_lpns[order[where + 1]])
+            chip_id, block = self._block_of_ppn(ppn)
+            return {
+                "message": f"LPNs {first} and {second} both map to PPN {ppn}",
+                "lpn": second,
+                "ppn": ppn,
+                "chip": chip_id,
+                "block": block,
+                "other_lpn": first,
+            }
+
+        # L2P -> P2L round trip + validity of mapped PPNs
+        bad = np.nonzero(
+            (p2l[mapped_ppns] != mapped_lpns) | ~valid[mapped_ppns]
+        )[0]
+        if len(bad):
+            lpn = int(mapped_lpns[bad[0]])
+            ppn = int(l2p[lpn])
+            chip_id, block = self._block_of_ppn(ppn)
+            if not valid[ppn]:
+                message = f"LPN {lpn} maps to PPN {ppn} which is not valid"
+            else:
+                message = (
+                    f"L2P[{lpn}] = {ppn} but P2L[{ppn}] = {int(p2l[ppn])}"
+                )
+            return {
+                "message": message,
+                "lpn": lpn,
+                "ppn": ppn,
+                "chip": chip_id,
+                "block": block,
+            }
+
+        # every valid PPN must round-trip through P2L back to itself
+        valid_ppns = np.nonzero(valid)[0]
+        bad = np.nonzero(
+            (p2l[valid_ppns] == UNMAPPED)
+            | (l2p[np.clip(p2l[valid_ppns], 0, self.logical_pages - 1)]
+               != valid_ppns)
+        )[0]
+        if len(bad):
+            ppn = int(valid_ppns[bad[0]])
+            lpn = int(p2l[ppn])
+            chip_id, block = self._block_of_ppn(ppn)
+            return {
+                "message": (
+                    f"valid PPN {ppn} is orphaned: P2L says LPN {lpn} but "
+                    "no L2P entry points back"
+                ),
+                "lpn": lpn if lpn != UNMAPPED else None,
+                "ppn": ppn,
+                "chip": chip_id,
+                "block": block,
+            }
+
+        # per-block valid-page accounting
+        per_block = valid.reshape(
+            self.geometry.n_chips,
+            self.geometry.blocks_per_chip,
+            self.geometry.block.pages_per_block,
+        ).sum(axis=2)
+        if not np.array_equal(per_block, self._valid_count):
+            drifted = np.nonzero(per_block != self._valid_count)
+            chip_id = int(drifted[0][0])
+            block = int(drifted[1][0])
+            return {
+                "message": (
+                    f"valid-count drift: counter says "
+                    f"{int(self._valid_count[chip_id, block])} valid pages "
+                    f"but {int(per_block[chip_id, block])} are marked valid"
+                ),
+                "chip": chip_id,
+                "block": block,
+                "counter": int(self._valid_count[chip_id, block]),
+                "actual": int(per_block[chip_id, block]),
+            }
+
+        return None

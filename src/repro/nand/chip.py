@@ -367,6 +367,18 @@ class NandChip:
             env_shift=env_shift,
         )
 
+    def peek_tag(self, block: int, layer: int, wl: int, page: int) -> object:
+        """Side-effect-free tag lookup (the checker's final-state digest).
+
+        Unlike :meth:`read_page` this mutates nothing -- no read counter,
+        no nonce, no disturb accumulation, no telemetry -- so inspecting
+        the final state cannot perturb a simulation or its determinism.
+        """
+        self.geometry.check_page(layer, wl, page)
+        self._check_block(block)
+        wl_index = self.geometry.wl_index(layer, wl)
+        return self._tags.get((block, wl_index, page))
+
     def read_page(
         self,
         block: int,

@@ -100,6 +100,11 @@ class Engine:
         self._peak_pending = 0
         self._cancelled = 0
         self._compactions = 0
+        #: optional per-event observer (the runtime invariant checker's
+        #: clock-monotonicity probe).  Called with the dispatch time of
+        #: every executed event; ``None`` (the default) costs one
+        #: pointer test per event.
+        self.monitor: Optional[Callable[[float], None]] = None
 
     @property
     def now(self) -> float:
@@ -183,6 +188,8 @@ class Engine:
                 continue
             self._now = event.time
             self._processed += 1
+            if self.monitor is not None:
+                self.monitor(event.time)
             event.callback()
             return True
         return False
@@ -250,6 +257,8 @@ class Engine:
             event.engine = None
             self._now = event.time
             self._processed += 1
+            if self.monitor is not None:
+                self.monitor(event.time)
             profiler.pop()
             profiler.push("dispatch")
             try:

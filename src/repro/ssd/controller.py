@@ -68,6 +68,11 @@ class SSDController:
         #: by :class:`SSDSimulation` before the FTL is built, None when
         #: tracing is disabled
         self.tracer = None
+        #: runtime invariant checker
+        #: (:class:`repro.check.InvariantChecker`); installed by
+        #: :class:`SSDSimulation` before the FTL is built, None when
+        #: checking is disabled
+        self.checker = None
         geometry = config.geometry
         self.reliability = ReliabilityModel(geometry.block, seed=config.seed)
         self.ispp = IsppEngine(config.timing)
@@ -131,6 +136,7 @@ class SSDSimulation:
         tracer=None,
         telemetry=None,
         profiler=None,
+        checker=None,
         **ftl_kwargs,
     ) -> None:
         # local import: repro.ftl imports repro.ssd.config, so importing
@@ -140,8 +146,9 @@ class SSDSimulation:
         self.config = config
         self.controller = SSDController(config)
         # must be installed before the FTL is built: BaseFTL snapshots
-        # controller.tracer at construction time
+        # controller.tracer and controller.checker at construction time
         self.controller.tracer = tracer
+        self.controller.checker = checker
         self.ftl = make_ftl(ftl, config, self.controller, **ftl_kwargs)
         #: optional :class:`~repro.obs.registry.TelemetryRegistry`; its
         #: hooks only record, so simulated results are unchanged by it
@@ -156,6 +163,12 @@ class SSDSimulation:
             from repro.obs.profile import attach_profiler
 
             attach_profiler(profiler, self.controller, tracer)
+        #: optional :class:`~repro.check.InvariantChecker`; attached
+        #: after the FTL exists so it can bind the engine monitor, the
+        #: block-lifecycle observer, and the telemetry instruments
+        self.checker = checker
+        if checker is not None:
+            checker.attach(self)
 
     # ------------------------------------------------------------------
 
@@ -180,7 +193,10 @@ class SSDSimulation:
             for chip in self.controller.chips:
                 chip.faults = None
         try:
-            return self._prefill_locked(fraction)
+            n_pages = self._prefill_locked(fraction)
+            if self.checker is not None:
+                self.checker.on_prefill(n_pages)
+            return n_pages
         finally:
             if suspended is not None:
                 for chip in self.controller.chips:

@@ -167,3 +167,67 @@ class WriteBuffer:
         """Newest write sequence number seen for an LPN (0 = never
         written through this buffer)."""
         return self._versions.get(lpn, 0)
+
+    # ------------------------------------------------------------------
+    # invariants (runtime checker + property-based tests)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise ValueError if version accounting drifted.
+
+        Checked: the in-flight count matches the buckets; staged entries
+        carry their LPN's newest version; in-flight bucket versions are
+        strictly increasing and never newer than the version table; the
+        version table holds *exactly* the LPNs with a buffered copy
+        (bounded -- no leak over the touched-LPN space); occupancy never
+        exceeds capacity.
+        """
+        actual_inflight = sum(len(b) for b in self._inflight.values())
+        if actual_inflight != self._inflight_count:
+            raise ValueError(
+                f"in-flight count {self._inflight_count} but buckets hold "
+                f"{actual_inflight} entries"
+            )
+        for lpn, bucket in self._inflight.items():
+            if not bucket:
+                raise ValueError(f"LPN {lpn} has an empty in-flight bucket")
+            versions = list(bucket)
+            if versions != sorted(versions) or len(set(versions)) != len(versions):
+                raise ValueError(
+                    f"LPN {lpn} in-flight versions {versions} are not "
+                    "strictly increasing"
+                )
+            newest = self._versions.get(lpn)
+            if newest is None or versions[-1] > newest:
+                raise ValueError(
+                    f"LPN {lpn} has in-flight version {versions[-1]} but "
+                    f"version table says {newest}"
+                )
+            for version, entry in bucket.items():
+                if entry.lpn != lpn or entry.version != version:
+                    raise ValueError(
+                        f"in-flight entry under LPN {lpn} v{version} "
+                        f"records lpn={entry.lpn} v{entry.version}"
+                    )
+        for lpn, entry in self._staged.items():
+            if entry.lpn != lpn:
+                raise ValueError(
+                    f"staged entry under LPN {lpn} records lpn={entry.lpn}"
+                )
+            if entry.version != self._versions.get(lpn):
+                raise ValueError(
+                    f"staged LPN {lpn} at version {entry.version} but "
+                    f"version table says {self._versions.get(lpn)}"
+                )
+        buffered = set(self._staged) | set(self._inflight)
+        if set(self._versions) != buffered:
+            stale = set(self._versions) - buffered
+            missing = buffered - set(self._versions)
+            raise ValueError(
+                f"version table drifted: stale LPNs {sorted(stale)}, "
+                f"missing LPNs {sorted(missing)}"
+            )
+        if self.occupancy > self.capacity:
+            raise ValueError(
+                f"occupancy {self.occupancy} exceeds capacity {self.capacity}"
+            )

@@ -1,0 +1,77 @@
+"""The ``repro-ssd fuzz`` entry point: seeded, checkable, and scriptable."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFuzzCommand:
+    def test_smoke_two_ftls(self, capsys):
+        code = main([
+            "fuzz", "--seed", "7", "--ops", "120",
+            "--ftls", "page,cube", "--check=strict",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK" in out
+        assert "page: digest=" in out
+        assert "cube: digest=" in out
+
+    def test_default_check_level_is_strict(self, capsys):
+        code = main(["fuzz", "--seed", "3", "--ops", "80", "--ftls", "page"])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_faulty_fuzz_passes(self, capsys):
+        code = main([
+            "fuzz", "--seed", "11", "--ops", "120",
+            "--ftls", "page,cube", "--faults", "default",
+        ])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_empty_ftl_list_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--ftls", ","])
+
+    def test_failure_prints_repro_command(self, capsys, monkeypatch):
+        """A failing fuzz run must exit non-zero and print the exact
+        command that reproduces it."""
+        from repro.check import fuzz as fuzz_module
+
+        real_run_fuzz = fuzz_module.run_fuzz
+
+        def broken_run_fuzz(*args, **kwargs):
+            report = real_run_fuzz(*args, **kwargs)
+            report.mismatches.append("synthetic divergence for the test")
+            return report
+
+        monkeypatch.setattr(fuzz_module, "run_fuzz", broken_run_fuzz)
+        code = main(["fuzz", "--seed", "5", "--ops", "60", "--ftls", "page"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "MISMATCH" in captured.out
+        assert "repro-ssd fuzz --seed 5" in captured.err
+
+
+class TestSimulateCheckFlag:
+    def test_simulate_reports_check_outcome(self, capsys, tmp_path):
+        code = main([
+            "simulate", "--ftl", "cube", "--workload", "OLTP",
+            "--requests", "120", "--warmup", "20", "--blocks-per-chip", "8",
+            "--prefill", "0.4", "--queue-depth", "8", "--check=strict",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "check[strict]: 0 violations" in out
+        assert "digest" in out
+
+    def test_simulate_without_flag_stays_silent(self, capsys):
+        code = main([
+            "simulate", "--ftl", "cube", "--workload", "OLTP",
+            "--requests", "120", "--warmup", "20", "--blocks-per-chip", "8",
+            "--prefill", "0.4", "--queue-depth", "8",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "check[" not in out

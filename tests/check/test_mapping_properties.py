@@ -1,0 +1,113 @@
+"""Property-based tests: the mapping tables stay a bijection under any
+interleaving of writes, overwrites, trims, relocations, and erases.
+
+Driven by hypothesis with ``derandomize=True`` so CI runs are seeded
+and deterministic; :meth:`PageMapper.audit` must return ``None`` after
+every single operation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ftl.mapping import UNMAPPED, PageMapper
+from repro.nand.geometry import BlockGeometry, SSDGeometry
+
+GEOMETRY = SSDGeometry(
+    n_channels=1,
+    chips_per_channel=2,
+    blocks_per_chip=6,
+    block=BlockGeometry(n_layers=4, wls_per_layer=2, pages_per_wl=3),
+)
+LOGICAL_PAGES = GEOMETRY.total_pages // 2
+
+# op codes: 0 = write/overwrite, 1 = trim, 2 = relocate, 3 = erase a
+# clean block.  The LPN operand is reduced modulo the logical space.
+OPS = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, LOGICAL_PAGES - 1)),
+    min_size=1,
+    max_size=120,
+)
+
+
+class _Driver:
+    """Replays ops against a PageMapper the way an FTL would: programs
+    land on a monotonically advancing physical cursor."""
+
+    def __init__(self):
+        self.mapper = PageMapper(GEOMETRY, LOGICAL_PAGES)
+        self.model = {}  # lpn -> ppn, maintained independently
+        self.cursor = 0
+
+    def _fresh_ppn(self):
+        if self.cursor >= GEOMETRY.total_pages:
+            return None  # physical space exhausted; op becomes a no-op
+        ppn = self.cursor
+        self.cursor += 1
+        return ppn
+
+    def write(self, lpn):
+        ppn = self._fresh_ppn()
+        if ppn is None:
+            return
+        old = self.mapper.bind(lpn, ppn)
+        assert old == self.model.get(lpn, UNMAPPED)
+        self.model[lpn] = ppn
+
+    def trim(self, lpn):
+        self.mapper.invalidate_lpn(lpn)
+        self.model.pop(lpn, None)
+
+    def relocate(self, lpn):
+        if lpn not in self.model:
+            return
+        self.write(lpn)  # GC relocation is a bind to a fresh page
+
+    def erase(self, _lpn):
+        for chip_id in range(GEOMETRY.n_chips):
+            for block in range(GEOMETRY.blocks_per_chip):
+                if self.mapper.valid_count(chip_id, block) == 0:
+                    self.mapper.clear_block(chip_id, block)
+                    return
+
+    def apply(self, op, lpn):
+        (self.write, self.trim, self.relocate, self.erase)[op](lpn)
+
+
+@settings(derandomize=True, max_examples=60, deadline=None)
+@given(OPS)
+def test_audit_stays_clean_under_random_ops(ops):
+    driver = _Driver()
+    for op, lpn in ops:
+        driver.apply(op, lpn)
+        finding = driver.mapper.audit()
+        assert finding is None, f"after op ({op}, {lpn}): {finding}"
+        driver.mapper.check_invariants()
+
+
+@settings(derandomize=True, max_examples=60, deadline=None)
+@given(OPS)
+def test_mapper_agrees_with_independent_model(ops):
+    driver = _Driver()
+    for op, lpn in ops:
+        driver.apply(op, lpn)
+    for lpn in range(LOGICAL_PAGES):
+        expected = driver.model.get(lpn, UNMAPPED)
+        assert driver.mapper.lookup(lpn) == expected
+        if expected != UNMAPPED:
+            assert driver.mapper.lpn_of(expected) == lpn
+            assert driver.mapper.is_valid(expected)
+    assert driver.mapper.mapped_lpn_count() == len(driver.model)
+
+
+@settings(derandomize=True, max_examples=30, deadline=None)
+@given(OPS)
+def test_valid_counts_match_valid_pages(ops):
+    driver = _Driver()
+    for op, lpn in ops:
+        driver.apply(op, lpn)
+    for chip_id in range(GEOMETRY.n_chips):
+        for block in range(GEOMETRY.blocks_per_chip):
+            listed = driver.mapper.valid_pages_of_block(chip_id, block)
+            assert len(listed) == driver.mapper.valid_count(chip_id, block)
+            for ppn, lpn in listed:
+                assert driver.mapper.lookup(lpn) == ppn

@@ -1,0 +1,102 @@
+"""Unit tests of the data-integrity oracle and its shadow store."""
+
+import pytest
+
+from repro.check import DataIntegrityOracle, InvariantViolation, ShadowStore
+
+
+def _raising_report(violation):
+    raise violation
+
+
+@pytest.fixture
+def oracle():
+    return DataIntegrityOracle(_raising_report)
+
+
+class TestShadowStore:
+    def test_record_and_expected(self):
+        shadow = ShadowStore()
+        assert 5 not in shadow
+        assert shadow.expected(5) is None
+        shadow.record(5, "a")
+        shadow.record(5, "b")
+        assert 5 in shadow
+        assert shadow.expected(5) == "b"
+        assert len(shadow) == 1
+        assert shadow.writes_recorded == 2
+        assert dict(shadow.items()) == {5: "b"}
+
+
+class TestBufferReads:
+    def test_fresh_copy_passes(self, oracle):
+        oracle.record_write(3, "v1")
+        oracle.verify_buffer_read(3, "v1")
+        assert oracle.buffer_reads_verified == 1
+
+    def test_stale_copy_is_flagged(self, oracle):
+        oracle.record_write(3, "v2")
+        with pytest.raises(InvariantViolation) as caught:
+            oracle.verify_buffer_read(3, "v1")
+        assert caught.value.invariant == "data_integrity"
+        assert caught.value.lpn == 3
+
+
+class TestUnmappedReads:
+    def test_never_written_is_legal(self, oracle):
+        oracle.verify_unmapped_read(9)
+        assert oracle.unmapped_reads == 1
+
+    def test_written_but_unmapped_is_lost_data(self, oracle):
+        oracle.record_write(9, "gone")
+        with pytest.raises(InvariantViolation) as caught:
+            oracle.verify_unmapped_read(9)
+        assert "mapping lost" in caught.value.message
+
+
+class TestFlashReads:
+    def test_pinned_expectation_wins_over_later_write(self, oracle):
+        """A concurrent overwrite landing after read issue is legal: the
+        read must return the tag current at issue time."""
+        oracle.record_write(4, "old")
+        pinned = oracle.expected(4)
+        oracle.record_write(4, "new")  # lands while the read is in flight
+        oracle.verify_flash_read(4, ppn=100, expected=pinned,
+                                 data="old", correctable=True)
+        assert oracle.reads_verified == 1
+
+    def test_wrong_tag_is_flagged_with_ppn(self, oracle):
+        oracle.record_write(4, "right")
+        with pytest.raises(InvariantViolation) as caught:
+            oracle.verify_flash_read(4, ppn=77, expected="right",
+                                     data="wrong", correctable=True)
+        assert caught.value.lpn == 4
+        assert caught.value.ppn == 77
+
+    def test_uncorrectable_is_an_escape_not_a_violation(self, oracle):
+        oracle.record_write(4, "right")
+        oracle.verify_flash_read(4, ppn=77, expected="right",
+                                 data=None, correctable=False)
+        assert oracle.data_loss_escapes == 1
+        assert oracle.reads_verified == 0
+
+    def test_unpinned_read_is_not_verified(self, oracle):
+        oracle.verify_flash_read(4, ppn=77, expected=None,
+                                 data="whatever", correctable=True)
+        assert oracle.reads_verified == 1  # counted, nothing to compare
+
+
+class TestSeeding:
+    def test_prefill_seeds_identity_tags(self, oracle):
+        oracle.seed_prefilled(4)
+        for lpn in range(4):
+            assert oracle.expected(lpn) == lpn
+        assert oracle.expected(4) is None
+
+    def test_stats_shape(self, oracle):
+        oracle.seed_prefilled(2)
+        oracle.verify_buffer_read(0, 0)
+        stats = oracle.stats()
+        assert stats["shadow_lpns"] == 2
+        assert stats["buffer_reads_verified"] == 1
+        assert stats["data_loss_escapes"] == 0

@@ -1,0 +1,100 @@
+"""Property-based tests: write-buffer version accounting stays exact
+and bounded under arbitrary admit / dispatch / complete churn.
+
+Groups complete out of order (as flushes to different chips do in the
+real datapath); after every operation ``check_invariants`` must pass,
+the version table must stay bounded by the buffer capacity, and reads
+must observe the freshest admitted copy.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ssd.write_buffer import WriteBuffer
+
+CAPACITY = 12
+N_LPNS = 8  # small space forces heavy coalescing and version churn
+
+# op codes: 0 = admit, 1 = pop a WL group, 2 = complete an outstanding
+# group (operand picks which, newest-first modulo the outstanding count)
+OPS = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, N_LPNS * 4 - 1)),
+    min_size=1,
+    max_size=200,
+)
+
+
+class _Driver:
+    def __init__(self):
+        self.buffer = WriteBuffer(CAPACITY)
+        self.groups = []  # dispatched, not yet completed
+        self.latest = {}  # lpn -> data of the newest admitted copy
+        self.admits = 0
+
+    def admit(self, operand):
+        lpn = operand % N_LPNS
+        if not self.buffer.can_admit(lpn):
+            return
+        self.admits += 1
+        data = (lpn, self.admits)
+        before = self.buffer.latest_version(lpn)
+        self.buffer.admit(lpn, data, waiter=None)
+        assert self.buffer.latest_version(lpn) == before + 1
+        self.latest[lpn] = data
+
+    def pop(self, operand):
+        group = self.buffer.pop_group(max_pages=1 + operand % 3)
+        if group:
+            self.groups.append(group)
+
+    def complete(self, operand):
+        if not self.groups:
+            return
+        group = self.groups.pop(operand % len(self.groups))
+        self.buffer.complete(group)
+
+    def apply(self, op, operand):
+        (self.admit, self.pop, self.complete)[op](operand)
+
+
+@settings(derandomize=True, max_examples=80, deadline=None)
+@given(OPS)
+def test_version_accounting_exact_and_bounded(ops):
+    driver = _Driver()
+    for op, operand in ops:
+        driver.apply(op, operand)
+        driver.buffer.check_invariants()
+        # bounded: the table tracks buffered LPNs only, never the whole
+        # touched-LPN space
+        assert len(driver.buffer._versions) <= CAPACITY
+        assert driver.buffer.occupancy <= CAPACITY
+
+
+@settings(derandomize=True, max_examples=80, deadline=None)
+@given(OPS)
+def test_reads_see_freshest_copy(ops):
+    driver = _Driver()
+    for op, operand in ops:
+        driver.apply(op, operand)
+        for lpn, data in driver.latest.items():
+            if driver.buffer.contains(lpn):
+                assert driver.buffer.latest_data(lpn) == data
+
+
+@settings(derandomize=True, max_examples=40, deadline=None)
+@given(OPS)
+def test_drained_buffer_is_empty(ops):
+    driver = _Driver()
+    for op, operand in ops:
+        driver.apply(op, operand)
+    # drain everything that is left
+    while True:
+        group = driver.buffer.pop_group(max_pages=CAPACITY)
+        if not group:
+            break
+        driver.groups.append(group)
+    while driver.groups:
+        driver.complete(0)
+    driver.buffer.check_invariants()
+    assert driver.buffer.occupancy == 0
+    assert len(driver.buffer._versions) == 0

@@ -1,0 +1,73 @@
+"""Shared plumbing for bit-for-bit determinism assertions.
+
+Several suites assert the same thing -- two artifacts produced by
+differently-instrumented (or differently-parallelized) runs are
+*byte-identical* -- and each used to hand-roll the comparison.  This
+module is the one place that knows how to do it with useful failure
+output: instead of a multi-kilobyte ``assert a == b`` diff, a failure
+names the first differing line, its index, and both renderings.
+
+Used by the golden-trace suite, the bench serial-vs-jobs suite, and
+the metamorphic cases of ``tests/check``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+
+def file_bytes(path) -> bytes:
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def canonical_json(document) -> bytes:
+    """Stable rendering for dict snapshots (sorted keys, fixed
+    separators) so equal content always means equal bytes."""
+    return json.dumps(
+        document, sort_keys=True, separators=(",", ":")
+    ).encode()
+
+
+def first_divergence(a: bytes, b: bytes) -> Optional[str]:
+    """``None`` when identical, else a report naming the first
+    differing line (or the point where one input ends)."""
+    if a == b:
+        return None
+    a_lines = a.split(b"\n")
+    b_lines = b.split(b"\n")
+    for index, (line_a, line_b) in enumerate(zip(a_lines, b_lines)):
+        if line_a != line_b:
+            return (
+                f"first divergence at line {index + 1}:\n"
+                f"  a: {line_a[:200]!r}\n"
+                f"  b: {line_b[:200]!r}"
+            )
+    shorter = "a" if len(a_lines) < len(b_lines) else "b"
+    return (
+        f"inputs agree for {min(len(a_lines), len(b_lines))} lines, "
+        f"then {shorter} ends ({len(a_lines)} vs {len(b_lines)} lines)"
+    )
+
+
+def assert_bytes_identical(a: bytes, b: bytes, label: str = "artifacts") -> None:
+    report = first_divergence(a, b)
+    assert report is None, f"{label} are not byte-identical; {report}"
+
+
+def assert_files_identical(path_a, path_b, label: str = "files") -> None:
+    assert_bytes_identical(
+        file_bytes(path_a), file_bytes(path_b),
+        f"{label} ({path_a} vs {path_b})",
+    )
+
+
+def assert_snapshots_identical(a, b, label: str = "snapshots") -> None:
+    """Canonical-JSON equality of two dict snapshots with line-level
+    failure reporting."""
+    assert_bytes_identical(
+        json.dumps(a, sort_keys=True, indent=1).encode(),
+        json.dumps(b, sort_keys=True, indent=1).encode(),
+        label,
+    )

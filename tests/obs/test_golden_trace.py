@@ -13,6 +13,7 @@ import os
 
 from repro.api import run_simulation
 from repro.ssd.config import SSDConfig
+from tests.helpers.determinism import assert_files_identical
 
 GOLDEN = os.path.join(os.path.dirname(__file__), "golden", "trace.jsonl")
 
@@ -25,20 +26,13 @@ def _run_traced(path, **kwargs):
     )
 
 
-def _golden_bytes():
-    with open(GOLDEN, "rb") as handle:
-        return handle.read()
-
-
 class TestGoldenTrace:
     def test_trace_matches_golden(self, tmp_path):
         path = str(tmp_path / "trace.jsonl")
         _run_traced(path)
-        with open(path, "rb") as handle:
-            assert handle.read() == _golden_bytes()
+        assert_files_identical(path, GOLDEN, "trace vs golden")
 
     def test_trace_matches_golden_with_telemetry_and_profile(self, tmp_path):
         path = str(tmp_path / "trace.jsonl")
         _run_traced(path, telemetry=True, profile=True)
-        with open(path, "rb") as handle:
-            assert handle.read() == _golden_bytes()
+        assert_files_identical(path, GOLDEN, "instrumented trace vs golden")

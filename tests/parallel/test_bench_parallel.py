@@ -13,6 +13,8 @@ import sys
 
 import pytest
 
+from tests.helpers.determinism import assert_files_identical, file_bytes
+
 REPO_ROOT = os.path.dirname(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 )
@@ -41,14 +43,10 @@ def test_serial_and_jobs4_snapshots_are_byte_identical(tmp_path):
     parallel = _run_bench(parallel_path, "--jobs", "4")
     assert parallel.returncode == 0, parallel.stderr
 
-    with open(serial_path, "rb") as handle:
-        serial_bytes = handle.read()
-    with open(parallel_path, "rb") as handle:
-        parallel_bytes = handle.read()
-    assert serial_bytes == parallel_bytes
+    assert_files_identical(serial_path, parallel_path, "serial vs --jobs 4")
 
     # sanity: the snapshot is real (all cases present, simulated metrics in)
-    document = json.loads(serial_bytes)
+    document = json.loads(file_bytes(serial_path))
     assert document["canonical"] is True
     assert len(document["cases"]) == 5
     assert all("wall_clock_s" not in case for case in document["cases"])
