@@ -102,6 +102,9 @@ def run_simulation(
     open_loop: bool = False,
     max_events: Optional[int] = None,
     check=None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume_from: Optional[str] = None,
     **ftl_kwargs,
 ) -> SimulationResult:
     """Build, prefill, and run one SSD simulation.
@@ -147,8 +150,55 @@ def run_simulation(
         passes through as-is.  The report lands in ``result.check``;
         any violation raises
         :class:`~repro.check.InvariantViolation`.
+    checkpoint_every:
+        Write a checkpoint every N completed host requests into
+        ``checkpoint_dir`` (required together).  The run replays in
+        quiescent segments of N requests (a deterministic scheduling
+        change; see docs/PERSISTENCE.md) and can be resumed
+        byte-identically from any checkpoint.  Incompatible with
+        ``trace``, ``profile``, ``metrics_interval``, ``open_loop``
+        and ``max_events``.
+    resume_from:
+        Path to a checkpoint directory to resume from.  ``config``,
+        ``ftl``, ``workload`` and ``seed`` must match the original
+        run (validated against the checkpoint header); ``queue_depth``,
+        ``warmup_requests``, ``checkpoint_every`` and the check level
+        are taken from the header.
     """
     from repro.check import InvariantChecker, parse_check_level
+
+    if checkpoint_every is not None or resume_from is not None:
+        incompatible = {
+            "trace": trace,
+            "profile": profile or None,
+            "metrics_interval": metrics_interval,
+            "open_loop": open_loop or None,
+            "max_events": max_events,
+        }
+        bad = sorted(key for key, value in incompatible.items() if value)
+        if bad:
+            raise ValueError(
+                f"checkpointing is incompatible with {', '.join(bad)} "
+                "(see docs/PERSISTENCE.md)"
+            )
+        from repro.persist import run_checkpointed
+
+        return run_checkpointed(
+            config,
+            workload,
+            ftl,
+            queue_depth=queue_depth,
+            warmup_requests=warmup_requests,
+            prefill=prefill,
+            n_requests=n_requests,
+            seed=seed,
+            telemetry=telemetry,
+            check=check,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+            resume_from=resume_from,
+            **ftl_kwargs,
+        )
 
     tracer: Optional[Tracer] = None
     sink = None
@@ -240,6 +290,10 @@ class BatchResult:
     results: List[Optional[SimulationResult]]
     errors: Dict[str, str] = field(default_factory=dict)
     telemetry: Optional[dict] = None
+    #: names of shards relaunched after a worker hard-died (``retries=``)
+    retried: List[str] = field(default_factory=list)
+    #: names of shards loaded from a sweep checkpoint dir instead of run
+    cached: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -259,6 +313,8 @@ def run_many(
     jobs: int = 1,
     base_seed: int = 7,
     on_progress: Optional[Callable[[str, bool], None]] = None,
+    retries: int = 0,
+    checkpoint_dir: Optional[str] = None,
 ) -> BatchResult:
     """Run a batch of :class:`~repro.parallel.RunSpec` runs, sharded
     across up to ``jobs`` worker processes.
@@ -272,6 +328,16 @@ def run_many(
 
     ``on_progress`` (if given) is called with ``(name, ok)`` as each run
     finishes, in completion order.
+
+    ``retries`` relaunches shards whose worker hard-died (same spec,
+    same derived seed -- see :func:`repro.parallel.run_shards`); the
+    names of retried shards land in ``BatchResult.retried`` and the
+    ``shard_retries_total`` counter in ``BatchResult.telemetry``.
+    ``checkpoint_dir`` makes the batch resumable: completed runs are
+    saved there as they land, and a rerun with the same specs and base
+    seed loads them (``BatchResult.cached``) instead of re-running.  A
+    SIGINT raises :class:`~repro.parallel.ShardsInterrupted` carrying
+    the completed outcomes.
     """
     from repro.parallel import merge_snapshots, run_shards, specs_to_shards
 
@@ -283,7 +349,27 @@ def run_many(
         def progress(outcome):
             callback(outcome.name, outcome.ok)
 
-    outcomes = run_shards(shards, jobs=jobs, on_progress=progress)
+    registry = TelemetryRegistry() if retries > 0 else None
+    if checkpoint_dir is not None:
+        from repro.persist import run_shards_resumable
+
+        outcomes = run_shards_resumable(
+            shards,
+            jobs=jobs,
+            checkpoint_dir=checkpoint_dir,
+            base_seed=base_seed,
+            on_progress=progress,
+            retries=retries,
+            registry=registry,
+        )
+    else:
+        outcomes = run_shards(
+            shards,
+            jobs=jobs,
+            on_progress=progress,
+            retries=retries,
+            registry=registry,
+        )
     results: List[Optional[SimulationResult]] = []
     errors: Dict[str, str] = {}
     for outcome in outcomes:
@@ -292,12 +378,17 @@ def run_many(
         else:
             results.append(None)
             errors[outcome.name] = outcome.error or "unknown error"
+    retried = [outcome.name for outcome in outcomes if outcome.retried]
     telemetered = [
         r.telemetry for r in results if r is not None and r.telemetry is not None
     ]
+    if registry is not None and retried:
+        telemetered.append(registry.snapshot())
     return BatchResult(
         names=[spec.name for spec in specs],
         results=results,
         errors=errors,
         telemetry=merge_snapshots(telemetered) if telemetered else None,
+        retried=retried,
+        cached=[outcome.name for outcome in outcomes if outcome.cached],
     )

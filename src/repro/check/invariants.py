@@ -426,6 +426,41 @@ class InvariantChecker:
                 InvariantViolation("write_buffer_versions", str(error))
             )
 
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable checker state at a quiescent barrier.
+
+        Covers the oracle (shadow store included), the accumulated
+        counters, the retired-block memory, and the last event
+        timestamp.  Wiring (engine monitor, block observer, span tail,
+        telemetry instruments) is rebuilt by ``attach`` on the restored
+        simulation; ``config`` and ``context`` travel with the
+        checkpoint header, not here.
+        """
+        return {
+            "oracle": self.oracle.state_dict(),
+            "violations": self.violations,
+            "violations_by_invariant": dict(self.violations_by_invariant),
+            "completions": self.completions,
+            "deep_scans": self.deep_scans,
+            "events_checked": self.events_checked,
+            "last_event_us": self._last_event_us,
+            "retired": sorted(self._retired),
+            "context": dict(self.context),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.oracle.load_state_dict(state["oracle"])
+        self.violations = state["violations"]
+        self.violations_by_invariant = dict(state["violations_by_invariant"])
+        self.completions = state["completions"]
+        self.deep_scans = state["deep_scans"]
+        self.events_checked = state["events_checked"]
+        self._last_event_us = state["last_event_us"]
+        self._retired = {tuple(item) for item in state["retired"]}
+        self.context = dict(state["context"])
+
     # -- finalization ----------------------------------------------------
 
     def logical_view(self) -> Dict[int, object]:

@@ -50,6 +50,15 @@ class ShadowStore:
     def items(self):
         return self._tags.items()
 
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {"tags": dict(self._tags), "writes_recorded": self.writes_recorded}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._tags = dict(state["tags"])
+        self.writes_recorded = state["writes_recorded"]
+
 
 class DataIntegrityOracle:
     """End-to-end read verification against a :class:`ShadowStore`.
@@ -141,6 +150,26 @@ class DataIntegrityOracle:
                     ppn=ppn,
                 )
             )
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable oracle state (the ``report`` callback is wiring,
+        owned by the checker that rebuilds this oracle on restore)."""
+        return {
+            "shadow": self.shadow.state_dict(),
+            "reads_verified": self.reads_verified,
+            "buffer_reads_verified": self.buffer_reads_verified,
+            "unmapped_reads": self.unmapped_reads,
+            "data_loss_escapes": self.data_loss_escapes,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.shadow.load_state_dict(state["shadow"])
+        self.reads_verified = state["reads_verified"]
+        self.buffer_reads_verified = state["buffer_reads_verified"]
+        self.unmapped_reads = state["unmapped_reads"]
+        self.data_loss_escapes = state["data_loss_escapes"]
 
     # -- reporting -------------------------------------------------------
 

@@ -148,6 +148,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="attribute host wall-clock time to subsystems (FTL, NAND "
         "model, event queue, tracing) and print the table",
     )
+    simulate.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        default=None,
+        help="write a resumable checkpoint into DIR every "
+        "--checkpoint-every completed requests (see docs/PERSISTENCE.md)",
+    )
+    simulate.add_argument(
+        "--checkpoint-every",
+        metavar="N",
+        type=int,
+        default=1000,
+        dest="checkpoint_every",
+        help="checkpoint cadence in completed host requests "
+        "(default: 1000; only with --checkpoint)",
+    )
+    simulate.add_argument(
+        "--resume",
+        metavar="CKPT",
+        default=None,
+        help="resume from a checkpoint directory (ckpt_NNNNNNNN); the "
+        "continued run is byte-identical to the uninterrupted one",
+    )
     add_sim_args(simulate)
 
     compare = sub.add_parser(
@@ -258,6 +281,49 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the full sweep results (per-cell schema-v2 stats, "
         "derived seeds, errors) as JSON to PATH",
     )
+    sweep.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        dest="checkpoint_dir",
+        help="save per-cell results into DIR as they complete; an "
+        "interrupted sweep rerun with the same DIR (and the same cells "
+        "and seed) reruns only the unfinished cells",
+    )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="relaunch a cell whose worker hard-died (segfault, OOM "
+        "kill) up to N times with the same derived seed (default: 0)",
+    )
+
+    spor = sub.add_parser(
+        "spor",
+        help="sudden-power-off drill: run a workload, cut power "
+        "mid-run, recover the FTL from per-page OOB metadata, and "
+        "verify the recovered device against the shadow-store oracle",
+    )
+    spor.add_argument(
+        "--ftl", choices=["page", "vert", "cube", "cube-", "oracle"],
+        default="cube",
+    )
+    spor.add_argument(
+        "--spor-at",
+        metavar="US",
+        type=float,
+        default=None,
+        dest="spor_at",
+        help="simulated microsecond of the power cut (default: the "
+        "'spor' campaign's instant)",
+    )
+    spor.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the SPOR report as JSON to PATH",
+    )
+    add_sim_args(spor)
     return parser
 
 
@@ -277,6 +343,7 @@ def _config(args: argparse.Namespace) -> SSDConfig:
 
 def _run(args: argparse.Namespace, ftl: str):
     config = _config(args)
+    checkpoint_dir = getattr(args, "checkpoint", None)
     return run_simulation(
         config,
         args.workload,
@@ -291,6 +358,11 @@ def _run(args: argparse.Namespace, ftl: str):
         telemetry=getattr(args, "telemetry", False),
         profile=getattr(args, "profile", False),
         check=getattr(args, "check", None),
+        checkpoint_every=(
+            args.checkpoint_every if checkpoint_dir is not None else None
+        ),
+        checkpoint_dir=checkpoint_dir,
+        resume_from=getattr(args, "resume", None),
     )
 
 
@@ -351,6 +423,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             ort_invalidations=recovery.ort_invalidations,
             recovered_reads=recovery.recovered_reads,
             uncorrectable=recovery.uncorrectable_after_recovery,
+        )
+    if args.resume:
+        print(f"resumed from {args.resume}")
+    if args.checkpoint:
+        print(
+            f"checkpoints in {args.checkpoint} "
+            f"(every {args.checkpoint_every} requests)"
         )
     if args.trace:
         from repro.obs.analyze import breakdown_report, load_trace
@@ -498,9 +577,36 @@ def _sweep_specs(args: argparse.Namespace):
     return specs
 
 
+def _partial_sweep_payload(specs, outcomes, base_seed):
+    """Sweep JSON for an interrupted run: whatever completed, flagged
+    ``"incomplete": true`` so downstream tooling never mistakes it for
+    a full sweep."""
+    from repro.parallel import resolve_seed
+
+    by_name = {outcome.name: outcome for outcome in outcomes}
+    runs = []
+    for spec in specs:
+        outcome = by_name.get(spec.name)
+        runs.append(
+            {
+                "name": spec.name,
+                "seed": resolve_seed(spec, base_seed),
+                "ftl": spec.ftl,
+                "workload": spec.workload,
+                "stats": (
+                    outcome.result.stats.to_dict()
+                    if outcome is not None and outcome.ok
+                    else None
+                ),
+                "error": outcome.error if outcome is not None else None,
+            }
+        )
+    return {"base_seed": base_seed, "incomplete": True, "runs": runs}
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.api import run_many
-    from repro.parallel import resolve_seed
+    from repro.parallel import ShardsInterrupted, resolve_seed
 
     specs = _sweep_specs(args)
     if not specs:
@@ -510,9 +616,40 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     def progress(name: str, ok: bool) -> None:
         print(f"  {name}: {'done' if ok else 'FAILED'}", flush=True)
 
-    batch = run_many(
-        specs, jobs=args.jobs, base_seed=args.seed, on_progress=progress
-    )
+    try:
+        batch = run_many(
+            specs,
+            jobs=args.jobs,
+            base_seed=args.seed,
+            on_progress=progress,
+            retries=args.retries,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+    except ShardsInterrupted as interrupt:
+        done = len(interrupt.outcomes)
+        print(
+            f"\ninterrupted: {done}/{len(specs)} cell(s) complete",
+            file=sys.stderr,
+        )
+        if args.json:
+            import json
+
+            payload = _partial_sweep_payload(
+                specs, interrupt.outcomes, args.seed
+            )
+            with open(args.json, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            print(
+                f"partial sweep results written to {args.json}",
+                file=sys.stderr,
+            )
+        if args.checkpoint_dir:
+            print(
+                f"rerun with --checkpoint-dir {args.checkpoint_dir} to "
+                "finish the remaining cells",
+                file=sys.stderr,
+            )
+        return 130
     rows = []
     for spec, result in zip(specs, batch.results):
         if result is None:
@@ -550,6 +687,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     "workload": spec.workload,
                     "stats": result.stats.to_dict() if result else None,
                     "error": batch.errors.get(spec.name),
+                    "retried": spec.name in batch.retried,
+                    "cached": spec.name in batch.cached,
                 }
                 for spec, result in zip(specs, batch.results)
             ],
@@ -566,6 +705,62 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_spor(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.persist import run_spor_campaign
+
+    campaign = get_campaign("spor" if args.faults == "none" else args.faults)
+    spor_at = args.spor_at
+    if spor_at is None:
+        spor_at = campaign.spor_at_us
+    if spor_at is None:
+        raise SystemExit(
+            f"campaign {campaign.name!r} has no SPOR instant; pass --spor-at"
+        )
+    campaign = dataclasses.replace(campaign, spor_at_us=spor_at)
+    config = _config(args)
+    config = config.with_faults(campaign)
+    report = run_spor_campaign(
+        config,
+        args.workload,
+        ftl=args.ftl,
+        queue_depth=args.queue_depth,
+        prefill=args.prefill,
+        n_requests=args.requests,
+        seed=args.seed,
+        check=args.check or "on",
+    )
+    print(
+        f"SPOR at {report.spor_at_us:.0f} us: "
+        f"{report.completed_before}/{report.issued_before} issued requests "
+        f"acked before the cut; lost window {report.lost_writes} write(s), "
+        f"{report.dropped_reads} read(s) dropped"
+    )
+    recovery = report.recovery
+    print(
+        f"recovery: {recovery['mapped_lpns']} LPNs rebuilt from "
+        f"{recovery['oob_records']} OOB records, "
+        f"{recovery['full_blocks']} block(s) sealed FULL, "
+        f"max seq {recovery['max_seq']}"
+    )
+    oracle = report.check["oracle"]
+    verdict = "CLEAN" if report.clean else "VIOLATIONS"
+    print(
+        f"verification: {verdict}; "
+        f"{oracle['reads_verified'] + oracle['buffer_reads_verified']} reads "
+        f"verified post-recovery, {report.check['violations']} violation(s), "
+        f"mapper audit {'clean' if report.audit is None else report.audit}"
+    )
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"SPOR report written to {args.json}")
+    return 0 if report.clean else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     configure_logging(args.log_level)
@@ -579,6 +774,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_fuzz(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "spor":
+        return _cmd_spor(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

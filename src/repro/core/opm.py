@@ -190,6 +190,42 @@ class OptimalParameterManager:
         self.ort.invalidate_block(chip_id, block, n_layers)
 
     # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable monitored state.
+
+        ``_params_cache`` is a pure derivation of the leader observations
+        and is rebuilt on demand, so it is not serialized (and must be
+        cleared on load).  Observations are frozen dataclasses, so a
+        shallow dict copy suffices.
+        """
+        return {
+            "leaders": dict(self._leaders),
+            "ort": self.ort.state_dict(),
+            "reprogram_count": self.reprogram_count,
+            "follower_program_count": self.follower_program_count,
+            "leader_program_count": self.leader_program_count,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._leaders = dict(state["leaders"])
+        self._params_cache = {}
+        self.ort.load_state_dict(state["ort"])
+        self.reprogram_count = state["reprogram_count"]
+        self.follower_program_count = state["follower_program_count"]
+        self.leader_program_count = state["leader_program_count"]
+
+    def reset_monitored(self) -> None:
+        """Drop every monitored observation and cached parameter (SPOR:
+        the OPM state lives in controller RAM and does not survive a
+        power cut; the ORT is dropped too and relearns from reads)."""
+        self._leaders = {}
+        self._params_cache = {}
+        self.ort._entries = {}
+
+    # ------------------------------------------------------------------
     # read-side
     # ------------------------------------------------------------------
 

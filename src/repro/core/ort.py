@@ -78,6 +78,24 @@ class OptimalReadTable:
     def __len__(self) -> int:
         return len(self._entries)
 
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable table state.  The ``telemetry`` hook is wiring,
+        not state, and is re-attached by the owning simulation."""
+        return {
+            "entries": dict(self._entries),
+            "hits": self._hits,
+            "misses": self._misses,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._entries = dict(state["entries"])
+        self._hits = state["hits"]
+        self._misses = state["misses"]
+
     @property
     def hits(self) -> int:
         return self._hits

@@ -123,6 +123,24 @@ class ActiveBlockCursor:
             return self.take_leader()
         return self.take_follower()
 
+    # -- checkpointing -------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "block": self.block,
+            "leader_layer": self._leader_layer,
+            "follower_layer": self._follower_layer,
+            "follower_wl": self._follower_wl,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, geometry: BlockGeometry) -> "ActiveBlockCursor":
+        cursor = cls(state["block"], geometry)
+        cursor._leader_layer = state["leader_layer"]
+        cursor._follower_layer = state["follower_layer"]
+        cursor._follower_wl = state["follower_wl"]
+        return cursor
+
 
 class SequentialCursor:
     """Horizontal-first allocation (conventional FTLs and cubeFTL-).
@@ -151,6 +169,17 @@ class SequentialCursor:
         address = self.geometry.wl_from_index(self._next)
         self._next += 1
         return Allocation(self.block, address, is_leader=address.wl == 0)
+
+    # -- checkpointing -------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {"block": self.block, "next": self._next}
+
+    @classmethod
+    def from_state(cls, state: dict, geometry: BlockGeometry) -> "SequentialCursor":
+        cursor = cls(state["block"], geometry)
+        cursor._next = state["next"]
+        return cursor
 
 
 class WLAllocationManager:
@@ -245,3 +274,36 @@ class WLAllocationManager:
         if choice.exhausted:
             cursors.remove(choice)
         return allocation
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Cursor order within a chip is allocation order and must be
+        preserved exactly (the first-match scans in :meth:`allocate`
+        depend on it)."""
+        return {
+            "cursors": {
+                chip_id: [cursor.state_dict() for cursor in cursors]
+                for chip_id, cursors in self._cursors.items()
+            },
+            "leader_allocations": self.leader_allocations,
+            "follower_allocations": self.follower_allocations,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._cursors = {
+            chip_id: [
+                ActiveBlockCursor.from_state(cursor_state, self.geometry)
+                for cursor_state in cursor_states
+            ]
+            for chip_id, cursor_states in state["cursors"].items()
+        }
+        self.leader_allocations = state["leader_allocations"]
+        self.follower_allocations = state["follower_allocations"]
+
+    def reset(self) -> None:
+        """Drop every cursor (SPOR: active blocks are sealed on recovery,
+        so no cursor survives)."""
+        self._cursors = {}

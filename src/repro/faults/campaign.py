@@ -62,6 +62,13 @@ class FaultCampaign:
     stuck_die_prob: float = 0.0
     #: latency multiplier of a stuck-die operation
     stuck_latency_factor: float = 4.0
+    #: simulated instant (microseconds) of a sudden power-off.  The
+    #: injector and :func:`repro.api.run_simulation` ignore this field --
+    #: a power cut is not a per-operation fault but a campaign-level
+    #: event acted on only by the SPOR harness
+    #: (:func:`repro.persist.run_spor_campaign`), which cuts the run at
+    #: this instant, drops all volatile FTL state, and recovers.
+    spor_at_us: Optional[float] = None
 
     def __post_init__(self) -> None:
         for field_name in (
@@ -86,10 +93,14 @@ class FaultCampaign:
             raise ValueError("ort_skew_phase_reads must be >= 1")
         if self.stuck_latency_factor < 1.0:
             raise ValueError("stuck_latency_factor must be >= 1")
+        if self.spor_at_us is not None and self.spor_at_us < 0:
+            raise ValueError("spor_at_us must be >= 0")
 
     @property
     def quiet(self) -> bool:
-        """True when the campaign can never inject anything."""
+        """True when the campaign can never inject anything -- no
+        per-operation fault has a nonzero rate and no power cut is
+        scheduled."""
         return (
             self.program_fail_prob == 0.0
             and self.erase_fail_prob == 0.0
@@ -97,6 +108,7 @@ class FaultCampaign:
             and self.ber_spike_prob == 0.0
             and self.ort_skew_prob == 0.0
             and self.stuck_die_prob == 0.0
+            and self.spor_at_us is None
         )
 
 
@@ -140,6 +152,12 @@ CAMPAIGNS: Dict[str, Optional[FaultCampaign]] = {
         name="stuck-die",
         stuck_die_prob=0.01,
         stuck_latency_factor=8.0,
+    ),
+    # sudden power-off mid-run (no per-operation faults); the cut
+    # instant is meaningful only to the SPOR harness in repro.persist
+    "spor": FaultCampaign(
+        name="spor",
+        spor_at_us=50_000.0,
     ),
 }
 

@@ -181,3 +181,30 @@ class FaultInjector:
             self.injected.stuck_ops += 1
             return self.campaign.stuck_latency_factor
         return 1.0
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable injector state.
+
+        Every decision is a pure function of (seed, operation identity),
+        so the only state is the fired-fault accounting, the lazily drawn
+        grown-bad table, and any test-planted skews.  The campaign itself
+        is part of the config fingerprint, not the state.
+        """
+        return {
+            "injected": dict(vars(self.injected)),
+            "grown_bad": {
+                chip: dict(table) for chip, table in self._grown_bad.items()
+            },
+            "forced_skews": dict(self._forced_skews),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.injected = InjectionCounters(**state["injected"])
+        self._grown_bad = {
+            chip: dict(table) for chip, table in state["grown_bad"].items()
+        }
+        self._forced_skews = dict(state["forced_skews"])

@@ -23,7 +23,7 @@ FTL itself adds no magic numbers.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.wam import Allocation, SequentialCursor
@@ -175,6 +175,13 @@ class BaseFTL:
             chip: None for chip in range(geometry.n_chips)
         }
         self._rr_chip = 0
+        # SPOR support: every host write carries a monotonic FTL-global
+        # sequence number, programmed into the page's OOB area so that
+        # recovery can order an LPN's surviving copies.  Page data under
+        # store_oob is the sequence number itself (unique per write),
+        # which lets the integrity oracle distinguish stale copies.
+        self._store_oob = config.store_oob
+        self._write_seq = 0
 
     # ------------------------------------------------------------------
     # policy hooks (overridden by FTL variants)
@@ -306,9 +313,17 @@ class BaseFTL:
                 lpn = spec.lpn + next_page
                 if not self.buffer.can_admit(lpn):
                     break
-                self.buffer.admit(lpn, data=lpn, waiter=active)
+                if self._store_oob:
+                    self._write_seq += 1
+                    data = self._write_seq
+                    self.buffer.admit(
+                        lpn, data=data, waiter=active, seq=self._write_seq
+                    )
+                else:
+                    data = lpn
+                    self.buffer.admit(lpn, data=lpn, waiter=active)
                 if checker is not None:
-                    checker.on_host_write(lpn, lpn)
+                    checker.on_host_write(lpn, data)
                 if tracer is not None:
                     now = self.controller.now
                     tracer.span(
@@ -421,12 +436,29 @@ class BaseFTL:
         else:
             self._ensure_active_blocks(chip_id)
             allocation = self.allocate_wl(chip_id)
+        pages_per_wl = self.geometry.block.pages_per_wl
+        oob: Optional[List[Optional[Tuple[int, int]]]] = None
         if is_gc:
-            data = [lpn for lpn, _tag, _old in gc_payload]
-            data += [None] * (self.geometry.block.pages_per_wl - len(data))
+            if self._store_oob:
+                # relocations keep the read-back content and carry the
+                # original write's sequence number forward: GC moves
+                # data, it never reorders writes
+                data = [tag for _lpn, tag, _old in gc_payload]
+                oob = [
+                    (lpn, self._oob_seq_of(old_ppn))
+                    for lpn, _tag, old_ppn in gc_payload
+                ]
+            else:
+                data = [lpn for lpn, _tag, _old in gc_payload]
         else:
-            data = [entry.lpn for entry in entries]
-            data += [None] * (self.geometry.block.pages_per_wl - len(data))
+            if self._store_oob:
+                data = [entry.data for entry in entries]
+                oob = [(entry.lpn, entry.seq) for entry in entries]
+            else:
+                data = [entry.lpn for entry in entries]
+        data += [None] * (pages_per_wl - len(data))
+        if oob is not None:
+            oob += [None] * (pages_per_wl - len(oob))
         self._inflight_programs[chip_id] += 1
 
         tracer = self.tracer
@@ -465,6 +497,7 @@ class BaseFTL:
                     allocation.address.wl,
                     params=params,
                     data=data,
+                    oob=oob,
                 )
             except ProgramFailError as fail:
                 # the failed attempt still occupied the die
@@ -756,9 +789,18 @@ class BaseFTL:
         if self.buffer.contains(lpn) or not self.buffer.can_admit(lpn):
             return
         self._scrubbed_lpns.add(lpn)
-        self.buffer.admit(lpn, data=lpn, waiter=None)
+        if self._store_oob:
+            # the refreshed copy keeps the read-back content but gets a
+            # fresh sequence number: after SPOR, recovery must prefer it
+            # over the marginal original
+            self._write_seq += 1
+            data = result.data
+            self.buffer.admit(lpn, data=data, waiter=None, seq=self._write_seq)
+        else:
+            data = lpn
+            self.buffer.admit(lpn, data=lpn, waiter=None)
         if self.checker is not None:
-            self.checker.on_host_write(lpn, lpn)
+            self.checker.on_host_write(lpn, data)
         self.recovery.scrubs += 1
         self._maybe_flush()
 
@@ -944,6 +986,15 @@ class BaseFTL:
             # critical (failing victims skip this: they must leave service)
             if invalid < max(1, min_invalid) and free > 1:
                 return
+            # the migration's final partial WL is padded with dead pages;
+            # unless the victim's invalid count exceeds that padding the
+            # move reclaims nothing net, and with no host writes arriving
+            # to invalidate pages (e.g. at a drain barrier) the
+            # erase -> _maybe_gc chain would ping-pong forever
+            valid = pages_per_block - invalid
+            waste = (-valid) % self.geometry.block.pages_per_wl
+            if invalid <= waste:
+                return
         job = _GCJob(victim, self.mapper.valid_pages_of_block(chip_id, victim))
         self._gc_jobs[chip_id] = job
         self._gc_continue(chip_id)
@@ -1024,3 +1075,183 @@ class BaseFTL:
             self._maybe_flush()
 
         self.controller.chip_resource(chip_id).submit(erase_job, on_done)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def _oob_seq_of(self, ppn: int) -> int:
+        """Sequence number stamped in a physical page's OOB record (0
+        when the page carries none, e.g. programmed before OOB support
+        was enabled)."""
+        chip_id, address = self.geometry.ppn_to_address(ppn)
+        record = self.controller.chip(chip_id).peek_oob(
+            address.block, address.layer, address.wl, address.page
+        )
+        return record[1] if record is not None else 0
+
+    def variant_state_dict(self) -> dict:
+        """Serializable policy-specific state (allocation cursors,
+        monitored parameters); overridden by the FTL variants."""
+        return {}
+
+    def load_variant_state(self, state: dict) -> None:
+        """Restore :meth:`variant_state_dict` output."""
+
+    def state_dict(self) -> dict:
+        """Serializable FTL state at a quiescent barrier.
+
+        Requires that no request is mid-flight: no pending host-write
+        admissions, no in-flight WL programs, no active GC job (the
+        component ``state_dict`` calls below additionally assert the
+        buffer and resource barriers).  The driver in
+        :mod:`repro.persist` only checkpoints at event-queue drain, where
+        all of this holds by construction.
+        """
+        if self._pending_writes:
+            raise RuntimeError(
+                f"FTL not quiescent: {len(self._pending_writes)} host "
+                "writes awaiting buffer admission"
+            )
+        inflight = sum(self._inflight_programs.values())
+        if inflight:
+            raise RuntimeError(
+                f"FTL not quiescent: {inflight} WL programs in flight"
+            )
+        active_gc = sorted(
+            chip for chip, job in self._gc_jobs.items() if job is not None
+        )
+        if active_gc:
+            raise RuntimeError(
+                f"FTL not quiescent: GC active on chips {active_gc}"
+            )
+        return {
+            "mapper": self.mapper.state_dict(),
+            "blocks": self.blocks.state_dict(),
+            "buffer": self.buffer.state_dict(),
+            "counters": asdict(self.counters),
+            "recovery": asdict(self.recovery),
+            "scrubbed_lpns": sorted(self._scrubbed_lpns),
+            "gc_cursors": {
+                chip: (cursor.state_dict() if cursor is not None else None)
+                for chip, cursor in self._gc_cursors.items()
+            },
+            "rr_chip": self._rr_chip,
+            "write_seq": self._write_seq,
+            "variant": self.variant_state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.mapper.load_state_dict(state["mapper"])
+        self.blocks.load_state_dict(state["blocks"])
+        self.buffer.load_state_dict(state["buffer"])
+        self.counters = FTLCounters(**state["counters"])
+        self.recovery = RecoveryCounters(**state["recovery"])
+        self._scrubbed_lpns = set(state["scrubbed_lpns"])
+        self._gc_cursors = {
+            chip: (
+                SequentialCursor.from_state(cursor_state, self.geometry.block)
+                if cursor_state is not None
+                else None
+            )
+            for chip, cursor_state in state["gc_cursors"].items()
+        }
+        self._rr_chip = state["rr_chip"]
+        self._write_seq = state["write_seq"]
+        self.load_variant_state(state["variant"])
+
+    # ------------------------------------------------------------------
+    # SPOR recovery
+    # ------------------------------------------------------------------
+
+    def _post_spor_reset(self) -> None:
+        """Clear every volatile allocation structure after recovery (all
+        blocks come back sealed FULL or FREE, so no cursor survives).
+        Variants extend this for their own cursor structures."""
+        for chip_id in self._gc_cursors:
+            self._gc_cursors[chip_id] = None
+        self._rr_chip = 0
+        self._scrubbed_lpns = set()
+
+    def spor_recover(self) -> dict:
+        """Rebuild the volatile FTL state from chip-durable contents
+        after a sudden power-off.
+
+        Called on a freshly constructed FTL whose chips were restored to
+        their at-the-cut state.  Controller RAM (mapping tables, block
+        lifecycle, write buffer, monitored parameters) is lost; the only
+        durable inputs are the per-page OOB records ``(lpn, seq)`` and
+        the programmed/wear arrays of the chip model.
+
+        Rebuild rules:
+
+        - **L2P**: for every LPN the surviving copy with the highest
+          sequence number wins; ties (GC duplicates of the same write,
+          which hold identical content) break to the lowest PPN;
+        - **blocks**: a block with any programmed WL is sealed FULL --
+          conservatively, a half-written active block is never appended
+          to after recovery -- and all others are FREE.  Failing/retired
+          status is rediscovered operationally: a bad block's next erase
+          fails again and re-retires it;
+        - cursors, buffer, and monitored parameters restart empty, and
+          the write sequence resumes above the highest recovered value.
+
+        Returns a summary dict (``oob_records``, ``mapped_lpns``,
+        ``full_blocks``, ``max_seq``).
+        """
+        if not self._store_oob:
+            raise RuntimeError("SPOR recovery requires store_oob=True")
+        if self.mapper.mapped_lpn_count():
+            raise RuntimeError("spor_recover requires a freshly built FTL")
+        geometry = self.geometry
+        winners: Dict[int, Tuple[int, int]] = {}  # lpn -> (seq, ppn)
+        records = 0
+        max_seq = 0
+        for chip_id in range(geometry.n_chips):
+            chip = self.controller.chip(chip_id)
+            for (block, wl_index, page), (lpn, seq) in chip.iter_oob():
+                records += 1
+                if seq > max_seq:
+                    max_seq = seq
+                address = geometry.block.wl_from_index(wl_index)
+                ppn = geometry.ppn(
+                    chip_id,
+                    PageAddress(block, address.layer, address.wl, page),
+                )
+                best = winners.get(lpn)
+                if best is None or (seq, -ppn) > (best[0], -best[1]):
+                    winners[lpn] = (seq, ppn)
+        for lpn in sorted(winners):
+            self.mapper.bind(lpn, winners[lpn][1])
+        free: Dict[int, List[int]] = {}
+        states: Dict[int, List[str]] = {}
+        full_blocks = 0
+        for chip_id in range(geometry.n_chips):
+            chip = self.controller.chip(chip_id)
+            chip_states: List[str] = []
+            chip_free: List[int] = []
+            for block in range(geometry.blocks_per_chip):
+                if chip.programmed_wl_count(block) > 0:
+                    chip_states.append(BlockState.FULL.value)
+                    full_blocks += 1
+                else:
+                    chip_states.append(BlockState.FREE.value)
+                    chip_free.append(block)
+            states[chip_id] = chip_states
+            free[chip_id] = chip_free
+        self.blocks.load_state_dict(
+            {
+                "free": free,
+                "state": states,
+                "failing": {chip: [] for chip in free},
+                "retired_reasons": {chip: {} for chip in free},
+            }
+        )
+        self._post_spor_reset()
+        self._write_seq = max_seq
+        return {
+            "oob_records": records,
+            "mapped_lpns": len(winners),
+            "full_blocks": full_blocks,
+            "max_seq": max_seq,
+        }

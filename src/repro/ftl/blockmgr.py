@@ -249,6 +249,48 @@ class BlockManager:
         return dict(self._retired_reasons[chip_id])
 
     # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable lifecycle state.
+
+        Free pools serialize as their live iteration order (oldest
+        first): rebuilding a fresh pool from that list reproduces FIFO
+        take order and keyed tie-breaks exactly, without persisting the
+        tombstone/compaction internals.  The ``observer`` hook is wiring,
+        not state, and is re-attached by the owning simulation.
+        """
+        return {
+            "free": {
+                chip_id: list(pool) for chip_id, pool in self._free.items()
+            },
+            "state": {
+                chip_id: [state.value for state in states]
+                for chip_id, states in self._state.items()
+            },
+            "failing": {
+                chip_id: sorted(blocks)
+                for chip_id, blocks in self._failing.items()
+            },
+            "retired_reasons": {
+                chip_id: dict(reasons)
+                for chip_id, reasons in self._retired_reasons.items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        for chip_id in range(self.geometry.n_chips):
+            self._free[chip_id] = _FreePool(state["free"][chip_id])
+            self._state[chip_id] = [
+                BlockState(value) for value in state["state"][chip_id]
+            ]
+            self._failing[chip_id] = set(state["failing"][chip_id])
+            self._retired_reasons[chip_id] = dict(
+                state["retired_reasons"][chip_id]
+            )
+
+    # ------------------------------------------------------------------
     # GC victim selection
     # ------------------------------------------------------------------
 

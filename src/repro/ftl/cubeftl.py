@@ -165,3 +165,37 @@ class CubeFTL(BaseFTL):
         if not self.enable_ort:
             return False
         return self.opm.invalidate_read_entry(chip_id, block, layer)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def variant_state_dict(self) -> dict:
+        return {
+            "wam": self.wam.state_dict(),
+            "opm": self.opm.state_dict(),
+            "seq_cursors": {
+                chip_id: [cursor.state_dict() for cursor in cursors]
+                for chip_id, cursors in self._seq_cursors.items()
+            },
+        }
+
+    def load_variant_state(self, state: dict) -> None:
+        self.wam.load_state_dict(state["wam"])
+        self.opm.load_state_dict(state["opm"])
+        self._seq_cursors = {
+            chip_id: [
+                SequentialCursor.from_state(cursor_state, self.geometry.block)
+                for cursor_state in cursor_states
+            ]
+            for chip_id, cursor_states in state["seq_cursors"].items()
+        }
+
+    def _post_spor_reset(self) -> None:
+        super()._post_spor_reset()
+        self.wam.reset()
+        self._seq_cursors = {
+            chip: [] for chip in range(self.geometry.n_chips)
+        }
+        # monitored parameters and the ORT live in controller RAM: gone
+        self.opm.reset_monitored()

@@ -135,6 +135,34 @@ class PageMapper:
         self._valid[lo:hi] = False
 
     # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable copy of the translation tables (numpy arrays
+        round-trip through the checkpoint pickle unchanged)."""
+        return {
+            "l2p": self._l2p.copy(),
+            "p2l": self._p2l.copy(),
+            "valid": self._valid.copy(),
+            "valid_count": self._valid_count.copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if len(state["l2p"]) != self.logical_pages:
+            raise ValueError(
+                f"L2P table holds {len(state['l2p'])} entries, this device "
+                f"exposes {self.logical_pages} logical pages"
+            )
+        self._l2p = np.array(state["l2p"], dtype=np.int64)
+        self._p2l = np.array(state["p2l"], dtype=np.int64)
+        self._valid = np.array(state["valid"], dtype=bool)
+        self._valid_count = np.array(state["valid_count"], dtype=np.int32)
+        # the fast-path bound methods point at the *old* arrays; re-bind
+        self._l2p_item = self._l2p.item
+        self._p2l_item = self._p2l.item
+
+    # ------------------------------------------------------------------
     # invariants (exercised by property-based tests)
     # ------------------------------------------------------------------
 

@@ -53,5 +53,30 @@ class PageFTL(BaseFTL):
             cursor for cursor in self._cursors[chip_id] if cursor.block != block
         ]
 
+    # -- checkpointing ---------------------------------------------------
+
+    def variant_state_dict(self) -> dict:
+        return {
+            "cursors": {
+                chip_id: [cursor.state_dict() for cursor in cursors]
+                for chip_id, cursors in self._cursors.items()
+            }
+        }
+
+    def load_variant_state(self, state: dict) -> None:
+        self._cursors = {
+            chip_id: [
+                SequentialCursor.from_state(cursor_state, self.geometry.block)
+                for cursor_state in cursor_states
+            ]
+            for chip_id, cursor_states in state["cursors"].items()
+        }
+
+    def _post_spor_reset(self) -> None:
+        super()._post_spor_reset()
+        self._cursors = {
+            chip: [] for chip in range(self.geometry.n_chips)
+        }
+
     # program_params / read_params / after_* inherit the PS-unaware
     # defaults from BaseFTL.

@@ -149,6 +149,7 @@ class NandChip:
         erase_limit: Optional[int] = None,
         read_disturb_per_read: float = 0.0,
         fault_injector: Optional[FaultInjector] = None,
+        store_oob: bool = False,
     ) -> None:
         if n_blocks < 1:
             raise ValueError("n_blocks must be >= 1")
@@ -169,6 +170,10 @@ class NandChip:
             raise ValueError("read_disturb_per_read must be >= 0")
         self.read_disturb_per_read = read_disturb_per_read
         self.faults = fault_injector
+        #: keep per-page OOB metadata ``(lpn, seq)`` alongside the data,
+        #: the way a real FTL stamps spare-area bytes; the SPOR recovery
+        #: path rebuilds the L2P mapping from it (see repro.persist.spor)
+        self.store_oob = store_oob
         self._op_nonce = 0
         # cumulative operation counters (observability only; never read
         # by the simulation itself)
@@ -194,6 +199,8 @@ class NandChip:
         self._read_nonce = 0
         self._program_nonce = 0
         self._tags: Dict[Tuple[int, int, int], object] = {}
+        #: (block, wl_index, page) -> (lpn, seq) spare-area metadata
+        self._oob: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
         self._features: Dict[int, Tuple[int, ...]] = {}
         # allocation caches for the per-operation hot path: AgingState is
         # frozen, so one instance per (block, erase-epoch) can be shared
@@ -278,6 +285,10 @@ class NandChip:
             stale = [key for key in self._tags if key[0] == block]
             for key in stale:
                 del self._tags[key]
+        if self._oob:
+            stale = [key for key in self._oob if key[0] == block]
+            for key in stale:
+                del self._oob[key]
         return self._op_latency(self.timing.t_erase_us)
 
     def program_wl(
@@ -287,11 +298,15 @@ class NandChip:
         wl: int,
         params: Optional[ProgramParams] = None,
         data: Optional[Sequence[object]] = None,
+        oob: Optional[Sequence[Optional[Tuple[int, int]]]] = None,
     ) -> ProgramResult:
         """One-shot program of all pages of a WL.
 
         ``data`` optionally supplies one tag per page of the WL (TLC: 3);
         tags are returned by subsequent reads when tag storage is on.
+        ``oob`` optionally supplies one ``(lpn, seq)`` spare-area record
+        per page (``None`` entries for pad pages); stored only when
+        ``store_oob`` is enabled, and, like data, only on program success.
         """
         self.geometry.check_wl(layer, wl)
         self._check_block(block)
@@ -303,6 +318,10 @@ class NandChip:
         if data is not None and len(data) != self.geometry.pages_per_wl:
             raise ValueError(
                 f"data must supply {self.geometry.pages_per_wl} page tags"
+            )
+        if oob is not None and len(oob) != self.geometry.pages_per_wl:
+            raise ValueError(
+                f"oob must supply {self.geometry.pages_per_wl} page records"
             )
         if params is None:
             params = ProgramParams.default(self.ispp.n_states)
@@ -338,6 +357,10 @@ class NandChip:
         if self.store_tags and data is not None:
             for page, tag in enumerate(data):
                 self._tags[(block, wl_index, page)] = tag
+        if self.store_oob and oob is not None:
+            for page, record in enumerate(oob):
+                if record is not None:
+                    self._oob[(block, wl_index, page)] = record
 
         # immediate read-back BER: no retention yet, current block P/E
         aging_now = self._fresh_aging(self.block_pe(block))
@@ -378,6 +401,25 @@ class NandChip:
         self._check_block(block)
         wl_index = self.geometry.wl_index(layer, wl)
         return self._tags.get((block, wl_index, page))
+
+    def peek_oob(
+        self, block: int, layer: int, wl: int, page: int
+    ) -> Optional[Tuple[int, int]]:
+        """Side-effect-free spare-area lookup: ``(lpn, seq)`` or None."""
+        self.geometry.check_page(layer, wl, page)
+        self._check_block(block)
+        wl_index = self.geometry.wl_index(layer, wl)
+        return self._oob.get((block, wl_index, page))
+
+    def iter_oob(self):
+        """Iterate stored OOB records in deterministic address order.
+
+        Yields ``((block, wl_index, page), (lpn, seq))`` -- the SPOR
+        recovery scan.  Sorted so the rebuild order (and any tie-break
+        it applies) cannot depend on dict insertion history.
+        """
+        for key in sorted(self._oob):
+            yield key, self._oob[key]
 
     def read_page(
         self,
@@ -506,6 +548,63 @@ class NandChip:
         """Characterization-board helper: N_ret(w_ij, x, t) for an explicit
         aging condition (used by the Section 3 study harness)."""
         return self.reliability.n_ret(self.chip_id, block, layer, wl, aging)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable mutable state of the chip.
+
+        Covers everything a program/erase/read can change: wear and
+        programmed-state arrays, per-WL penalties and program noise,
+        read-disturb counters, the deterministic nonces, stored tags and
+        OOB records, the ONFI feature store, and the baseline aging.
+        The model components (reliability surface, ISPP, ECC) are pure
+        functions of the config and are rebuilt, not serialized.
+        """
+        return {
+            "erase_counts": self._erase_counts.copy(),
+            "programmed": self._programmed.copy(),
+            "penalty": self._penalty.copy(),
+            "prog_noise": self._prog_noise.copy(),
+            "block_reads": self._block_reads.copy(),
+            "baseline": (
+                self._baseline.pe_cycles,
+                self._baseline.retention_months,
+            ),
+            "read_nonce": self._read_nonce,
+            "program_nonce": self._program_nonce,
+            "op_nonce": self._op_nonce,
+            "reads_done": self.reads_done,
+            "programs_done": self.programs_done,
+            "erases_done": self.erases_done,
+            "tags": dict(self._tags),
+            "oob": dict(self._oob),
+            "features": dict(self._features),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot; derived aging caches
+        are dropped and rebuilt lazily."""
+        self._erase_counts = np.array(state["erase_counts"], dtype=np.int32)
+        self._programmed = np.array(state["programmed"], dtype=bool)
+        self._penalty = np.array(state["penalty"], dtype=np.float64)
+        self._prog_noise = np.array(state["prog_noise"], dtype=np.float64)
+        self._block_reads = np.array(state["block_reads"], dtype=np.int64)
+        pe_cycles, retention_months = state["baseline"]
+        self._baseline = AgingState(pe_cycles, retention_months)
+        self._read_nonce = state["read_nonce"]
+        self._program_nonce = state["program_nonce"]
+        self._op_nonce = state["op_nonce"]
+        self.reads_done = state["reads_done"]
+        self.programs_done = state["programs_done"]
+        self.erases_done = state["erases_done"]
+        self._tags = dict(state["tags"])
+        self._oob = dict(state["oob"])
+        self._features = dict(state["features"])
+        self._block_aging_cache.clear()
+        self._fresh_aging_cache.clear()
 
     def _op_latency(self, base_us: float) -> float:
         """Apply stuck-die latency faults to one operation's service time."""

@@ -28,13 +28,19 @@ from repro.parallel.experiments import (
     specs_to_shards,
 )
 from repro.parallel.merge import merge_snapshots
-from repro.parallel.runner import ShardOutcome, ShardSpec, run_shards
+from repro.parallel.runner import (
+    ShardOutcome,
+    ShardSpec,
+    ShardsInterrupted,
+    run_shards,
+)
 from repro.parallel.seeds import derive_seed
 
 __all__ = [
     "RunSpec",
     "ShardOutcome",
     "ShardSpec",
+    "ShardsInterrupted",
     "derive_seed",
     "execute_run_spec",
     "merge_snapshots",

@@ -47,12 +47,34 @@ class ShardOutcome:
     ``error`` is a human-readable failure description -- the worker's
     formatted traceback when the shard raised, or an exit-code note when
     the process died without reporting (segfault, OOM kill).
+
+    ``retried`` records provenance: the outcome came from a relaunch
+    after an earlier attempt's worker hard-died (see the ``retries``
+    parameter of :func:`run_shards`).  ``cached`` marks an outcome
+    loaded from a sweep checkpoint directory instead of being run (see
+    :func:`repro.persist.run_shards_resumable`).
     """
 
     name: str
     ok: bool
     result: Any = None
     error: Optional[str] = None
+    retried: bool = False
+    cached: bool = False
+
+
+class ShardsInterrupted(KeyboardInterrupt):
+    """The user interrupted a shard run (SIGINT / Ctrl-C).
+
+    Carries the shards that *did* complete (``outcomes``, input order)
+    so callers can persist partial results -- the CLI sweep writes them
+    with ``"incomplete": true`` -- before exiting with status 130.
+    Worker processes still running at the interrupt are terminated.
+    """
+
+    def __init__(self, outcomes: List[ShardOutcome]) -> None:
+        super().__init__(f"interrupted with {len(outcomes)} shards complete")
+        self.outcomes = outcomes
 
 
 def _shard_main(spec: ShardSpec, conn) -> None:
@@ -71,6 +93,8 @@ def _run_inline(specs: Sequence[ShardSpec], on_progress) -> List[ShardOutcome]:
     for spec in specs:
         try:
             outcomes.append(ShardOutcome(spec.name, True, spec.fn(**spec.kwargs)))
+        except KeyboardInterrupt:
+            raise ShardsInterrupted(outcomes)
         except Exception:
             outcomes.append(
                 ShardOutcome(spec.name, False, error=traceback.format_exc())
@@ -84,6 +108,8 @@ def run_shards(
     specs: Sequence[ShardSpec],
     jobs: int = 1,
     on_progress: Optional[Callable[[ShardOutcome], None]] = None,
+    retries: int = 0,
+    registry=None,
 ) -> List[ShardOutcome]:
     """Run shards with up to ``jobs`` worker processes.
 
@@ -95,7 +121,26 @@ def run_shards(
     ``on_progress`` (if given) is called with each :class:`ShardOutcome`
     as it lands, in *completion* order; it runs in this process and must
     not raise.
+
+    ``retries`` relaunches a shard whose worker *hard-died* (exited
+    without reporting: segfault, OOM kill) up to that many times, with
+    the identical spec -- and therefore the identical derived seed, so a
+    retried shard that succeeds is bit-identical to one that succeeded
+    first try.  Shards that *raised* are not retried (a deterministic
+    simulation raises again).  Each relaunch bumps the
+    ``shard_retries_total`` counter on ``registry`` (a
+    :class:`~repro.obs.registry.TelemetryRegistry`, optional) and marks
+    the shard's eventual outcome ``retried=True``.
+
+    A SIGINT (Ctrl-C) terminates the remaining workers and raises
+    :class:`ShardsInterrupted` carrying the completed outcomes.
     """
+    retry_counter = None
+    if registry is not None:
+        retry_counter = registry.counter(
+            "shard_retries_total",
+            "shards relaunched after a worker died without reporting",
+        )
     if jobs <= 1 or len(specs) <= 1:
         return _run_inline(specs, on_progress)
 
@@ -106,6 +151,7 @@ def run_shards(
     outcomes: List[Optional[ShardOutcome]] = [None] * len(specs)
     pending = list(enumerate(specs))  # input order; workers pull from front
     active: Dict[Any, tuple] = {}  # recv conn -> (index, spec, process)
+    attempts: Dict[int, int] = {}  # index -> relaunches so far
 
     def _launch() -> None:
         while pending and len(active) < jobs:
@@ -120,31 +166,49 @@ def run_shards(
             send.close()
             active[recv] = (index, spec, process)
 
-    _launch()
-    while active:
-        for conn in _wait_connections(list(active)):
-            index, spec, process = active.pop(conn)
-            try:
-                status, payload = conn.recv()
-            except EOFError:
-                status, payload = None, None
-            conn.close()
-            process.join()
-            if status == "ok":
-                outcome = ShardOutcome(spec.name, True, payload)
-            elif status == "error":
-                outcome = ShardOutcome(spec.name, False, error=payload)
-            else:
-                outcome = ShardOutcome(
-                    spec.name,
-                    False,
-                    error=(
-                        f"worker died without reporting "
-                        f"(exit code {process.exitcode})"
-                    ),
-                )
-            outcomes[index] = outcome
-            if on_progress is not None:
-                on_progress(outcome)
+    try:
         _launch()
+        while active:
+            for conn in _wait_connections(list(active)):
+                index, spec, process = active.pop(conn)
+                try:
+                    status, payload = conn.recv()
+                except EOFError:
+                    status, payload = None, None
+                conn.close()
+                process.join()
+                if status == "ok":
+                    outcome = ShardOutcome(spec.name, True, payload)
+                elif status == "error":
+                    outcome = ShardOutcome(spec.name, False, error=payload)
+                elif attempts.get(index, 0) < retries:
+                    # hard death: relaunch the identical spec (same
+                    # derived seed) at the front of the queue
+                    attempts[index] = attempts.get(index, 0) + 1
+                    if retry_counter is not None:
+                        retry_counter.inc()
+                    pending.insert(0, (index, spec))
+                    continue
+                else:
+                    outcome = ShardOutcome(
+                        spec.name,
+                        False,
+                        error=(
+                            f"worker died without reporting "
+                            f"(exit code {process.exitcode})"
+                        ),
+                    )
+                outcome.retried = attempts.get(index, 0) > 0
+                outcomes[index] = outcome
+                if on_progress is not None:
+                    on_progress(outcome)
+            _launch()
+    except KeyboardInterrupt:
+        for _conn, (_index, _spec, process) in active.items():
+            process.terminate()
+        for _conn, (_index, _spec, process) in active.items():
+            process.join()
+        raise ShardsInterrupted(
+            [outcome for outcome in outcomes if outcome is not None]
+        )
     return outcomes  # type: ignore[return-value]

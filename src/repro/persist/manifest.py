@@ -1,0 +1,160 @@
+"""Resumable sweep orchestration: manifest + per-shard result files.
+
+A sweep checkpoint directory holds
+
+- ``manifest.json`` -- the sweep's identity: schema version, base seed,
+  and the ordered shard-name list.  A rerun must present the identical
+  identity; anything else is a :class:`ManifestMismatch` (silently
+  mixing results from two different sweeps is exactly the bug this
+  guards against).
+- ``shard_<name>.pkl`` -- one pickled :class:`~repro.parallel.ShardOutcome`
+  per *successfully completed* shard, written as each shard lands.
+
+:func:`run_shards_resumable` wraps :func:`repro.parallel.run_shards`:
+on a rerun it loads every saved outcome (marking it ``cached=True``),
+launches only the still-unfinished shards, and keeps saving as they
+complete -- so an interrupted sweep (Ctrl-C, crash, power loss) costs
+only the shards that had not finished.  Failed shards are *not* saved:
+a rerun retries them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import re
+from typing import Callable, List, Optional, Sequence
+
+from repro.parallel.runner import (
+    ShardOutcome,
+    ShardSpec,
+    ShardsInterrupted,
+    run_shards,
+)
+
+MANIFEST_SCHEMA_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+_UNSAFE_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+class ManifestMismatch(ValueError):
+    """The checkpoint directory belongs to a different sweep."""
+
+
+def shard_result_path(checkpoint_dir: str, name: str) -> str:
+    """Filesystem path of one shard's saved outcome.
+
+    The filename embeds a digest of the exact shard name, so names that
+    only differ in sanitized-away characters can never collide.
+    """
+    slug = _UNSAFE_RE.sub("_", name)[:80]
+    digest = hashlib.sha256(name.encode()).hexdigest()[:10]
+    return os.path.join(checkpoint_dir, f"shard_{slug}_{digest}.pkl")
+
+
+def write_manifest(
+    checkpoint_dir: str, names: Sequence[str], base_seed: int
+) -> None:
+    os.makedirs(checkpoint_dir, exist_ok=True)
+    payload = {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "base_seed": base_seed,
+        "shards": list(names),
+    }
+    tmp_path = os.path.join(checkpoint_dir, f".{MANIFEST_NAME}.tmp")
+    with open(tmp_path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp_path, os.path.join(checkpoint_dir, MANIFEST_NAME))
+
+
+def load_manifest(checkpoint_dir: str) -> Optional[dict]:
+    path = os.path.join(checkpoint_dir, MANIFEST_NAME)
+    if not os.path.isfile(path):
+        return None
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def run_shards_resumable(
+    specs: Sequence[ShardSpec],
+    jobs: int = 1,
+    checkpoint_dir: Optional[str] = None,
+    base_seed: int = 7,
+    on_progress: Optional[Callable[[ShardOutcome], None]] = None,
+    retries: int = 0,
+    registry=None,
+) -> List[ShardOutcome]:
+    """:func:`repro.parallel.run_shards` with sweep-level durability.
+
+    With ``checkpoint_dir=None`` this is exactly ``run_shards``.  With a
+    directory, previously saved outcomes are loaded instead of re-run
+    (``cached=True`` provenance), only unfinished shards launch, and
+    each success is saved as it lands.  On SIGINT the raised
+    :class:`~repro.parallel.ShardsInterrupted` carries cached *and*
+    freshly completed outcomes, and everything saved so far survives for
+    the next rerun.
+    """
+    if checkpoint_dir is None:
+        return run_shards(
+            specs, jobs=jobs, on_progress=on_progress,
+            retries=retries, registry=registry,
+        )
+    names = [spec.name for spec in specs]
+    manifest = load_manifest(checkpoint_dir)
+    if manifest is None:
+        write_manifest(checkpoint_dir, names, base_seed)
+    else:
+        if (
+            manifest.get("schema_version") != MANIFEST_SCHEMA_VERSION
+            or manifest.get("shards") != names
+            or manifest.get("base_seed") != base_seed
+        ):
+            raise ManifestMismatch(
+                f"{checkpoint_dir}: existing manifest does not match this "
+                "sweep (different shards, base seed, or schema); use a "
+                "fresh checkpoint directory"
+            )
+
+    cached: dict = {}
+    for spec in specs:
+        path = shard_result_path(checkpoint_dir, spec.name)
+        if os.path.isfile(path):
+            with open(path, "rb") as fh:
+                outcome = pickle.load(fh)
+            outcome.cached = True
+            cached[spec.name] = outcome
+
+    def _save(outcome: ShardOutcome) -> None:
+        if outcome.ok:
+            path = shard_result_path(checkpoint_dir, outcome.name)
+            tmp_path = path + ".tmp"
+            with open(tmp_path, "wb") as fh:
+                pickle.dump(outcome, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        if on_progress is not None:
+            on_progress(outcome)
+
+    todo = [spec for spec in specs if spec.name not in cached]
+    for spec in specs:
+        if spec.name in cached and on_progress is not None:
+            on_progress(cached[spec.name])
+    try:
+        fresh = run_shards(
+            todo, jobs=jobs, on_progress=_save,
+            retries=retries, registry=registry,
+        )
+    except ShardsInterrupted as interrupt:
+        by_name = dict(cached)
+        by_name.update(
+            {outcome.name: outcome for outcome in interrupt.outcomes}
+        )
+        raise ShardsInterrupted(
+            [by_name[name] for name in names if name in by_name]
+        ) from None
+    by_name = dict(cached)
+    by_name.update({outcome.name: outcome for outcome in fresh})
+    return [by_name[name] for name in names]

@@ -194,6 +194,41 @@ class Engine:
             return True
         return False
 
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable engine state, capturable only at quiescence.
+
+        Event callbacks are closures over live simulation objects and do
+        not serialize; the checkpoint protocol therefore only snapshots
+        the engine once the queue has fully drained (a *quiescent
+        barrier* -- see :mod:`repro.persist`), at which point the clock
+        and the bookkeeping scalars are the entire state.
+        """
+        if self.live_pending != 0:
+            raise RuntimeError(
+                f"engine not quiescent: {self.live_pending} live events "
+                "still queued (checkpoints only happen at drained instants)"
+            )
+        return {
+            "now": self._now,
+            "seq": self._seq,
+            "processed": self._processed,
+            "peak_pending": self._peak_pending,
+            "compactions": self._compactions,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto an empty engine."""
+        if self._queue:
+            raise RuntimeError("cannot restore state onto a non-empty engine")
+        self._now = state["now"]
+        self._seq = state["seq"]
+        self._processed = state["processed"]
+        self._peak_pending = state["peak_pending"]
+        self._compactions = state["compactions"]
+        self._cancelled = 0
+
     def run(
         self,
         until: Optional[float] = None,

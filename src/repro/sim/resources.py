@@ -58,6 +58,27 @@ class FifoResource:
             return 0.0
         return min(1.0, self._busy_time / elapsed_us)
 
+    def state_dict(self) -> dict:
+        """Serializable state; only meaningful at quiescence (no job in
+        service, nothing queued), which the checkpoint barrier asserts."""
+        if self._busy or self._queue:
+            raise RuntimeError(
+                f"resource {self.name!r} not quiescent: "
+                f"busy={self._busy}, queued={len(self._queue)}"
+            )
+        return {
+            "busy_time_us": self._busy_time,
+            "service_count": self._service_count,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if self._busy or self._queue:
+            raise RuntimeError(
+                f"cannot restore state onto active resource {self.name!r}"
+            )
+        self._busy_time = state["busy_time_us"]
+        self._service_count = state["service_count"]
+
     def submit(self, job: Job, on_done: Optional[Done] = None) -> None:
         """Queue a job; it runs when the server reaches it."""
         if self.telemetry is not None:

@@ -61,6 +61,12 @@ class SSDConfig:
     env_shift_prob: float = 2e-4
     #: store per-page data tags for functional verification
     store_tags: bool = False
+    #: store per-page OOB metadata ``(lpn, seq)`` in the chip model --
+    #: the durable spare-area records the SPOR recovery path rebuilds
+    #: the mapping from (see ``docs/PERSISTENCE.md``).  Off by default:
+    #: page data stays the LPN and runs are bit-identical to builds
+    #: without OOB support.
+    store_oob: bool = False
     #: chip-model seed
     seed: int = 0
     #: fault-injection campaign; ``None`` disables injection entirely and

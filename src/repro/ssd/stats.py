@@ -36,6 +36,15 @@ class LatencyStats:
         self._samples.append(latency_us)
         self._array = None
 
+    def extend(self, samples: Sequence[float]) -> None:
+        """Bulk-append samples (checkpoint restore)."""
+        self._samples.extend(float(value) for value in samples)
+        self._array = None
+
+    def sample_list(self) -> List[float]:
+        """The raw samples as a plain list (checkpoint serialization)."""
+        return list(self._samples)
+
     def __len__(self) -> int:
         return len(self._samples)
 

@@ -31,6 +31,10 @@ class BufferEntry:
     data: object = None
     waiters: List[object] = field(default_factory=list)
     version: int = 0
+    #: FTL-global write sequence number, stamped at admission when SPOR
+    #: support is on; programmed into the page's OOB record so recovery
+    #: can order the copies of an LPN (0 = not stamped)
+    seq: int = 0
 
 
 class WriteBuffer:
@@ -89,7 +93,9 @@ class WriteBuffer:
 
     # ------------------------------------------------------------------
 
-    def admit(self, lpn: int, data: object, waiter: Optional[object]) -> bool:
+    def admit(
+        self, lpn: int, data: object, waiter: Optional[object], seq: int = 0
+    ) -> bool:
         """Stage a host write.  Returns True if it coalesced into an
         existing staged page."""
         version = self._versions.get(lpn, 0) + 1
@@ -98,13 +104,14 @@ class WriteBuffer:
         if entry is not None:
             entry.data = data
             entry.version = version
+            entry.seq = seq
             if waiter is not None:
                 entry.waiters.append(waiter)
             self.coalesced_writes += 1
             return True
         if self.free_slots <= 0:
             raise RuntimeError("write buffer full")
-        entry = BufferEntry(lpn=lpn, data=data, version=version)
+        entry = BufferEntry(lpn=lpn, data=data, version=version, seq=seq)
         if waiter is not None:
             entry.waiters.append(waiter)
         self._staged[lpn] = entry
@@ -167,6 +174,48 @@ class WriteBuffer:
         """Newest write sequence number seen for an LPN (0 = never
         written through this buffer)."""
         return self._versions.get(lpn, 0)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable buffer state at a quiescent barrier.
+
+        At a barrier nothing is in flight and no staged entry has host
+        waiters (waiters are live request objects -- only waiter-less
+        scrub re-admissions may legally remain staged), so the state is
+        the ordered staged pages plus the version table and counters.
+        """
+        if self._inflight:
+            raise RuntimeError(
+                f"buffer not quiescent: {self._inflight_count} pages in flight"
+            )
+        for entry in self._staged.values():
+            if entry.waiters:
+                raise RuntimeError(
+                    f"staged LPN {entry.lpn} still has host waiters"
+                )
+        return {
+            "staged": [
+                (entry.lpn, entry.data, entry.version, entry.seq)
+                for entry in self._staged.values()
+            ],
+            "versions": dict(self._versions),
+            "coalesced_writes": self.coalesced_writes,
+            "peak_occupancy": self.peak_occupancy,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if self._staged or self._inflight:
+            raise RuntimeError("cannot restore state onto a non-empty buffer")
+        for lpn, data, version, seq in state["staged"]:
+            self._staged[lpn] = BufferEntry(
+                lpn=lpn, data=data, version=version, seq=seq
+            )
+        self._versions = dict(state["versions"])
+        self.coalesced_writes = state["coalesced_writes"]
+        self.peak_occupancy = state["peak_occupancy"]
 
     # ------------------------------------------------------------------
     # invariants (runtime checker + property-based tests)

@@ -1,0 +1,201 @@
+"""The checkpoint container: header schema, atomicity, and the
+validation a resume performs before trusting a checkpoint."""
+
+import json
+import os
+
+import pytest
+
+from repro.api import run_simulation
+from repro.persist import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointError,
+    config_fingerprint,
+    latest_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    read_header,
+    validate_header,
+    write_checkpoint,
+)
+from repro.ssd.config import SSDConfig
+
+
+def _header(**overrides):
+    header = {
+        "schema_version": CHECKPOINT_SCHEMA_VERSION,
+        "config_fingerprint": "ab" * 32,
+        "ftl": "cube",
+        "workload": "OLTP",
+        "seed": 7,
+        "n_requests": 100,
+        "queue_depth": 32,
+        "warmup_requests": 0,
+        "checkpoint_every": 10,
+        "check": None,
+        "segment": 1,
+        "completed": 10,
+        "clock_us": 123.5,
+    }
+    header.update(overrides)
+    return header
+
+
+class TestHeaderSchema:
+    def test_valid_header_passes(self):
+        assert validate_header(_header()) == []
+
+    def test_missing_key_is_reported(self):
+        header = _header()
+        del header["seed"]
+        problems = validate_header(header)
+        assert any("seed" in problem for problem in problems)
+
+    def test_wrong_type_is_reported(self):
+        problems = validate_header(_header(n_requests="100"))
+        assert any("n_requests" in problem for problem in problems)
+
+    def test_bool_does_not_pass_as_int(self):
+        problems = validate_header(_header(segment=True))
+        assert any("segment" in problem for problem in problems)
+
+    def test_future_schema_version_is_rejected(self):
+        problems = validate_header(
+            _header(schema_version=CHECKPOINT_SCHEMA_VERSION + 1)
+        )
+        assert any("schema_version" in problem for problem in problems)
+
+    def test_non_dict_is_rejected(self):
+        assert validate_header([1, 2]) != []
+
+
+class TestContainer:
+    def test_write_then_load_roundtrip(self, tmp_path):
+        state = {"payload": [1, 2, 3]}
+        path = write_checkpoint(str(tmp_path), _header(), state)
+        header, loaded = load_checkpoint(path)
+        assert header == _header()
+        assert loaded == state
+
+    def test_write_refuses_invalid_header(self, tmp_path):
+        with pytest.raises(CheckpointError, match="seed"):
+            header = _header()
+            del header["seed"]
+            write_checkpoint(str(tmp_path), header, {})
+
+    def test_no_partial_directory_is_listed(self, tmp_path):
+        write_checkpoint(str(tmp_path), _header(segment=1), {})
+        # a half-written directory (no header yet) must be invisible
+        os.makedirs(tmp_path / "ckpt_00000002")
+        (tmp_path / "junk").mkdir()
+        assert [os.path.basename(p) for p in list_checkpoints(str(tmp_path))] \
+            == ["ckpt_00000001"]
+
+    def test_latest_checkpoint_orders_numerically(self, tmp_path):
+        for segment in (1, 2, 10):
+            write_checkpoint(
+                str(tmp_path),
+                _header(segment=segment, completed=segment * 10),
+                {},
+            )
+        assert latest_checkpoint(str(tmp_path)).endswith("ckpt_00000010")
+
+    def test_rewrite_same_segment_replaces(self, tmp_path):
+        write_checkpoint(str(tmp_path), _header(), {"v": 1})
+        path = write_checkpoint(str(tmp_path), _header(), {"v": 2})
+        _, state = load_checkpoint(path)
+        assert state == {"v": 2}
+
+    def test_corrupt_header_is_refused(self, tmp_path):
+        path = write_checkpoint(str(tmp_path), _header(), {})
+        with open(os.path.join(path, "header.json"), "w") as fh:
+            json.dump({"schema_version": "x"}, fh)
+        with pytest.raises(CheckpointError, match="invalid header"):
+            read_header(path)
+
+
+class TestResumeValidation:
+    def _checkpoint(self, tmp_path, config, **overrides):
+        kwargs = dict(
+            n_requests=120, seed=9, prefill=0.4,
+            checkpoint_every=40, checkpoint_dir=str(tmp_path / "out"),
+        )
+        kwargs.update(overrides)
+        run_simulation(config, "OLTP", ftl="cube", **kwargs)
+        return latest_checkpoint(str(tmp_path / "out"))
+
+    def test_config_fingerprint_mismatch(self, tmp_path):
+        config = SSDConfig.small()
+        checkpoint = self._checkpoint(tmp_path, config)
+        other = SSDConfig.small(buffer_capacity_pages=12)
+        assert config_fingerprint(other) != config_fingerprint(config)
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            run_simulation(other, "OLTP", ftl="cube", seed=9,
+                           n_requests=120, resume_from=checkpoint)
+
+    def test_ftl_mismatch(self, tmp_path):
+        config = SSDConfig.small()
+        checkpoint = self._checkpoint(tmp_path, config)
+        with pytest.raises(CheckpointError, match="ftl"):
+            run_simulation(config, "OLTP", ftl="page", seed=9,
+                           n_requests=120, resume_from=checkpoint)
+
+    def test_seed_mismatch(self, tmp_path):
+        config = SSDConfig.small()
+        checkpoint = self._checkpoint(tmp_path, config)
+        with pytest.raises(CheckpointError, match="seed"):
+            run_simulation(config, "OLTP", ftl="cube", seed=10,
+                           n_requests=120, resume_from=checkpoint)
+
+    def test_workload_mismatch(self, tmp_path):
+        config = SSDConfig.small()
+        checkpoint = self._checkpoint(tmp_path, config)
+        with pytest.raises(CheckpointError, match="workload"):
+            run_simulation(config, "Proxy", ftl="cube", seed=9,
+                           n_requests=120, resume_from=checkpoint)
+
+
+class TestApiGuards:
+    def test_checkpoint_without_dir_raises(self):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            run_simulation(SSDConfig.small(), "OLTP", checkpoint_every=10)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"trace": "memory"},
+            {"profile": True},
+            {"metrics_interval": 100.0},
+            {"open_loop": True},
+            {"max_events": 10},
+        ],
+    )
+    def test_incompatible_options_raise(self, tmp_path, kwargs):
+        with pytest.raises(ValueError, match="incompatible"):
+            run_simulation(
+                SSDConfig.small(), "OLTP",
+                checkpoint_every=10, checkpoint_dir=str(tmp_path),
+                **kwargs,
+            )
+
+    def test_telemetry_on_resume_raises(self, tmp_path):
+        config = SSDConfig.small()
+        run_simulation(
+            config, "OLTP", ftl="cube", n_requests=120, seed=9,
+            prefill=0.4, checkpoint_every=40,
+            checkpoint_dir=str(tmp_path / "out"),
+        )
+        checkpoint = latest_checkpoint(str(tmp_path / "out"))
+        with pytest.raises(ValueError, match="telemetry"):
+            run_simulation(
+                config, "OLTP", ftl="cube", seed=9, n_requests=120,
+                telemetry=True, resume_from=checkpoint,
+            )
+
+    def test_telemetry_allowed_straight_through(self, tmp_path):
+        result = run_simulation(
+            SSDConfig.small(), "OLTP", ftl="cube", n_requests=120,
+            seed=9, prefill=0.4, telemetry=True,
+            checkpoint_every=40, checkpoint_dir=str(tmp_path),
+        )
+        assert result.telemetry is not None

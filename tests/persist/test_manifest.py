@@ -1,0 +1,166 @@
+"""Resumable sweep orchestration: manifest identity, per-shard result
+caching, and interrupt survival."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.parallel import ShardSpec, ShardsInterrupted
+from repro.persist import (
+    ManifestMismatch,
+    load_manifest,
+    run_shards_resumable,
+    shard_result_path,
+    write_manifest,
+)
+
+def _square(value, log_dir=None):
+    if log_dir is not None:
+        with open(os.path.join(log_dir, f"ran_{value}"), "w"):
+            pass
+    return value * value
+
+
+def _fail(value):
+    raise RuntimeError(f"shard {value} failed")
+
+
+def _interrupt(value):
+    raise KeyboardInterrupt
+
+
+def _specs(n, log_dir=None, fn=_square):
+    kwargs = {} if log_dir is None else {"log_dir": log_dir}
+    return [
+        ShardSpec(f"cell-{i}", fn, dict({"value": i}, **kwargs))
+        for i in range(n)
+    ]
+
+
+class TestManifestFile:
+    def test_write_and_load(self, tmp_path):
+        write_manifest(str(tmp_path), ["a", "b"], base_seed=5)
+        manifest = load_manifest(str(tmp_path))
+        assert manifest["shards"] == ["a", "b"]
+        assert manifest["base_seed"] == 5
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert load_manifest(str(tmp_path / "nope")) is None
+
+    def test_result_path_is_collision_safe(self, tmp_path):
+        # names differing only in sanitized characters must not collide
+        a = shard_result_path(str(tmp_path), "cell a/b")
+        b = shard_result_path(str(tmp_path), "cell a:b")
+        assert a != b
+
+
+class TestResumableRun:
+    def test_fresh_run_matches_plain_and_saves(self, tmp_path):
+        outcomes = run_shards_resumable(
+            _specs(4), checkpoint_dir=str(tmp_path), base_seed=7
+        )
+        assert [o.result for o in outcomes] == [0, 1, 4, 9]
+        assert all(not o.cached for o in outcomes)
+        assert load_manifest(str(tmp_path))["shards"] == [
+            "cell-0", "cell-1", "cell-2", "cell-3"
+        ]
+        for i in range(4):
+            assert os.path.isfile(shard_result_path(str(tmp_path), f"cell-{i}"))
+
+    def test_rerun_serves_everything_cached(self, tmp_path):
+        log_dir = tmp_path / "log"
+        log_dir.mkdir()
+        specs = _specs(3, log_dir=str(log_dir))
+        run_shards_resumable(specs, checkpoint_dir=str(tmp_path), base_seed=7)
+        assert len(os.listdir(log_dir)) == 3
+        outcomes = run_shards_resumable(
+            specs, checkpoint_dir=str(tmp_path), base_seed=7
+        )
+        assert all(o.cached for o in outcomes)
+        assert [o.result for o in outcomes] == [0, 1, 4]
+        # no shard function actually re-ran
+        assert len(os.listdir(log_dir)) == 3
+
+    def test_failed_shards_are_not_saved(self, tmp_path):
+        specs = _specs(2) + [ShardSpec("cell-bad", _fail, {"value": 2})]
+        outcomes = run_shards_resumable(
+            specs, checkpoint_dir=str(tmp_path), base_seed=7
+        )
+        assert [o.ok for o in outcomes] == [True, True, False]
+        assert not os.path.isfile(
+            shard_result_path(str(tmp_path), "cell-bad")
+        )
+        # the rerun retries the failed shard (and only it runs again)
+        rerun = run_shards_resumable(
+            specs, checkpoint_dir=str(tmp_path), base_seed=7
+        )
+        assert [o.cached for o in rerun] == [True, True, False]
+
+    def test_mismatched_shards_raise(self, tmp_path):
+        run_shards_resumable(
+            _specs(2), checkpoint_dir=str(tmp_path), base_seed=7
+        )
+        with pytest.raises(ManifestMismatch):
+            run_shards_resumable(
+                _specs(3), checkpoint_dir=str(tmp_path), base_seed=7
+            )
+
+    def test_mismatched_base_seed_raises(self, tmp_path):
+        run_shards_resumable(
+            _specs(2), checkpoint_dir=str(tmp_path), base_seed=7
+        )
+        with pytest.raises(ManifestMismatch):
+            run_shards_resumable(
+                _specs(2), checkpoint_dir=str(tmp_path), base_seed=8
+            )
+
+    def test_no_dir_is_plain_run(self):
+        outcomes = run_shards_resumable(_specs(3), checkpoint_dir=None)
+        assert [o.result for o in outcomes] == [0, 1, 4]
+
+    def test_interrupt_preserves_saved_shards(self, tmp_path):
+        specs = _specs(2) + [ShardSpec("cell-int", _interrupt, {"value": 9})]
+        with pytest.raises(ShardsInterrupted) as excinfo:
+            run_shards_resumable(
+                specs, checkpoint_dir=str(tmp_path), base_seed=7
+            )
+        assert [o.name for o in excinfo.value.outcomes] == [
+            "cell-0", "cell-1"
+        ]
+        # the completed shards survived on disk; the rerun picks them up
+        # cached and only re-attempts the interrupted one
+        specs_ok = _specs(2) + [ShardSpec("cell-int", _square, {"value": 9})]
+        write_manifest(
+            str(tmp_path), [s.name for s in specs_ok], base_seed=7
+        )
+        rerun = run_shards_resumable(
+            specs_ok, checkpoint_dir=str(tmp_path), base_seed=7
+        )
+        assert [o.cached for o in rerun] == [True, True, False]
+        assert rerun[2].result == 81
+
+    def test_interrupt_merges_cached_outcomes(self, tmp_path):
+        # pre-seed one cached shard, then interrupt on the next rerun
+        run_shards_resumable(
+            _specs(1), checkpoint_dir=str(tmp_path), base_seed=7
+        )
+        specs = _specs(1) + [ShardSpec("cell-int", _interrupt, {"value": 9})]
+        write_manifest(str(tmp_path), [s.name for s in specs], base_seed=7)
+        with pytest.raises(ShardsInterrupted) as excinfo:
+            run_shards_resumable(
+                specs, checkpoint_dir=str(tmp_path), base_seed=7
+            )
+        outcomes = excinfo.value.outcomes
+        assert [o.name for o in outcomes] == ["cell-0"]
+        assert outcomes[0].cached
+
+
+class TestOutcomePickleRoundtrip:
+    def test_saved_outcome_keeps_result(self, tmp_path):
+        run_shards_resumable(
+            _specs(1), checkpoint_dir=str(tmp_path), base_seed=7
+        )
+        with open(shard_result_path(str(tmp_path), "cell-0"), "rb") as fh:
+            outcome = pickle.load(fh)
+        assert outcome.ok and outcome.result == 0 and not outcome.cached

@@ -1,0 +1,104 @@
+"""Shard retry semantics: hard-died workers relaunch with the identical
+spec (same derived seed), raised exceptions do not, and every relaunch
+is visible in telemetry and outcome provenance."""
+
+import os
+
+import pytest
+
+from repro.obs import TelemetryRegistry
+from repro.parallel import ShardSpec, ShardsInterrupted, run_shards
+
+
+def _ok(value):
+    return value + 1
+
+
+def _raise(value):
+    raise RuntimeError(f"boom {value}")
+
+
+def _die_once(sentinel):
+    """Hard-die (no report through the pipe) on the first attempt only."""
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w"):
+            pass
+        os._exit(41)
+    return "second-attempt"
+
+
+def _die_always():
+    os._exit(41)
+
+
+class TestHardDeathRetry:
+    def test_retry_recovers_a_flaky_worker(self, tmp_path):
+        registry = TelemetryRegistry()
+        sentinel = str(tmp_path / "died-once")
+        specs = [
+            ShardSpec("stable", _ok, {"value": 1}),
+            ShardSpec("flaky", _die_once, {"sentinel": sentinel}),
+        ]
+        outcomes = run_shards(specs, jobs=2, retries=1, registry=registry)
+        assert [o.ok for o in outcomes] == [True, True]
+        assert outcomes[1].result == "second-attempt"
+        assert outcomes[1].retried and not outcomes[0].retried
+        snapshot = registry.snapshot()
+        assert snapshot["shard_retries_total"]["series"][0]["value"] == 1
+
+    def test_no_retries_reports_hard_death(self, tmp_path):
+        sentinel = str(tmp_path / "died-once")
+        specs = [
+            ShardSpec("stable", _ok, {"value": 1}),
+            ShardSpec("flaky", _die_once, {"sentinel": sentinel}),
+        ]
+        outcomes = run_shards(specs, jobs=2, retries=0)
+        assert outcomes[0].ok
+        assert not outcomes[1].ok
+        assert "died without reporting" in outcomes[1].error
+        assert "41" in outcomes[1].error
+
+    def test_retry_budget_exhausts(self):
+        specs = [
+            ShardSpec("stable", _ok, {"value": 1}),
+            ShardSpec("doomed", _die_always, {}),
+        ]
+        registry = TelemetryRegistry()
+        outcomes = run_shards(specs, jobs=2, retries=2, registry=registry)
+        assert not outcomes[1].ok
+        assert outcomes[1].retried
+        snapshot = registry.snapshot()
+        assert snapshot["shard_retries_total"]["series"][0]["value"] == 2
+
+    def test_raised_exceptions_are_not_retried(self):
+        registry = TelemetryRegistry()
+        specs = [
+            ShardSpec("stable", _ok, {"value": 1}),
+            ShardSpec("raiser", _raise, {"value": 2}),
+        ]
+        outcomes = run_shards(specs, jobs=2, retries=3, registry=registry)
+        assert not outcomes[1].ok
+        assert "boom 2" in outcomes[1].error
+        assert not outcomes[1].retried
+        snapshot = registry.snapshot()
+        assert snapshot["shard_retries_total"]["series"][0]["value"] == 0
+
+
+class TestInterrupt:
+    def test_inline_interrupt_carries_completed(self):
+        def boom(value):
+            raise KeyboardInterrupt
+
+        specs = [
+            ShardSpec("a", _ok, {"value": 1}),
+            ShardSpec("b", boom, {"value": 2}),
+            ShardSpec("c", _ok, {"value": 3}),
+        ]
+        with pytest.raises(ShardsInterrupted) as excinfo:
+            run_shards(specs, jobs=1)
+        outcomes = excinfo.value.outcomes
+        assert [o.name for o in outcomes] == ["a"]
+        assert outcomes[0].ok and outcomes[0].result == 2
+
+    def test_interrupt_is_a_keyboard_interrupt(self):
+        assert issubclass(ShardsInterrupted, KeyboardInterrupt)

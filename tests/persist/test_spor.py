@@ -1,0 +1,85 @@
+"""Sudden-power-off recovery: the shadow-store oracle must see zero
+stale reads after mapping rebuild + lost-window replay, and the
+rebuilt mapping must pass ``PageMapper.audit()``."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import get_campaign
+from repro.nand.reliability import AgingState
+from repro.persist import SporReport, run_spor_campaign
+from repro.ssd.config import SSDConfig
+from repro.ssd.controller import SSDSimulation
+
+
+def _config(spor_at_us=20_000.0, aged=False):
+    campaign = dataclasses.replace(get_campaign("spor"), spor_at_us=spor_at_us)
+    config = SSDConfig.small().with_faults(campaign)
+    if aged:
+        config = config.with_aging(AgingState(2000, 12.0))
+    return config
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("ftl", ["page", "vert", "cube", "oracle"])
+    def test_recovery_serves_zero_stale_reads(self, ftl):
+        report = run_spor_campaign(
+            _config(), "OLTP", ftl=ftl,
+            n_requests=1200, seed=7, prefill=0.7,
+        )
+        assert isinstance(report, SporReport)
+        assert report.check["violations"] == 0
+        assert report.audit is None
+        assert report.clean
+        # the cut must actually have landed mid-run with work in flight
+        assert 0 < report.completed_before < 1200
+        assert report.issued_before >= report.completed_before
+
+    def test_lost_window_is_replayed(self):
+        report = run_spor_campaign(
+            _config(), "OLTP", ftl="cube",
+            n_requests=1200, seed=7, prefill=0.7,
+        )
+        lost = report.lost_writes + report.dropped_reads
+        assert lost == report.issued_before - report.completed_before
+        recovered = report.recovery
+        assert recovered["mapped_lpns"] > 0
+        assert recovered["oob_records"] >= recovered["mapped_lpns"]
+
+    def test_aged_device_recovers(self):
+        report = run_spor_campaign(
+            _config(aged=True), "OLTP", ftl="cube",
+            n_requests=1200, seed=7, prefill=0.7,
+        )
+        assert report.clean
+
+    def test_report_serializes(self):
+        report = run_spor_campaign(
+            _config(), "OLTP", ftl="cube",
+            n_requests=800, seed=3, prefill=0.6,
+        )
+        payload = report.to_dict()
+        assert payload["spor_at_us"] == 20_000.0
+        assert payload["check"]["violations"] == 0
+        assert payload["clean"] is True
+
+
+class TestGuards:
+    def test_requires_spor_instant(self):
+        with pytest.raises(ValueError, match="spor_at_us"):
+            run_spor_campaign(SSDConfig.small(), "OLTP", n_requests=100)
+
+    def test_spor_recover_requires_oob(self):
+        sim = SSDSimulation(SSDConfig.small(), ftl="cube")
+        with pytest.raises(RuntimeError, match="store_oob"):
+            sim.ftl.spor_recover()
+
+    def test_spor_recover_requires_fresh_ftl(self):
+        config = dataclasses.replace(
+            SSDConfig.small(), store_oob=True, store_tags=True
+        )
+        sim = SSDSimulation(config, ftl="cube")
+        sim.prefill(0.3)
+        with pytest.raises(RuntimeError, match="fresh"):
+            sim.ftl.spor_recover()

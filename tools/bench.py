@@ -99,7 +99,8 @@ def _latency_dict(hist) -> dict:
 
 
 def run_case(
-    name: str, ftl: str, workload: str, size: dict, seed: int, aging=None
+    name: str, ftl: str, workload: str, size: dict, seed: int, aging=None,
+    checkpoint_every: Optional[int] = None,
 ) -> dict:
     from repro.api import run_simulation
     from repro.nand.geometry import BlockGeometry, SSDGeometry
@@ -128,7 +129,7 @@ def run_case(
     )
     wall = time.perf_counter() - started
     stats = result.stats
-    return {
+    case = {
         "name": name,
         "ftl": ftl,
         "workload": workload,
@@ -141,6 +142,43 @@ def run_case(
         "counters": stats.to_dict()["counters"],
         "telemetry": result.telemetry,
     }
+    if checkpoint_every is not None:
+        # overhead probe: the same case run *with* checkpointing.  The
+        # primary metrics above always come from the checkpoint-off run,
+        # so baselines diff at exactly 0.0 % regardless of this knob;
+        # the sub-dict records what periodic durability costs.
+        import shutil
+        import tempfile
+
+        ckpt_dir = tempfile.mkdtemp(prefix="bench-ckpt-")
+        try:
+            started = time.perf_counter()
+            ckpt_result = run_simulation(
+                config,
+                workload,
+                ftl=ftl,
+                queue_depth=size["queue_depth"],
+                warmup_requests=size["warmup"],
+                prefill=size["prefill"],
+                n_requests=size["requests"],
+                seed=seed,
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=ckpt_dir,
+            )
+            ckpt_wall = time.perf_counter() - started
+            checkpoints = len(os.listdir(ckpt_dir))
+        finally:
+            shutil.rmtree(ckpt_dir, ignore_errors=True)
+        case["checkpoint"] = {
+            "every": checkpoint_every,
+            "checkpoints_written": checkpoints,
+            "iops": ckpt_result.stats.iops,
+            "wall_clock_s": ckpt_wall,
+            "wall_overhead_pct": (
+                100.0 * (ckpt_wall - wall) / wall if wall > 0 else None
+            ),
+        }
+    return case
 
 
 def next_bench_path(directory: str) -> str:
@@ -165,14 +203,27 @@ def canonicalize(document: dict) -> dict:
     document = dict(document)
     document.pop("host", None)
     document["canonical"] = True
-    document["cases"] = [
-        {k: v for k, v in case.items() if k not in HOST_DEPENDENT_FIELDS}
-        for case in document["cases"]
-    ]
+    cases = []
+    for case in document["cases"]:
+        case = {k: v for k, v in case.items() if k not in HOST_DEPENDENT_FIELDS}
+        if "checkpoint" in case:
+            case["checkpoint"] = {
+                k: v
+                for k, v in case["checkpoint"].items()
+                if k not in ("wall_clock_s", "wall_overhead_pct")
+            }
+        cases.append(case)
+    document["cases"] = cases
     return document
 
 
-def run_bench(smoke: bool, seed: int, label: str, jobs: int = 1) -> dict:
+def run_bench(
+    smoke: bool,
+    seed: int,
+    label: str,
+    jobs: int = 1,
+    checkpoint_every: Optional[int] = None,
+) -> dict:
     """Run every case (serially or across ``jobs`` workers) and build
     the snapshot document.
 
@@ -181,8 +232,13 @@ def run_bench(smoke: bool, seed: int, label: str, jobs: int = 1) -> dict:
     ``seed`` under any ``jobs`` value, so the simulated metrics cannot
     depend on how the run was sharded.  A crashed case becomes an entry
     in the document's ``errors`` list instead of aborting the batch.
+
+    A SIGINT (Ctrl-C) stops the batch cleanly: running workers are shut
+    down and the document carries the completed cases plus
+    ``"incomplete": true`` so a partial snapshot is never mistaken for a
+    full one.
     """
-    from repro.parallel import ShardSpec, run_shards
+    from repro.parallel import ShardSpec, ShardsInterrupted, run_shards
 
     size = SIZES["smoke" if smoke else "full"]
     mode = "smoke" if smoke else "full"
@@ -192,7 +248,7 @@ def run_bench(smoke: bool, seed: int, label: str, jobs: int = 1) -> dict:
             fn=run_case,
             kwargs=dict(
                 name=name, ftl=ftl, workload=workload, size=size,
-                seed=seed, aging=aging,
+                seed=seed, aging=aging, checkpoint_every=checkpoint_every,
             ),
         )
         for name, ftl, workload, aging in _cases()
@@ -202,7 +258,12 @@ def run_bench(smoke: bool, seed: int, label: str, jobs: int = 1) -> dict:
         status = "done" if outcome.ok else "FAILED"
         print(f"bench: {outcome.name} ({mode}) {status}", flush=True)
 
-    outcomes = run_shards(shards, jobs=jobs, on_progress=progress)
+    incomplete = False
+    try:
+        outcomes = run_shards(shards, jobs=jobs, on_progress=progress)
+    except ShardsInterrupted as interrupt:
+        outcomes = interrupt.outcomes
+        incomplete = True
     cases = [o.result for o in outcomes if o.ok]
     errors = [{"name": o.name, "error": o.error} for o in outcomes if not o.ok]
     document = {
@@ -217,6 +278,10 @@ def run_bench(smoke: bool, seed: int, label: str, jobs: int = 1) -> dict:
         },
         "cases": cases,
     }
+    if checkpoint_every is not None:
+        document["checkpoint_every"] = checkpoint_every
+    if incomplete:
+        document["incomplete"] = True
     if errors:
         document["errors"] = errors
     return document
@@ -251,9 +316,22 @@ def main(argv=None) -> int:
         help="strip host-dependent fields (wall-clock, RSS, host info) so "
         "snapshots are byte-identical across hosts and --jobs values",
     )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        dest="checkpoint_every",
+        metavar="N",
+        help="also run each case with a checkpoint every N requests and "
+        "record the overhead in a per-case 'checkpoint' sub-dict; the "
+        "primary metrics always come from the checkpoint-off run",
+    )
     args = parser.parse_args(argv)
 
-    document = run_bench(args.smoke, args.seed, args.label, jobs=args.jobs)
+    document = run_bench(
+        args.smoke, args.seed, args.label, jobs=args.jobs,
+        checkpoint_every=args.checkpoint_every,
+    )
     if args.canonical:
         document = canonicalize(document)
     out = args.out or next_bench_path(REPO_ROOT)
@@ -268,6 +346,25 @@ def main(argv=None) -> int:
             f"write p99 {case['write_latency']['p99_us']:7.1f} us"
             + (f", {wall:.2f} s wall" if wall is not None else "")
         )
+        checkpoint = case.get("checkpoint")
+        if checkpoint:
+            overhead = checkpoint.get("wall_overhead_pct")
+            print(
+                f"  {'':>12}  checkpointed every {checkpoint['every']}: "
+                f"{checkpoint['checkpoints_written']} checkpoint(s)"
+                + (
+                    f", {overhead:+.1f} % wall overhead"
+                    if overhead is not None
+                    else ""
+                )
+            )
+    if document.get("incomplete"):
+        print(
+            f"bench INTERRUPTED: partial snapshot "
+            f"({len(document['cases'])} case(s)) written to {out}",
+            file=sys.stderr,
+        )
+        return 130
     print(f"bench snapshot written to {out}")
     if document.get("errors"):
         for failure in document["errors"]:

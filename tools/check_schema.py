@@ -1,13 +1,15 @@
 #!/usr/bin/env python
 """Validate a ``repro-ssd simulate --json`` result file (schema v2),
-optionally a ``--trace`` JSONL span file, and/or a ``tools/bench.py``
-snapshot (``--bench``).
+optionally a ``--trace`` JSONL span file, a ``tools/bench.py``
+snapshot (``--bench``), and/or a checkpoint directory's headers
+(``--checkpoint``, see ``docs/PERSISTENCE.md``).
 
-Used by the CI smoke step to catch schema drift and tiling-contract
+Used by the CI smoke steps to catch schema drift and tiling-contract
 regressions on a tiny simulation::
 
     python tools/check_schema.py out.json --trace trace.jsonl
     python tools/check_schema.py --bench BENCH_0.json
+    PYTHONPATH=src python tools/check_schema.py --checkpoint /tmp/ckpts
 
 Exits nonzero with a list of problems on any violation.
 """
@@ -164,6 +166,40 @@ def check_bench(document: dict) -> List[str]:
     return errors
 
 
+def check_checkpoint(path: str) -> List[str]:
+    """Validate a checkpoint directory's header against the persist
+    schema (``repro.persist.validate_header``).
+
+    ``path`` may be one ``ckpt_<n>`` directory or a parent directory
+    holding several; every checkpoint found is validated.
+    """
+    # imported lazily: needs PYTHONPATH=src, like the trace check
+    import os
+
+    from repro.persist import (
+        CheckpointError,
+        list_checkpoints,
+        read_header,
+        validate_header,
+    )
+
+    if os.path.isfile(os.path.join(path, "header.json")):
+        targets = [path]
+    else:
+        targets = list_checkpoints(path)
+    if not targets:
+        return [f"{path}: no checkpoints found"]
+    errors: List[str] = []
+    for target in targets:
+        try:
+            header = read_header(target)
+        except (CheckpointError, OSError, json.JSONDecodeError) as exc:
+            errors.append(f"{target}: unreadable header: {exc}")
+            continue
+        errors += [f"{target}: {problem}" for problem in validate_header(header)]
+    return errors
+
+
 def check_trace(path: str) -> List[str]:
     # imported lazily: the stats check must work without PYTHONPATH=src
     from repro.obs.analyze import validate_trace
@@ -196,9 +232,15 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--bench", default=None, help="tools/bench.py snapshot to validate"
     )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        help="checkpoint directory (one ckpt_<n> or a parent of several) "
+        "whose header(s) to validate against the persist schema",
+    )
     args = parser.parse_args(argv)
-    if args.stats_json is None and args.bench is None:
-        parser.error("give a stats_json file and/or --bench")
+    if args.stats_json is None and args.bench is None and args.checkpoint is None:
+        parser.error("give a stats_json file, --bench, and/or --checkpoint")
 
     errors: List[str] = []
     document = None
@@ -213,6 +255,8 @@ def main(argv=None) -> int:
         with open(args.bench) as handle:
             bench_doc = json.load(handle)
         errors += [f"{args.bench}: {error}" for error in check_bench(bench_doc)]
+    if args.checkpoint is not None:
+        errors += check_checkpoint(args.checkpoint)
     if errors:
         for error in errors:
             print(f"FAIL: {error}", file=sys.stderr)
@@ -231,6 +275,8 @@ def main(argv=None) -> int:
             f"OK: bench schema v{bench_doc['bench_schema_version']}, "
             f"{len(bench_doc['cases'])} case(s)"
         )
+    if args.checkpoint is not None:
+        print(f"OK: checkpoint header(s) valid under {args.checkpoint}")
     return 0
 
 
