@@ -8,15 +8,26 @@ tracer and metrics sampler.  Everything it returns is packed into a
 objects themselves -- the facade is the compatibility surface; the
 internals behind it are free to move.
 
-Example::
+Two call forms, verified byte-identical by the golden-trace suite:
 
-    from repro.api import run_simulation
-    from repro.ssd.config import SSDConfig
+- **Spec form** (preferred): pass one
+  :class:`~repro.specs.SimulationSpec` --
 
-    result = run_simulation(SSDConfig(), "OLTP", ftl="cube",
-                            n_requests=2000, trace="memory")
-    print(result.iops)
-    breakdown = result.breakdown()
+      spec = SimulationSpec(config=SSDConfig(), workload="OLTP",
+                            ftl="cube", seed=7)
+      result = run_simulation(spec)
+
+- **Kwarg form** (back-compat shim): the historical flat signature --
+
+      result = run_simulation(SSDConfig(), "OLTP", ftl="cube",
+                              n_requests=2000, trace="memory")
+
+  It simply builds the equivalent spec (:func:`spec_from_kwargs`) and
+  runs it.
+
+Multi-tenant scenarios, NCQ replay, and trace-file workloads are only
+reachable through the spec form (they do not fit flat kwargs -- that is
+why the spec API exists).
 """
 
 from __future__ import annotations
@@ -31,10 +42,10 @@ from repro.obs.metrics import MetricsSample
 from repro.obs.profile import WallClockProfiler
 from repro.obs.registry import TelemetryRegistry
 from repro.obs.trace import InMemorySink, JsonlSink, Span, Tracer
+from repro.specs import HostSpec, RunOptions, SimulationSpec, WorkloadSpec
 from repro.ssd.config import SSDConfig
 from repro.ssd.controller import SSDSimulation
 from repro.ssd.stats import SimulationStats
-from repro.workloads import make_workload
 from repro.workloads.base import Trace
 
 
@@ -85,9 +96,70 @@ class SimulationResult:
         return telemetry_report(self.telemetry)
 
 
-def run_simulation(
+def spec_from_kwargs(
     config: SSDConfig,
     workload: Union[str, Trace],
+    ftl: str = "cube",
+    *,
+    queue_depth: int = 32,
+    warmup_requests: int = 0,
+    prefill: float = 0.9,
+    n_requests: int = 8000,
+    seed: int = 7,
+    trace: Optional[str] = None,
+    metrics_interval: Optional[float] = None,
+    telemetry: bool = False,
+    profile: bool = False,
+    open_loop: bool = False,
+    max_events: Optional[int] = None,
+    check=None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume_from: Optional[str] = None,
+    **ftl_kwargs,
+) -> SimulationSpec:
+    """The :class:`~repro.specs.SimulationSpec` equivalent of the legacy
+    flat-kwarg :func:`run_simulation` call -- the back-compat mapping,
+    pinned in one place.
+
+    ``open_loop=True`` maps to an *unbounded* open-loop
+    :class:`~repro.specs.HostSpec` (``queue_depth=None``), preserving
+    the historical ``run_open_loop`` semantics; NCQ replay (finite
+    depth + arrivals) is spec-form only.
+    """
+    if isinstance(workload, str):
+        workload = WorkloadSpec(workload, n_requests=n_requests)
+    host = HostSpec(
+        queue_depth=None if open_loop else queue_depth,
+        open_loop=open_loop,
+    )
+    options = RunOptions(
+        trace=trace,
+        metrics_interval=metrics_interval,
+        telemetry=telemetry,
+        profile=profile,
+        check=check,
+        max_events=max_events,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        resume_from=resume_from,
+    )
+    return SimulationSpec(
+        config=config,
+        workload=workload,
+        ftl=ftl,
+        host=host,
+        options=options,
+        warmup_requests=warmup_requests,
+        prefill=prefill,
+        seed=seed,
+        ftl_kwargs=dict(ftl_kwargs),
+    )
+
+
+def run_simulation(
+    config: Union[SSDConfig, SimulationSpec],
+    workload: Union[str, Trace, None] = None,
     ftl: str = "cube",
     *,
     queue_depth: int = 32,
@@ -109,15 +181,22 @@ def run_simulation(
 ) -> SimulationResult:
     """Build, prefill, and run one SSD simulation.
 
+    Accepts either one :class:`~repro.specs.SimulationSpec` as the sole
+    positional argument (the preferred form) or the legacy flat kwargs
+    below, which :func:`spec_from_kwargs` maps to the equivalent spec --
+    the two forms produce byte-identical results.
+
     Parameters
     ----------
     config:
-        The SSD to simulate.
+        The SSD to simulate, or a complete
+        :class:`~repro.specs.SimulationSpec` (then every other argument
+        must be left at its default).
     workload:
         A workload name (``"OLTP"``, ``"Proxy"``, ...; generated with
-        ``n_requests`` / ``seed``) or a pre-built
-        :class:`~repro.workloads.base.Trace` (then ``n_requests`` and
-        ``seed`` are ignored).
+        ``n_requests`` / ``seed``), a ``trace:<path>`` reference, or a
+        pre-built :class:`~repro.workloads.base.Trace` (then
+        ``n_requests`` and ``seed`` are ignored).
     ftl:
         FTL variant name (``"page"``, ``"vert"``, ``"cube"``, ...).
     trace:
@@ -165,15 +244,58 @@ def run_simulation(
         ``warmup_requests``, ``checkpoint_every`` and the check level
         are taken from the header.
     """
+    if isinstance(config, SimulationSpec):
+        if workload is not None or ftl_kwargs:
+            raise TypeError(
+                "pass either one SimulationSpec or the flat kwarg form, "
+                "not both"
+            )
+        return run_spec(config)
+    return run_spec(
+        spec_from_kwargs(
+            config,
+            workload,
+            ftl,
+            queue_depth=queue_depth,
+            warmup_requests=warmup_requests,
+            prefill=prefill,
+            n_requests=n_requests,
+            seed=seed,
+            trace=trace,
+            metrics_interval=metrics_interval,
+            telemetry=telemetry,
+            profile=profile,
+            open_loop=open_loop,
+            max_events=max_events,
+            check=check,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+            resume_from=resume_from,
+            **ftl_kwargs,
+        )
+    )
+
+
+def run_spec(spec: SimulationSpec) -> SimulationResult:
+    """Execute one :class:`~repro.specs.SimulationSpec`.
+
+    The single executor behind both :func:`run_simulation` call forms:
+    every option lives on the spec, so the kwarg shim cannot drift from
+    the spec path.
+    """
     from repro.check import InvariantChecker, parse_check_level
 
-    if checkpoint_every is not None or resume_from is not None:
+    config = spec.config
+    host = spec.host
+    options = spec.options
+    if options.checkpoint_every is not None or options.resume_from is not None:
         incompatible = {
-            "trace": trace,
-            "profile": profile or None,
-            "metrics_interval": metrics_interval,
-            "open_loop": open_loop or None,
-            "max_events": max_events,
+            "trace": options.trace,
+            "profile": options.profile or None,
+            "metrics_interval": options.metrics_interval,
+            "open_loop": host.mode if host.mode != "closed" else None,
+            "max_events": options.max_events,
+            "tenants": host.tenants or None,
         }
         bad = sorted(key for key, value in incompatible.items() if value)
         if bad:
@@ -185,30 +307,33 @@ def run_simulation(
 
         return run_checkpointed(
             config,
-            workload,
-            ftl,
-            queue_depth=queue_depth,
-            warmup_requests=warmup_requests,
-            prefill=prefill,
-            n_requests=n_requests,
-            seed=seed,
-            telemetry=telemetry,
-            check=check,
-            checkpoint_every=checkpoint_every,
-            checkpoint_dir=checkpoint_dir,
-            resume_from=resume_from,
-            **ftl_kwargs,
+            spec.workload,
+            spec.ftl,
+            queue_depth=host.queue_depth,
+            warmup_requests=spec.warmup_requests,
+            prefill=spec.prefill,
+            seed=spec.seed,
+            telemetry=options.telemetry,
+            check=options.check,
+            checkpoint_every=options.checkpoint_every,
+            checkpoint_dir=options.checkpoint_dir,
+            resume_from=options.resume_from,
+            spec=spec,
+            **spec.ftl_kwargs,
         )
 
     tracer: Optional[Tracer] = None
     sink = None
-    if trace is not None:
-        sink = InMemorySink() if trace == "memory" else JsonlSink(trace)
+    if options.trace is not None:
+        sink = (
+            InMemorySink() if options.trace == "memory"
+            else JsonlSink(options.trace)
+        )
         tracer = Tracer(sink)
-    registry = TelemetryRegistry() if telemetry else None
-    profiler = WallClockProfiler() if profile else None
+    registry = TelemetryRegistry() if options.telemetry else None
+    profiler = WallClockProfiler() if options.profile else None
     checker = None
-    check_config = parse_check_level(check)
+    check_config = parse_check_level(options.check)
     if check_config is not None:
         # the data-integrity oracle reads content tags back; forcing
         # store_tags on changes only what the chips *remember*, never
@@ -218,45 +343,39 @@ def run_simulation(
             config = replace(config, store_tags=True)
         checker = InvariantChecker(check_config)
         checker.context.update(
-            ftl=ftl,
-            workload=workload if isinstance(workload, str) else workload.name,
-            seed=seed,
+            ftl=spec.ftl,
+            workload=spec.workload_name,
+            seed=spec.seed,
             check=check_config.level,
         )
     if profiler is not None:
         profiler.push("setup")
     sim = SSDSimulation(
         config,
-        ftl=ftl,
+        ftl=spec.ftl,
         tracer=tracer,
         telemetry=registry,
         profiler=profiler,
         checker=checker,
-        **ftl_kwargs,
+        **spec.ftl_kwargs,
     )
-    if prefill > 0:
-        sim.prefill(prefill)
-    if isinstance(workload, str):
-        workload = make_workload(
-            workload, config.logical_pages, n_requests, seed=seed
-        )
+    if spec.prefill > 0:
+        sim.prefill(spec.prefill)
+    trace = spec.build_trace()
     if profiler is not None:
         profiler.pop()
+    from repro.ssd.host import replay
+
     try:
-        if open_loop:
-            stats = sim.run_open_loop(
-                workload,
-                max_events=max_events,
-                metrics_interval_us=metrics_interval,
-            )
-        else:
-            stats = sim.run(
-                workload,
-                queue_depth=queue_depth,
-                warmup_requests=warmup_requests,
-                max_events=max_events,
-                metrics_interval_us=metrics_interval,
-            )
+        stats = replay(
+            sim,
+            trace,
+            mode=host.mode,
+            queue_depth=host.queue_depth,
+            warmup_requests=spec.warmup_requests,
+            max_events=options.max_events,
+            metrics_interval_us=options.metrics_interval,
+        )
     finally:
         if tracer is not None:
             tracer.close()
@@ -267,7 +386,9 @@ def run_simulation(
         stats=stats,
         spans=sink.spans if isinstance(sink, InMemorySink) else None,
         metrics=stats.metrics,
-        trace_path=trace if trace not in (None, "memory") else None,
+        trace_path=(
+            options.trace if options.trace not in (None, "memory") else None
+        ),
         telemetry=registry.snapshot() if registry is not None else None,
         profile=profiler.to_dict() if profiler is not None else None,
         check=check_report,
@@ -391,4 +512,95 @@ def run_many(
         telemetry=merge_snapshots(telemetered) if telemetered else None,
         retried=retried,
         cached=[outcome.name for outcome in outcomes if outcome.cached],
+    )
+
+
+@dataclass
+class TenantScenarioResult:
+    """A multi-tenant run plus the per-tenant solo baselines.
+
+    ``shared`` is the all-tenants-together run; ``solo[name]`` replays
+    exactly tenant *name*'s stream alone on an identical device (same
+    derived seeds, same partition, same arrival process -- the
+    per-tenant seed rule guarantees the stream is bit-identical with or
+    without the other tenants present).  The difference between the two
+    is, by construction, pure cross-tenant interference.
+    """
+
+    shared: SimulationResult
+    solo: Dict[str, SimulationResult]
+
+    def interference_matrix(self) -> Dict[str, dict]:
+        """Per-tenant solo-vs-shared comparison.
+
+        Each row: solo/shared p99 (reads and writes pooled), the p99
+        slowdown factor (>= 1 means the tenant is slower when sharing),
+        and solo/shared IOPS.
+        """
+        matrix: Dict[str, dict] = {}
+        shared_tenants = self.shared.stats.tenants or {}
+        for name, solo_result in self.solo.items():
+            solo_slice = (solo_result.stats.tenants or {}).get(name)
+            shared_slice = shared_tenants.get(name)
+            if solo_slice is None or shared_slice is None:
+                continue
+            solo_p99 = solo_slice.p99_us
+            shared_p99 = shared_slice.p99_us
+            matrix[name] = {
+                "solo_p99_us": solo_p99,
+                "shared_p99_us": shared_p99,
+                "p99_slowdown": (shared_p99 / solo_p99) if solo_p99 > 0 else 0.0,
+                "solo_iops": solo_slice.iops(solo_result.stats.duration_us),
+                "shared_iops": shared_slice.iops(self.shared.stats.duration_us),
+            }
+        return matrix
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.shared.to_dict(),
+            "solo": {
+                name: result.to_dict() for name, result in self.solo.items()
+            },
+            "interference": self.interference_matrix(),
+        }
+
+
+def run_tenant_scenario(
+    spec: SimulationSpec, jobs: int = 1
+) -> TenantScenarioResult:
+    """Run a multi-tenant spec plus one solo baseline per tenant.
+
+    The shared run and the N solo runs are independent simulations (N+1
+    runs total), sharded across up to ``jobs`` workers.  Every run pins
+    the scenario's own seed, so the tenant streams in the solo runs are
+    bit-identical to their shared-run counterparts and the resulting
+    :meth:`~TenantScenarioResult.interference_matrix` isolates
+    cross-tenant interference.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.parallel import RunSpec
+
+    if not spec.host.tenants:
+        raise ValueError("run_tenant_scenario needs a spec with host.tenants")
+    run_specs = [RunSpec(name="shared", spec=spec, seed=spec.seed)]
+    for tenant in spec.host.tenants:
+        solo_spec = dc_replace(
+            spec, host=replace(spec.host, tenants=(tenant,))
+        )
+        run_specs.append(
+            RunSpec(name=f"solo:{tenant.name}", spec=solo_spec, seed=spec.seed)
+        )
+    batch = run_many(run_specs, jobs=jobs, base_seed=spec.seed)
+    if not batch.ok:
+        failures = "; ".join(
+            f"{name}: {error}" for name, error in sorted(batch.errors.items())
+        )
+        raise RuntimeError(f"tenant scenario runs failed: {failures}")
+    return TenantScenarioResult(
+        shared=batch.result_for("shared"),
+        solo={
+            tenant.name: batch.result_for(f"solo:{tenant.name}")
+            for tenant in spec.host.tenants
+        },
     )

@@ -23,8 +23,19 @@ Three subcommands cover the common flows::
         replay one seeded random workload through several FTLs under the
         runtime invariant checker and diff their final logical state
 
+    repro-ssd tenants --rate 20000 --json scenario.json
+        run a multi-tenant scenario (shared device plus per-tenant solo
+        baselines) and print the interference matrix
+
+    repro-ssd contract --workload trace:msr.csv
+        score a workload or recorded trace against the unwritten flash
+        contract (alignment, sequentiality, locality, death-time grouping)
+
 ``simulate`` and ``compare`` accept ``--check[=strict]`` to attach the
-runtime invariant checker to normal runs.
+runtime invariant checker to normal runs.  ``simulate``, ``sweep``, and
+``tenants`` accept ``--spec FILE`` with a JSON/TOML
+:class:`~repro.specs.SimulationSpec`; everywhere a workload name is
+accepted, a ``trace:<path>`` reference replays a recorded block trace.
 """
 
 from __future__ import annotations
@@ -40,11 +51,21 @@ from repro.nand.geometry import BlockGeometry, SSDGeometry
 from repro.nand.reliability import AgingState
 from repro.obs.log import LEVELS, configure_logging, get_logger, log_event
 from repro.ssd.config import SSDConfig
-from repro.workloads import WORKLOAD_GENERATORS
+from repro.workloads import WORKLOAD_GENERATORS, is_trace_path
 
 # fixed name so `python -m repro.cli` and the installed entry point
 # emit identical logger= fields
 logger = get_logger("repro.cli")
+
+
+def _workload_arg(value: str) -> str:
+    """Accept a registry workload name or a ``trace:<path>`` reference."""
+    if is_trace_path(value) or value in WORKLOAD_GENERATORS:
+        return value
+    raise argparse.ArgumentTypeError(
+        f"unknown workload {value!r}; choose from "
+        f"{sorted(WORKLOAD_GENERATORS)} or a trace:<path> reference"
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -77,8 +98,13 @@ def _build_parser() -> argparse.ArgumentParser:
     def add_sim_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--workload",
-            choices=sorted(WORKLOAD_GENERATORS),
+            type=_workload_arg,
             default="OLTP",
+            metavar="NAME",
+            help="workload name "
+            f"({', '.join(sorted(WORKLOAD_GENERATORS))}) or a "
+            "trace:<path> reference to a recorded block trace "
+            "(default: OLTP)",
         )
         p.add_argument("--pe", type=int, default=0, help="pre-cycled P/E count")
         p.add_argument(
@@ -112,6 +138,14 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate = sub.add_parser("simulate", help="replay a workload on one FTL")
     simulate.add_argument(
         "--ftl", choices=["page", "vert", "cube", "cube-", "oracle"], default="cube"
+    )
+    simulate.add_argument(
+        "--spec",
+        metavar="FILE",
+        default=None,
+        help="run a SimulationSpec from a JSON/TOML file instead of the "
+        "flat flags (see docs/WORKLOADS.md); only --json / --log-level "
+        "compose with it",
     )
     simulate.add_argument(
         "--json",
@@ -226,6 +260,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "across worker processes",
     )
     sweep.add_argument(
+        "--spec",
+        metavar="FILE",
+        default=None,
+        help="use a SimulationSpec file as the base cell; the sweep "
+        "crosses it with --ftls x --aging x --faults (its workload, "
+        "host model, and geometry replace the flat flags)",
+    )
+    sweep.add_argument(
         "--ftls",
         default="page,vert,cube",
         help="comma-separated FTL variants (default: page,vert,cube)",
@@ -296,6 +338,76 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0,
         help="relaunch a cell whose worker hard-died (segfault, OOM "
         "kill) up to N times with the same derived seed (default: 0)",
+    )
+
+    tenants = sub.add_parser(
+        "tenants",
+        help="run a multi-tenant scenario (shared device + per-tenant "
+        "solo baselines) and print the interference matrix",
+    )
+    tenants.add_argument(
+        "--spec",
+        metavar="FILE",
+        default=None,
+        help="SimulationSpec file with host.tenants; without it, a "
+        "built-in 4-tenant mixed scenario (OLTP/Mail/Web/Proxy, one "
+        "LPN-space quarter each) runs",
+    )
+    tenants.add_argument(
+        "--requests-per-tenant",
+        type=int,
+        default=2000,
+        dest="requests_per_tenant",
+        help="requests per tenant stream in the built-in scenario "
+        "(default: 2000)",
+    )
+    tenants.add_argument(
+        "--rate",
+        type=float,
+        default=20000.0,
+        help="per-tenant arrival rate in IOPS for the built-in "
+        "scenario (default: 20000)",
+    )
+    tenants.add_argument("--queue-depth", type=int, default=32)
+    tenants.add_argument("--blocks-per-chip", type=int, default=48)
+    tenants.add_argument("--prefill", type=float, default=0.9)
+    tenants.add_argument("--seed", type=int, default=7)
+    tenants.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the shared + solo runs (default 1; "
+        "results are identical for any value)",
+    )
+    tenants.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the scenario result (per-tenant stats + "
+        "interference matrix) as JSON to PATH",
+    )
+
+    contract = sub.add_parser(
+        "contract",
+        help="score a workload or trace against the unwritten flash "
+        "contract (alignment, sequentiality, locality, death-time "
+        "grouping)",
+    )
+    contract.add_argument(
+        "--workload",
+        type=_workload_arg,
+        default="OLTP",
+        metavar="NAME",
+        help="workload name or trace:<path> reference (default: OLTP)",
+    )
+    contract.add_argument("--requests", type=int, default=8000)
+    contract.add_argument("--blocks-per-chip", type=int, default=48)
+    contract.add_argument("--seed", type=int, default=7)
+    contract.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the contract scores as JSON to PATH",
     )
 
     spor = sub.add_parser(
@@ -400,9 +512,25 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    result = _run(args, args.ftl)
+    if args.spec:
+        from repro.specs import load_spec_file
+
+        result = run_simulation(load_spec_file(args.spec))
+    else:
+        result = _run(args, args.ftl)
     stats = result.stats
     print(stats.summary())
+    if stats.tenants:
+        rows = [
+            [
+                name,
+                str(tenant.completed_requests),
+                f"{tenant.iops(stats.duration_us):.0f}",
+                f"{tenant.p99_us:.0f}",
+            ]
+            for name, tenant in sorted(stats.tenants.items())
+        ]
+        print(format_table(["tenant", "requests", "IOPS", "p99 us"], rows))
     counters = stats.counters
     print(
         f"programs: {counters.flash_programs} host + {counters.gc_programs} GC "
@@ -543,6 +671,39 @@ def _sweep_specs(args: argparse.Namespace):
             raise SystemExit(
                 f"bad --aging value {pair!r} (expected PE:MONTHS, e.g. 2000:12)"
             )
+    if getattr(args, "spec", None):
+        import dataclasses
+
+        from repro.specs import load_spec_file
+
+        base_spec = load_spec_file(args.spec)
+        specs = []
+        for ftl in ftls:
+            for aging in agings:
+                for fault in args.faults:
+                    name = (
+                        f"{ftl}-{base_spec.workload_name}"
+                        f"-pe{aging.pe_cycles}-ret{aging.retention_months:g}"
+                    )
+                    if fault != "none":
+                        name += f"-{fault}"
+                    cell = dataclasses.replace(
+                        base_spec,
+                        ftl=ftl,
+                        config=base_spec.config.with_aging(aging).with_faults(
+                            get_campaign(fault)
+                        ),
+                    )
+                    specs.append(
+                        RunSpec(
+                            name=name,
+                            workload=base_spec.workload_name,
+                            ftl=ftl,
+                            telemetry=args.telemetry,
+                            spec=cell,
+                        )
+                    )
+        return specs
     geometry = SSDGeometry(
         n_channels=2,
         chips_per_channel=4,
@@ -705,6 +866,112 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_tenant_spec(args: argparse.Namespace):
+    """The built-in 4-tenant mixed scenario: OLTP, Mail, Web, and Proxy
+    streams at the same arrival rate, each confined to one quarter of the
+    logical space."""
+    from repro.specs import HostSpec, SimulationSpec, TenantSpec, WorkloadSpec
+
+    names = ("OLTP", "Mail", "Web", "Proxy")
+    tenants = tuple(
+        TenantSpec(
+            name=name.lower(),
+            workload=WorkloadSpec(name, n_requests=args.requests_per_tenant),
+            rate_iops=args.rate,
+            partition=(index * 0.25, (index + 1) * 0.25),
+        )
+        for index, name in enumerate(names)
+    )
+    geometry = SSDGeometry(
+        n_channels=2,
+        chips_per_channel=4,
+        blocks_per_chip=args.blocks_per_chip,
+        block=BlockGeometry(),
+    )
+    return SimulationSpec(
+        config=SSDConfig(geometry=geometry),
+        ftl="cube",
+        host=HostSpec(queue_depth=args.queue_depth, tenants=tenants),
+        prefill=args.prefill,
+        seed=args.seed,
+    )
+
+
+def _cmd_tenants(args: argparse.Namespace) -> int:
+    from repro.api import run_tenant_scenario
+    from repro.specs import load_spec_file
+
+    if args.spec:
+        spec = load_spec_file(args.spec)
+        if not spec.host.tenants:
+            raise SystemExit(
+                f"spec {args.spec} has no host.tenants; the tenants "
+                "command needs a multi-tenant spec"
+            )
+    else:
+        spec = _default_tenant_spec(args)
+    print(
+        f"scenario: {', '.join(t.name for t in spec.host.tenants)} "
+        f"(ftl={spec.ftl}, queue depth {spec.host.queue_depth}, "
+        f"seed {spec.seed})"
+    )
+    result = run_tenant_scenario(spec, jobs=args.jobs)
+    shared = result.shared.stats
+    print(shared.summary())
+    matrix = result.interference_matrix()
+    rows = [
+        [
+            name,
+            f"{row['solo_iops']:.0f}",
+            f"{row['shared_iops']:.0f}",
+            f"{row['solo_p99_us']:.0f}",
+            f"{row['shared_p99_us']:.0f}",
+            f"{row['p99_slowdown']:.2f}x",
+        ]
+        for name, row in sorted(matrix.items())
+    ]
+    print("\ninterference vs solo baselines:")
+    print(
+        format_table(
+            ["tenant", "solo IOPS", "shared IOPS", "solo p99 us",
+             "shared p99 us", "p99 slowdown"],
+            rows,
+        )
+    )
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"scenario results written to {args.json}")
+    return 0
+
+
+def _cmd_contract(args: argparse.Namespace) -> int:
+    from repro.obs.contract import analyze_contract, contract_report
+    from repro.specs import WorkloadSpec
+
+    geometry = SSDGeometry(
+        n_channels=2,
+        chips_per_channel=4,
+        blocks_per_chip=args.blocks_per_chip,
+        block=BlockGeometry(),
+    )
+    config = SSDConfig(geometry=geometry)
+    trace = WorkloadSpec(
+        args.workload, n_requests=args.requests, seed=args.seed
+    ).build(config)
+    scores = analyze_contract(trace)
+    print(contract_report(scores))
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(scores, handle, indent=2, sort_keys=True)
+        print(f"contract scores written to {args.json}")
+    return 0
+
+
 def _cmd_spor(args: argparse.Namespace) -> int:
     import dataclasses
 
@@ -774,6 +1041,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_fuzz(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "tenants":
+        return _cmd_tenants(args)
+    if args.command == "contract":
+        return _cmd_contract(args)
     if args.command == "spor":
         return _cmd_spor(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -273,6 +273,7 @@ class BaseFTL:
                     done.spec.n_pages,
                     done.issued_us,
                     now_us,
+                    tenant=done.spec.tenant,
                 )
                 on_complete(done, now_us)
 

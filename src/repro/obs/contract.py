@@ -1,0 +1,197 @@
+"""Contract-rule analyzer: how well a trace fits the flash "contract".
+
+The unwritten contract of flash devices (WiscSee's framing) says hosts
+get the best out of an SSD when their traffic is *aligned* to program
+units, *sequential or local* in address space, and groups data by
+*death time* (pages written together should be overwritten together, so
+GC frees whole blocks instead of migrating survivors).  This module
+scores a :class:`~repro.workloads.base.Trace` against those rules --
+pure functions of the request stream, independent of any simulation --
+so a workload's contract profile can be reported next to its simulated
+results and compared across traces.
+
+All scores are in ``[0, 1]`` (1 = perfectly contract-friendly):
+
+``alignment``
+    fraction of requests whose start LPN and length are both multiples
+    of the program-unit size (``align_pages``, default the simulator's
+    3-page WL group).
+``sequentiality``
+    fraction of consecutive request pairs where the next request starts
+    exactly where the previous one ended.
+``temporal_locality``
+    fraction of requests whose start LPN was touched earlier in the
+    trace (reuse).
+``spatial_locality``
+    fraction of consecutive request pairs whose starts lie within
+    ``radius_pages`` of each other.
+``death_time_grouping``
+    writes only: pages are grouped in program order into runs of
+    ``group_pages``; each page's *death time* is the write index that
+    overwrites it (end of trace if never).  The score is one minus the
+    mean normalized death-time spread inside each group -- 1.0 when
+    co-programmed pages always die together, near 0 when their deaths
+    are scattered across the whole trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.base import Trace
+
+#: default program-unit size in pages (one WL group of the simulated
+#: TLC geometry: 3 pages per wordline)
+DEFAULT_ALIGN_PAGES = 3
+
+#: default death-time grouping window, in pages written back-to-back
+DEFAULT_GROUP_PAGES = 8
+
+#: default "nearby" distance for the spatial-locality rule
+DEFAULT_RADIUS_PAGES = 8
+
+
+def alignment_score(trace: Trace, align_pages: int = DEFAULT_ALIGN_PAGES) -> float:
+    if align_pages < 1:
+        raise ValueError("align_pages must be >= 1")
+    if not len(trace):
+        return 0.0
+    aligned = sum(
+        1
+        for request in trace
+        if request.lpn % align_pages == 0 and request.n_pages % align_pages == 0
+    )
+    return aligned / len(trace)
+
+
+def sequentiality_score(trace: Trace) -> float:
+    if len(trace) < 2:
+        return 0.0
+    sequential = sum(
+        1
+        for previous, current in zip(trace.requests, trace.requests[1:])
+        if current.lpn == previous.end_lpn
+    )
+    return sequential / (len(trace) - 1)
+
+
+def temporal_locality_score(trace: Trace) -> float:
+    if not len(trace):
+        return 0.0
+    seen: set = set()
+    reused = 0
+    for request in trace:
+        if request.lpn in seen:
+            reused += 1
+        seen.add(request.lpn)
+    return reused / len(trace)
+
+
+def spatial_locality_score(
+    trace: Trace, radius_pages: int = DEFAULT_RADIUS_PAGES
+) -> float:
+    if radius_pages < 0:
+        raise ValueError("radius_pages must be >= 0")
+    if len(trace) < 2:
+        return 0.0
+    near = sum(
+        1
+        for previous, current in zip(trace.requests, trace.requests[1:])
+        if abs(current.lpn - previous.lpn) <= radius_pages
+    )
+    return near / (len(trace) - 1)
+
+
+def death_time_grouping_score(
+    trace: Trace, group_pages: int = DEFAULT_GROUP_PAGES
+) -> float:
+    """1 minus the mean normalized death-time spread of co-written pages."""
+    if group_pages < 2:
+        raise ValueError("group_pages must be >= 2")
+    # page-level program order: one entry per written page
+    written: List[int] = []  # LPNs in program order
+    write_index: List[int] = []  # index of the owning write request
+    writes = 0
+    for request in trace:
+        if not request.is_write:
+            continue
+        for lpn in range(request.lpn, request.end_lpn):
+            written.append(lpn)
+            write_index.append(writes)
+        writes += 1
+    if len(written) < group_pages:
+        return 0.0
+    # death[i] = write-request index that overwrites page i (walk the
+    # program order backwards, remembering the next write of each LPN)
+    next_write: Dict[int, int] = {}
+    death = [0] * len(written)
+    for i in range(len(written) - 1, -1, -1):
+        death[i] = next_write.get(written[i], writes)
+        next_write[written[i]] = write_index[i]
+    spreads: List[float] = []
+    for start in range(0, len(written) - group_pages + 1, group_pages):
+        group = death[start:start + group_pages]
+        spreads.append((max(group) - min(group)) / max(1, writes))
+    return 1.0 - sum(spreads) / len(spreads)
+
+
+def analyze_contract(
+    trace: Trace,
+    *,
+    align_pages: int = DEFAULT_ALIGN_PAGES,
+    group_pages: int = DEFAULT_GROUP_PAGES,
+    radius_pages: int = DEFAULT_RADIUS_PAGES,
+) -> dict:
+    """Score a trace against every contract rule.
+
+    Deterministic (a pure function of the trace and the three window
+    parameters), so scores can be pinned in CI next to golden results.
+    """
+    return {
+        "trace": trace.name,
+        "requests": len(trace),
+        "align_pages": align_pages,
+        "group_pages": group_pages,
+        "radius_pages": radius_pages,
+        "alignment": alignment_score(trace, align_pages),
+        "sequentiality": sequentiality_score(trace),
+        "temporal_locality": temporal_locality_score(trace),
+        "spatial_locality": spatial_locality_score(trace, radius_pages),
+        "death_time_grouping": death_time_grouping_score(trace, group_pages),
+    }
+
+
+_SCORE_KEYS = (
+    "alignment",
+    "sequentiality",
+    "temporal_locality",
+    "spatial_locality",
+    "death_time_grouping",
+)
+
+
+def contract_report(scores: dict) -> str:
+    """ASCII rendering of :func:`analyze_contract` output."""
+    width = 30
+    lines = [
+        f"contract profile: {scores['trace']} ({scores['requests']} requests)"
+    ]
+    for key in _SCORE_KEYS:
+        value = scores[key]
+        bar = "#" * int(round(value * width))
+        lines.append(f"  {key:<20s} {value:6.3f} |{bar:<{width}s}|")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "DEFAULT_ALIGN_PAGES",
+    "DEFAULT_GROUP_PAGES",
+    "DEFAULT_RADIUS_PAGES",
+    "alignment_score",
+    "sequentiality_score",
+    "temporal_locality_score",
+    "spatial_locality_score",
+    "death_time_grouping_score",
+    "analyze_contract",
+    "contract_report",
+]

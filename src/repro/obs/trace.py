@@ -197,8 +197,21 @@ class Tracer:
         n_pages: int,
         issued_us: float,
         completed_us: float,
+        tenant: Optional[str] = None,
     ) -> None:
-        """Emit the end-to-end ``request`` span."""
+        """Emit the end-to-end ``request`` span.
+
+        ``tenant`` tags the span in multi-tenant runs; untagged requests
+        emit exactly the historical span layout (golden traces are
+        byte-pinned), so the key only appears when a tenant is named.
+        """
+        info = {
+            "kind": "read" if is_read else "write",
+            "lpn": lpn,
+            "n_pages": n_pages,
+        }
+        if tenant is not None:
+            info["tenant"] = tenant
         self.sink.emit(
             Span(
                 request=request,
@@ -206,11 +219,7 @@ class Tracer:
                 stage="request",
                 start_us=issued_us,
                 end_us=completed_us,
-                info={
-                    "kind": "read" if is_read else "write",
-                    "lpn": lpn,
-                    "n_pages": n_pages,
-                },
+                info=info,
             )
         )
 

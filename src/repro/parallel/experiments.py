@@ -21,6 +21,7 @@ from typing import Any, Dict, Optional, Sequence
 
 from repro.parallel.runner import ShardSpec
 from repro.parallel.seeds import derive_seed
+from repro.specs import SimulationSpec
 from repro.ssd.config import SSDConfig
 
 
@@ -31,11 +32,18 @@ class RunSpec:
     ``seed=None`` (the default) means "derive from the base seed and my
     name"; pin an explicit seed to opt out (the benchmark harness does,
     to stay comparable with its committed baselines).
+
+    Two forms: the flat legacy fields (``config``/``workload``/...), or
+    a full :class:`~repro.specs.SimulationSpec` in ``spec`` -- then the
+    flat fields are ignored and the run is the spec with its seed
+    replaced by this shard's resolved seed.  The spec form is how NCQ
+    hosts, trace files, workload params, and tenant scenarios enter
+    sweeps.
     """
 
     name: str
-    config: SSDConfig
-    workload: str
+    config: Optional[SSDConfig] = None
+    workload: str = ""
     ftl: str = "cube"
     queue_depth: int = 32
     warmup_requests: int = 0
@@ -44,12 +52,28 @@ class RunSpec:
     seed: Optional[int] = None
     telemetry: bool = False
     ftl_kwargs: Dict[str, Any] = field(default_factory=dict)
+    spec: Optional[SimulationSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.spec is None:
+            if self.config is None or not self.workload:
+                raise ValueError(
+                    f"RunSpec {self.name!r} needs either a SimulationSpec "
+                    "(spec=) or config + workload"
+                )
 
 
 def execute_run_spec(spec: RunSpec, seed: int):
     """Worker entry point: run one spec, return its SimulationResult."""
-    from repro.api import run_simulation
+    from dataclasses import replace as dc_replace
 
+    from repro.api import run_simulation, run_spec
+
+    if spec.spec is not None:
+        resolved = dc_replace(spec.spec, seed=seed)
+        if spec.telemetry and not resolved.options.telemetry:
+            resolved = resolved.with_options(telemetry=True)
+        return run_spec(resolved)
     return run_simulation(
         spec.config,
         spec.workload,

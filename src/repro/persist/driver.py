@@ -36,10 +36,30 @@ from repro.persist.checkpoint import (
     load_checkpoint,
     write_checkpoint,
 )
+from repro.specs import SimulationSpec, SpecError, WorkloadSpec
 from repro.ssd.config import SSDConfig
 from repro.ssd.controller import SSDSimulation
-from repro.workloads import make_workload
+from repro.workloads import build_workload
 from repro.workloads.base import Trace
+
+
+def _build_workload_arg(
+    workload: Union[str, Trace, WorkloadSpec],
+    config: SSDConfig,
+    n_requests: int,
+    seed: int,
+) -> Trace:
+    """Materialize a checkpointable workload argument.
+
+    Accepts the legacy name / pre-built-trace forms plus a
+    :class:`~repro.specs.WorkloadSpec` (the spec-form path through
+    :func:`repro.api.run_spec`).
+    """
+    if isinstance(workload, WorkloadSpec):
+        return workload.build(config, default_seed=seed)
+    if isinstance(workload, str):
+        return build_workload(workload, config.logical_pages, n_requests, seed=seed)
+    return workload
 
 
 def capture_state(sim: SSDSimulation, accounting: dict) -> dict:
@@ -140,7 +160,7 @@ def _build_sim(config, ftl, check_level, registry, ftl_kwargs, context):
 
 def run_checkpointed(
     config: SSDConfig,
-    workload: Union[str, Trace],
+    workload: Union[str, Trace, WorkloadSpec],
     ftl: str = "cube",
     *,
     queue_depth: int = 32,
@@ -153,6 +173,7 @@ def run_checkpointed(
     checkpoint_every: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
     resume_from: Optional[str] = None,
+    spec: Optional[SimulationSpec] = None,
     **ftl_kwargs,
 ):
     """Run one simulation with checkpointing and/or from a checkpoint.
@@ -171,6 +192,11 @@ def run_checkpointed(
     ``checkpoint_dir`` (default: the directory containing
     ``resume_from``).  ``**ftl_kwargs`` are not persisted and must be
     re-passed verbatim.
+
+    ``spec`` (when the call came through :func:`repro.api.run_spec`) is
+    embedded in every checkpoint header under the ``"spec"`` key, so a
+    checkpoint directory is self-describing: ``repro-ssd simulate
+    --spec`` can resume it without re-stating the run parameters.
     """
     from repro.api import SimulationResult
     from repro.obs.registry import TelemetryRegistry
@@ -193,12 +219,7 @@ def run_checkpointed(
     if checkpoint_dir is None:
         raise ValueError("checkpoint_dir is required when checkpointing")
     check_level = check_level_of(check)
-    if isinstance(workload, str):
-        trace = make_workload(
-            workload, config.logical_pages, n_requests, seed=seed
-        )
-    else:
-        trace = workload
+    trace = _build_workload_arg(workload, config, n_requests, seed)
     registry = TelemetryRegistry() if telemetry else None
     context = {
         "ftl": ftl,
@@ -222,6 +243,14 @@ def run_checkpointed(
         "checkpoint_every": checkpoint_every,
         "check": check_level,
     }
+    if spec is not None:
+        try:
+            base_header["spec"] = spec.to_dict()
+        except SpecError:
+            # in-code constructions (pre-built Trace, custom timing or
+            # campaign objects) have no file form; the header simply
+            # stays spec-less as it was before the spec API existed
+            pass
 
     def on_barrier(accounting: dict) -> None:
         header = dict(base_header)
@@ -249,7 +278,7 @@ def run_checkpointed(
 
 def _resume(
     config: SSDConfig,
-    workload: Union[str, Trace],
+    workload: Union[str, Trace, WorkloadSpec],
     ftl: str,
     *,
     n_requests: int,
@@ -279,18 +308,21 @@ def _resume(
             f"{resume_from}: checkpoint is for ftl={header['ftl']!r}, "
             f"got {ftl!r}"
         )
-    if isinstance(workload, str):
+    if isinstance(workload, (str, WorkloadSpec)):
         if seed != header["seed"]:
             raise CheckpointError(
                 f"{resume_from}: checkpoint seed {header['seed']} != "
                 f"passed seed {seed}"
             )
-        trace = make_workload(
-            workload,
-            config.logical_pages,
-            header["n_requests"],
-            seed=header["seed"],
-        )
+        if isinstance(workload, WorkloadSpec):
+            trace = workload.build(config, default_seed=header["seed"])
+        else:
+            trace = build_workload(
+                workload,
+                config.logical_pages,
+                header["n_requests"],
+                seed=header["seed"],
+            )
     else:
         trace = workload
     if trace.name != header["workload"] or len(trace) != header["n_requests"]:

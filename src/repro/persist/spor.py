@@ -35,7 +35,7 @@ from typing import Optional, Union
 
 from repro.ssd.config import SSDConfig
 from repro.ssd.controller import SSDSimulation
-from repro.workloads import make_workload
+from repro.workloads import build_workload
 from repro.workloads.base import Trace
 
 
@@ -112,7 +112,7 @@ def run_spor_campaign(
     check_config = parse_check_level(check or "on")
     sim_config = replace(config, store_oob=True, store_tags=True)
     if isinstance(workload, str):
-        trace = make_workload(
+        trace = build_workload(
             workload, sim_config.logical_pages, n_requests, seed=seed
         )
     else:

@@ -305,77 +305,21 @@ class SSDSimulation:
     ) -> SimulationStats:
         """Replay a trace closed-loop and collect statistics.
 
-        The first ``warmup_requests`` completions are simulated but
-        excluded from IOPS and latency statistics -- they bring the WAM's
-        active blocks, the OPM's monitored parameters, and the ORT into
-        steady state (the paper's platform measures long steady-state
-        runs).
+        Thin wrapper over :func:`repro.ssd.host.replay_closed`; see
+        :mod:`repro.ssd.host` for the full host-model catalogue
+        (closed loop, NCQ, unbounded open loop).
         """
-        if queue_depth < 1:
-            raise ValueError("queue_depth must be >= 1")
-        if not 0 <= warmup_requests < len(trace):
-            raise ValueError("warmup_requests must be < len(trace)")
-        if trace.logical_pages > self.config.logical_pages:
-            raise ValueError("trace logical space exceeds the SSD's")
-        engine = self.controller.engine
-        stats = SimulationStats(ftl_name=self.ftl.name, workload=trace.name)
-        iterator = iter(trace.requests)
-        state = {"outstanding": 0, "completed": 0, "measure_start": None}
-        pending: Dict[int, IORequest] = {}
-        n_requests = len(trace)
-        sampler = self._make_sampler(
-            metrics_interval_us, lambda: state["completed"]
+        from repro.ssd.host import replay
+
+        return replay(
+            self,
+            trace,
+            mode="closed",
+            queue_depth=queue_depth,
+            warmup_requests=warmup_requests,
+            max_events=max_events,
+            metrics_interval_us=metrics_interval_us,
         )
-
-        def on_complete(active, now_us: float) -> None:
-            pending.pop(id(active.spec), None)
-            state["outstanding"] -= 1
-            state["completed"] += 1
-            if state["completed"] == warmup_requests:
-                state["measure_start"] = now_us
-            elif state["completed"] > warmup_requests:
-                latency = now_us - active.issued_us
-                if active.spec.is_read:
-                    stats.read_latency.add(latency)
-                else:
-                    stats.write_latency.add(latency)
-            if sampler is not None and state["completed"] == n_requests:
-                # stop re-arming so sampling never advances the clock
-                # past the last host completion (it would distort IOPS)
-                sampler.stop()
-            issue_next()
-
-        def issue_next() -> None:
-            request = next(iterator, None)
-            if request is None:
-                return
-            state["outstanding"] += 1
-            pending[id(request)] = request
-            self.ftl.submit(request, on_complete)
-
-        start_us = engine.now
-        if warmup_requests == 0:
-            state["measure_start"] = start_us
-        if sampler is not None:
-            sampler.start()
-        for _ in range(queue_depth):
-            issue_next()
-        engine.run(max_events=max_events, profiler=self.profiler)
-        if state["outstanding"] > 0 and max_events is None:
-            self._log_stall(state["completed"], pending)
-            raise SimulationStalledError(
-                _stall_message(state["completed"], pending)
-            )
-        measure_start = state["measure_start"]
-        if measure_start is None:
-            measure_start = start_us
-        stats.duration_us = engine.now - measure_start
-        stats.completed_requests = state["completed"] - warmup_requests
-        stats.counters = self.ftl.counters
-        stats.recovery = self.ftl.recovery
-        if sampler is not None:
-            stats.metrics = sampler.finalize()
-        return stats
 
     def run_in_segments(
         self,
@@ -494,63 +438,21 @@ class SSDSimulation:
         max_events: Optional[int] = None,
         metrics_interval_us: Optional[float] = None,
     ) -> SimulationStats:
-        """Replay a trace open-loop: requests issue at their arrival
-        times regardless of completions.
+        """Replay a trace open-loop with an infinite queue: requests
+        issue at their arrival times regardless of completions.
 
         Every request must carry ``arrival_us`` (see
-        :func:`repro.workloads.base.with_arrivals`).  Under overload the
-        backlog grows and latencies reflect queueing -- the regime where
-        the WAM's burst absorption shows directly.
+        :func:`repro.workloads.base.with_arrivals`).  Thin wrapper over
+        :func:`repro.ssd.host.replay_unbounded`; for arrival-driven
+        replay through a *bounded* queue (backpressure), use the NCQ
+        mode of :func:`repro.ssd.host.replay`.
         """
-        if trace.logical_pages > self.config.logical_pages:
-            raise ValueError("trace logical space exceeds the SSD's")
-        engine = self.controller.engine
-        stats = SimulationStats(ftl_name=self.ftl.name, workload=trace.name)
-        state = {"outstanding": 0, "completed": 0}
-        pending: Dict[int, IORequest] = {}
-        start_us = engine.now
-        n_requests = len(trace)
-        sampler = self._make_sampler(
-            metrics_interval_us, lambda: state["completed"]
+        from repro.ssd.host import replay
+
+        return replay(
+            self,
+            trace,
+            mode="unbounded",
+            max_events=max_events,
+            metrics_interval_us=metrics_interval_us,
         )
-
-        def on_complete(active, now_us: float) -> None:
-            pending.pop(id(active.spec), None)
-            latency = now_us - active.issued_us
-            if active.spec.is_read:
-                stats.read_latency.add(latency)
-            else:
-                stats.write_latency.add(latency)
-            state["outstanding"] -= 1
-            state["completed"] += 1
-            if sampler is not None and state["completed"] == n_requests:
-                sampler.stop()
-
-        if sampler is not None:
-            sampler.start()
-        for request in trace:
-            if request.arrival_us is None:
-                raise ValueError(
-                    "open-loop replay needs arrival times; "
-                    "stamp the trace with workloads.base.with_arrivals"
-                )
-
-            def issue(request=request) -> None:
-                state["outstanding"] += 1
-                pending[id(request)] = request
-                self.ftl.submit(request, on_complete)
-
-            engine.schedule_at(start_us + request.arrival_us, issue)
-        engine.run(max_events=max_events, profiler=self.profiler)
-        if state["outstanding"] > 0 and max_events is None:
-            self._log_stall(state["completed"], pending)
-            raise SimulationStalledError(
-                _stall_message(state["completed"], pending)
-            )
-        stats.duration_us = engine.now - start_us
-        stats.completed_requests = state["completed"]
-        stats.counters = self.ftl.counters
-        stats.recovery = self.ftl.recovery
-        if sampler is not None:
-            stats.metrics = sampler.finalize()
-        return stats

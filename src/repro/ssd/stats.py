@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -82,6 +82,49 @@ class LatencyStats:
         return float(np.mean(self.samples <= threshold_us))
 
 
+def _latency_block(stats: LatencyStats) -> dict:
+    return {
+        "count": len(stats),
+        "mean_us": stats.mean_us,
+        "p50_us": stats.percentile(50),
+        "p90_us": stats.percentile(90),
+        "p99_us": stats.percentile(99),
+        "p999_us": stats.percentile(99.9),
+        "max_us": stats.max_us,
+    }
+
+
+@dataclass
+class TenantStats:
+    """Per-tenant slice of a multi-tenant run's statistics."""
+
+    completed_requests: int = 0
+    read_latency: LatencyStats = field(default_factory=LatencyStats)
+    write_latency: LatencyStats = field(default_factory=LatencyStats)
+
+    def iops(self, duration_us: float) -> float:
+        if duration_us <= 0:
+            return 0.0
+        return self.completed_requests / (duration_us / 1e6)
+
+    @property
+    def p99_us(self) -> float:
+        """p99 over reads and writes together (the interference metric)."""
+        samples = self.read_latency.sample_list() + self.write_latency.sample_list()
+        if not samples:
+            return 0.0
+        return float(np.percentile(np.asarray(samples, dtype=float), 99))
+
+    def to_dict(self, duration_us: float = 0.0) -> dict:
+        return {
+            "completed_requests": self.completed_requests,
+            "iops": self.iops(duration_us),
+            "p99_us": self.p99_us,
+            "read_latency": _latency_block(self.read_latency),
+            "write_latency": _latency_block(self.write_latency),
+        }
+
+
 @dataclass
 class SimulationStats:
     """Result of one simulation run."""
@@ -100,6 +143,9 @@ class SimulationStats:
     #: time-sliced :class:`~repro.obs.metrics.MetricsSample` timeline;
     #: present only when the run sampled metrics
     metrics: Optional[List["MetricsSample"]] = None
+    #: per-tenant statistics of a multi-tenant run, keyed by tenant name;
+    #: None on single-stream runs so their serialized output is unchanged
+    tenants: Optional[Dict[str, TenantStats]] = None
 
     @property
     def iops(self) -> float:
@@ -111,16 +157,7 @@ class SimulationStats:
     def to_dict(self) -> dict:
         """JSON-serializable summary, result schema v2 (see
         docs/OBSERVABILITY.md for the layout contract)."""
-        def latency_block(stats: LatencyStats) -> dict:
-            return {
-                "count": len(stats),
-                "mean_us": stats.mean_us,
-                "p50_us": stats.percentile(50),
-                "p90_us": stats.percentile(90),
-                "p99_us": stats.percentile(99),
-                "p999_us": stats.percentile(99.9),
-                "max_us": stats.max_us,
-            }
+        latency_block = _latency_block
 
         result = {
             "schema_version": SCHEMA_VERSION,
@@ -138,6 +175,11 @@ class SimulationStats:
             result["recovery"] = self.recovery.to_dict()
         if self.metrics is not None:
             result["metrics"] = [sample.to_dict() for sample in self.metrics]
+        if self.tenants is not None:
+            result["tenants"] = {
+                name: tenant.to_dict(self.duration_us)
+                for name, tenant in self.tenants.items()
+            }
         return result
 
     def summary(self) -> str:

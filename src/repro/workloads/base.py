@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional
 
 READ = "R"
 WRITE = "W"
@@ -16,12 +16,17 @@ class IORequest:
     ``arrival_us`` is optional: traces without arrival times replay
     closed-loop at a fixed queue depth; traces with arrival times can be
     replayed open-loop (requests issue at their timestamps).
+
+    ``tenant`` names the stream the request belongs to in a multi-tenant
+    scenario (see :mod:`repro.workloads.tenants`); single-stream traces
+    leave it ``None`` and nothing downstream ever looks at it.
     """
 
     op: str
     lpn: int
     n_pages: int = 1
-    arrival_us: float = None
+    arrival_us: Optional[float] = None
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.op not in (READ, WRITE):
@@ -35,7 +40,11 @@ class IORequest:
 
     def at(self, arrival_us: float) -> "IORequest":
         """A copy of this request stamped with an arrival time."""
-        return IORequest(self.op, self.lpn, self.n_pages, arrival_us)
+        return IORequest(self.op, self.lpn, self.n_pages, arrival_us, self.tenant)
+
+    def tagged(self, tenant: str) -> "IORequest":
+        """A copy of this request tagged with a tenant name."""
+        return IORequest(self.op, self.lpn, self.n_pages, self.arrival_us, tenant)
 
     @property
     def is_read(self) -> bool:
@@ -72,6 +81,27 @@ class Trace:
     def append(self, request: IORequest) -> None:
         self._check(request)
         self.requests.append(request)
+
+    @property
+    def has_arrivals(self) -> bool:
+        """True when every request carries an arrival timestamp.
+
+        The host model dispatches on this property (open-loop replay is
+        only defined for fully-stamped traces) instead of scattering
+        per-request ``is not None`` checks.
+        """
+        return bool(self.requests) and all(
+            request.arrival_us is not None for request in self.requests
+        )
+
+    @property
+    def tenants(self) -> List[str]:
+        """Distinct tenant tags, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for request in self.requests:
+            if request.tenant is not None and request.tenant not in seen:
+                seen[request.tenant] = None
+        return list(seen)
 
     def __len__(self) -> int:
         return len(self.requests)

@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""Regenerate the golden tenant-scenario snapshot after an *intentional*
+model or schema change::
+
+    PYTHONPATH=src python tests/integration/golden/regen_tenants.py
+
+Keep the scenario in lockstep with
+``tests/integration/test_tenant_scenario.py``.
+"""
+
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.dirname(HERE))))
+
+from tests.integration.test_tenant_scenario import _scenario_spec  # noqa: E402
+
+from repro.api import run_tenant_scenario  # noqa: E402
+
+if __name__ == "__main__":
+    path = os.path.join(HERE, "tenant_scenario.json")
+    result = run_tenant_scenario(_scenario_spec())
+    with open(path, "w") as handle:
+        json.dump(result.to_dict(), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"regenerated {path}")

@@ -1,0 +1,114 @@
+"""Tests for the contract-rule analyzer (obs.contract)."""
+
+import pytest
+
+from repro.obs.contract import (
+    alignment_score,
+    analyze_contract,
+    contract_report,
+    death_time_grouping_score,
+    sequentiality_score,
+    spatial_locality_score,
+    temporal_locality_score,
+)
+from repro.workloads.base import IORequest, Trace
+from repro.workloads.synthetic import sequential_trace, uniform_random_trace
+
+
+def _trace(requests, logical_pages=1000, name="t"):
+    trace = Trace(name, logical_pages)
+    for op, lpn, n_pages in requests:
+        trace.append(IORequest(op, lpn, n_pages))
+    return trace
+
+
+class TestAlignment:
+    def test_aligned_stream_scores_one(self):
+        trace = _trace([("W", 0, 3), ("W", 3, 6), ("R", 9, 3)])
+        assert alignment_score(trace, align_pages=3) == 1.0
+
+    def test_misaligned_stream_scores_zero(self):
+        trace = _trace([("W", 1, 3), ("W", 4, 2), ("R", 8, 1)])
+        assert alignment_score(trace, align_pages=3) == 0.0
+
+    def test_mixed(self):
+        trace = _trace([("W", 0, 3), ("W", 1, 3)])
+        assert alignment_score(trace, align_pages=3) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            alignment_score(_trace([]), align_pages=0)
+
+
+class TestSequentiality:
+    def test_perfectly_sequential(self):
+        trace = sequential_trace(1000, 50, seed=1)
+        assert sequentiality_score(trace) == 1.0
+
+    def test_random_is_near_zero(self):
+        trace = uniform_random_trace(100_000, 200, seed=1)
+        assert sequentiality_score(trace) < 0.05
+
+    def test_short_trace(self):
+        assert sequentiality_score(_trace([("W", 0, 1)])) == 0.0
+
+
+class TestLocality:
+    def test_reuse_is_temporal_locality(self):
+        trace = _trace([("W", 5, 1), ("R", 5, 1), ("W", 5, 1), ("W", 9, 1)])
+        assert temporal_locality_score(trace) == 0.5
+
+    def test_nearby_is_spatial_locality(self):
+        trace = _trace([("W", 0, 1), ("W", 4, 1), ("W", 500, 1)])
+        assert spatial_locality_score(trace, radius_pages=8) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spatial_locality_score(_trace([]), radius_pages=-1)
+
+
+class TestDeathTimeGrouping:
+    def test_grouped_overwrites_score_high(self):
+        """Pages written together and overwritten together (whole-file
+        rewrite pattern) are perfectly grouped."""
+        rounds = [("W", 0, 8), ("W", 8, 8)] * 6
+        trace = _trace(rounds)
+        assert death_time_grouping_score(trace, group_pages=8) > 0.9
+
+    def test_scattered_overwrites_score_lower(self):
+        """Interleaving one hot page into every group spreads each
+        group's death times across the trace."""
+        grouped = _trace([("W", 0, 8), ("W", 8, 8)] * 6)
+        requests = []
+        for index in range(48):
+            requests.append(("W", (index * 7) % 97, 1))
+            requests.append(("W", 97, 1))  # hot page dies every round
+        scattered = _trace(requests)
+        assert death_time_grouping_score(
+            scattered, group_pages=8
+        ) < death_time_grouping_score(grouped, group_pages=8)
+
+    def test_too_few_pages(self):
+        assert death_time_grouping_score(_trace([("W", 0, 1)])) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            death_time_grouping_score(_trace([]), group_pages=1)
+
+
+class TestAnalyze:
+    def test_scores_in_unit_interval_and_deterministic(self):
+        trace = uniform_random_trace(10_000, 500, seed=7)
+        one = analyze_contract(trace)
+        two = analyze_contract(trace)
+        assert one == two
+        for key in ("alignment", "sequentiality", "temporal_locality",
+                    "spatial_locality", "death_time_grouping"):
+            assert 0.0 <= one[key] <= 1.0
+
+    def test_report_renders_every_rule(self):
+        trace = sequential_trace(1000, 20, seed=1)
+        report = contract_report(analyze_contract(trace))
+        for key in ("alignment", "sequentiality", "temporal_locality",
+                    "spatial_locality", "death_time_grouping"):
+            assert key in report

@@ -11,7 +11,9 @@ perturbation (fix it).
 
 import os
 
-from repro.api import run_simulation
+import pytest
+
+from repro.api import run_simulation, spec_from_kwargs
 from repro.ssd.config import SSDConfig
 from tests.helpers.determinism import assert_files_identical
 
@@ -36,3 +38,38 @@ class TestGoldenTrace:
         path = str(tmp_path / "trace.jsonl")
         _run_traced(path, telemetry=True, profile=True)
         assert_files_identical(path, GOLDEN, "instrumented trace vs golden")
+
+
+class TestSpecFormIdentity:
+    """The kwarg shim and the spec form must be the *same run*: both
+    funnel through run_spec, so their span traces are byte-identical
+    for every FTL."""
+
+    @pytest.mark.parametrize("ftl", ["page", "vert", "cube", "oracle"])
+    def test_kwargs_vs_spec_trace_bytes(self, tmp_path, ftl):
+        config = SSDConfig.small(logical_fraction=0.4)
+        kwargs_path = str(tmp_path / f"kwargs-{ftl}.jsonl")
+        run_simulation(
+            config, "OLTP", ftl=ftl, queue_depth=8, prefill=0.4,
+            n_requests=120, seed=7, trace=kwargs_path,
+        )
+        spec_path = str(tmp_path / f"spec-{ftl}.jsonl")
+        spec = spec_from_kwargs(
+            config, "OLTP", ftl=ftl, queue_depth=8, prefill=0.4,
+            n_requests=120, seed=7, trace=spec_path,
+        )
+        run_simulation(spec)
+        assert_files_identical(
+            kwargs_path, spec_path, f"kwarg vs spec trace ({ftl})"
+        )
+
+    def test_spec_form_matches_golden(self, tmp_path):
+        """The spec form reproduces the committed golden bytes of the
+        historical kwarg path."""
+        path = str(tmp_path / "trace.jsonl")
+        spec = spec_from_kwargs(
+            SSDConfig.small(logical_fraction=0.4), "OLTP", ftl="cube",
+            queue_depth=8, prefill=0.4, n_requests=120, seed=7, trace=path,
+        )
+        run_simulation(spec)
+        assert_files_identical(path, GOLDEN, "spec-form trace vs golden")

@@ -1,0 +1,155 @@
+"""Tests for the explicit host replay models (closed / NCQ / unbounded)."""
+
+import pytest
+
+from repro.ssd.config import SSDConfig
+from repro.ssd.controller import SSDSimulation
+from repro.ssd.host import REPLAY_MODES, replay
+from repro.workloads.base import with_arrivals
+from repro.workloads.synthetic import uniform_random_trace
+
+
+def _stamped(config, n_requests, *, rate_iops, seed=3, burstiness=1.0):
+    trace = uniform_random_trace(
+        config.logical_pages, n_requests, read_fraction=0.0, seed=seed
+    )
+    return with_arrivals(
+        trace, rate_iops=rate_iops, burstiness=burstiness, seed=seed + 1
+    )
+
+
+class TestReplayValidation:
+    def test_unknown_mode_rejected(self):
+        config = SSDConfig.small()
+        sim = SSDSimulation(config, ftl="page")
+        trace = uniform_random_trace(config.logical_pages, 5, seed=1)
+        with pytest.raises(ValueError, match="mode"):
+            replay(sim, trace, mode="half-open")
+
+    def test_modes_constant_is_exhaustive(self):
+        assert REPLAY_MODES == ("closed", "ncq", "unbounded")
+
+    def test_ncq_requires_arrivals(self):
+        config = SSDConfig.small()
+        sim = SSDSimulation(config, ftl="page")
+        trace = uniform_random_trace(config.logical_pages, 5, seed=1)
+        with pytest.raises(ValueError, match="arrival"):
+            replay(sim, trace, mode="ncq")
+
+    def test_bad_queue_depth_rejected(self):
+        config = SSDConfig.small()
+        sim = SSDSimulation(config, ftl="page")
+        trace = _stamped(config, 5, rate_iops=1000)
+        with pytest.raises(ValueError, match="queue_depth"):
+            replay(sim, trace, mode="ncq", queue_depth=0)
+
+    def test_warmup_must_leave_measured_requests(self):
+        config = SSDConfig.small()
+        sim = SSDSimulation(config, ftl="page")
+        trace = _stamped(config, 5, rate_iops=1000)
+        with pytest.raises(ValueError, match="warmup"):
+            replay(sim, trace, mode="ncq", warmup_requests=5)
+
+    def test_oversized_trace_rejected(self):
+        config = SSDConfig.small()
+        sim = SSDSimulation(config, ftl="page")
+        trace = uniform_random_trace(config.logical_pages * 2, 5, seed=1)
+        with pytest.raises(ValueError, match="logical space"):
+            replay(sim, trace, mode="closed")
+
+
+class TestNCQ:
+    def test_completes_everything_under_backpressure(self):
+        """A burst far beyond the queue depth still drains completely --
+        arrivals finding the queue full wait and issue later."""
+        config = SSDConfig.small()
+        sim = SSDSimulation(config, ftl="page")
+        trace = _stamped(config, 120, rate_iops=500_000)  # ~instant burst
+        stats = replay(sim, trace, mode="ncq", queue_depth=4)
+        assert stats.completed_requests == 120
+
+    def test_queue_wait_counts_toward_latency(self):
+        """Under a burst, depth 1 serializes the device: host-visible
+        p90 must far exceed the depth-32 p90 because queue-full wait is
+        part of NCQ latency."""
+        config = SSDConfig.small()
+        tails = {}
+        for depth in (1, 32):
+            sim = SSDSimulation(config, ftl="page")
+            trace = _stamped(config, 150, rate_iops=200_000)
+            stats = replay(sim, trace, mode="ncq", queue_depth=depth)
+            tails[depth] = stats.write_latency.percentile(90)
+        assert tails[1] > 2 * tails[32]
+
+    def test_depth_one_is_fifo(self):
+        """With one slot the device never sees request N+1 before N
+        completed, so completion count equals trace length and the
+        measured duration is at least the sum of bare service times'
+        lower bound (no overlap)."""
+        config = SSDConfig.small()
+        sim_deep = SSDSimulation(config, ftl="page")
+        trace = _stamped(config, 80, rate_iops=300_000, seed=9)
+        deep = replay(sim_deep, trace, mode="ncq", queue_depth=32)
+        sim_one = SSDSimulation(config, ftl="page")
+        trace = _stamped(config, 80, rate_iops=300_000, seed=9)
+        one = replay(sim_one, trace, mode="ncq", queue_depth=1)
+        assert one.completed_requests == deep.completed_requests == 80
+        # serialized replay cannot finish faster than the parallel one
+        assert one.duration_us > deep.duration_us
+
+    def test_huge_depth_matches_unbounded(self):
+        """With queue depth >= trace length no arrival ever waits, so
+        NCQ reduces exactly to the unbounded open loop (latency is
+        measured from arrival in both)."""
+        config = SSDConfig.small()
+        sim_ncq = SSDSimulation(config, ftl="page")
+        trace = _stamped(config, 60, rate_iops=20_000, seed=5)
+        ncq = replay(sim_ncq, trace, mode="ncq", queue_depth=60)
+        sim_open = SSDSimulation(config, ftl="page")
+        trace = _stamped(config, 60, rate_iops=20_000, seed=5)
+        unbounded = replay(sim_open, trace, mode="unbounded")
+        assert ncq.completed_requests == unbounded.completed_requests
+        assert ncq.write_latency.mean_us == pytest.approx(
+            unbounded.write_latency.mean_us
+        )
+        assert ncq.write_latency.percentile(99) == pytest.approx(
+            unbounded.write_latency.percentile(99)
+        )
+
+    def test_warmup_excludes_early_completions(self):
+        config = SSDConfig.small()
+        sim = SSDSimulation(config, ftl="page")
+        trace = _stamped(config, 100, rate_iops=50_000)
+        stats = replay(sim, trace, mode="ncq", queue_depth=8,
+                       warmup_requests=40)
+        assert stats.completed_requests == 60
+        assert (
+            len(stats.read_latency) + len(stats.write_latency) == 60
+        )
+
+    def test_light_load_latency_is_service_time(self):
+        """At a trickle rate nothing queues: NCQ latency from arrival
+        equals the bare service time, same as the closed loop at
+        depth 1 would measure from issue."""
+        config = SSDConfig.small()
+        sim = SSDSimulation(config, ftl="page")
+        trace = _stamped(config, 50, rate_iops=200)  # ~5 ms apart
+        stats = replay(sim, trace, mode="ncq", queue_depth=8)
+        assert stats.write_latency.percentile(50) < 1200
+
+
+class TestClosedDelegation:
+    def test_run_still_closed_loop(self):
+        """SSDSimulation.run keeps its historical behavior through the
+        host-module delegation."""
+        config = SSDConfig.small()
+        sim = SSDSimulation(config, ftl="page")
+        trace = uniform_random_trace(config.logical_pages, 40, seed=2)
+        stats = sim.run(trace, queue_depth=4)
+        assert stats.completed_requests == 40
+
+    def test_run_open_loop_still_unbounded(self):
+        config = SSDConfig.small()
+        sim = SSDSimulation(config, ftl="page")
+        stats = sim.run_open_loop(_stamped(config, 30, rate_iops=10_000))
+        assert stats.completed_requests == 30

@@ -144,11 +144,13 @@ class TestPaperWorkloads:
         assert 0.35 <= mixes["Mongo"] <= 0.55
 
     def test_oltp_is_most_write_intensive(self):
+        from repro.workloads import PAPER_WORKLOADS
+
         fractions = {
             name: trace_summary(make_workload(name, LOGICAL_PAGES, 4000, seed=2))[
                 "read_fraction"
             ]
-            for name in WORKLOAD_GENERATORS
+            for name in PAPER_WORKLOADS
         }
         assert min(fractions, key=fractions.get) == "OLTP"
 

@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Validate a ``repro-ssd simulate --json`` result file (schema v2),
 optionally a ``--trace`` JSONL span file, a ``tools/bench.py``
-snapshot (``--bench``), and/or a checkpoint directory's headers
-(``--checkpoint``, see ``docs/PERSISTENCE.md``).
+snapshot (``--bench``), a checkpoint directory's headers
+(``--checkpoint``, see ``docs/PERSISTENCE.md``), and/or a
+SimulationSpec file (``--spec``, see ``docs/WORKLOADS.md``).
 
 Used by the CI smoke steps to catch schema drift and tiling-contract
 regressions on a tiny simulation::
@@ -200,6 +201,38 @@ def check_checkpoint(path: str) -> List[str]:
     return errors
 
 
+def check_spec(path: str) -> List[str]:
+    """Validate a ``--spec`` file (JSON/TOML :class:`SimulationSpec`)."""
+    # imported lazily: needs PYTHONPATH=src, like the trace check
+    from repro.specs import SpecError, load_spec_file, validate_spec_dict
+
+    if path.endswith(".toml"):
+        try:
+            import tomllib
+        except ImportError:
+            return [f"{path}: TOML specs need Python >= 3.11 (no tomllib)"]
+        with open(path, "rb") as handle:
+            try:
+                data = tomllib.load(handle)
+            except tomllib.TOMLDecodeError as exc:
+                return [f"{path}: unparseable TOML: {exc}"]
+    else:
+        with open(path) as handle:
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError as exc:
+                return [f"{path}: unparseable JSON: {exc}"]
+    problems = [f"{path}: {problem}" for problem in validate_spec_dict(data)]
+    if problems:
+        return problems
+    # the structural pass said OK -- the full load must agree
+    try:
+        load_spec_file(path)
+    except SpecError as exc:
+        return [f"{path}: loads failed after validation passed: {exc}"]
+    return []
+
+
 def check_trace(path: str) -> List[str]:
     # imported lazily: the stats check must work without PYTHONPATH=src
     from repro.obs.analyze import validate_trace
@@ -238,9 +271,22 @@ def main(argv=None) -> int:
         help="checkpoint directory (one ckpt_<n> or a parent of several) "
         "whose header(s) to validate against the persist schema",
     )
+    parser.add_argument(
+        "--spec",
+        default=None,
+        help="SimulationSpec file (JSON/TOML) to validate against the "
+        "spec schema",
+    )
     args = parser.parse_args(argv)
-    if args.stats_json is None and args.bench is None and args.checkpoint is None:
-        parser.error("give a stats_json file, --bench, and/or --checkpoint")
+    if (
+        args.stats_json is None
+        and args.bench is None
+        and args.checkpoint is None
+        and args.spec is None
+    ):
+        parser.error(
+            "give a stats_json file, --bench, --checkpoint, and/or --spec"
+        )
 
     errors: List[str] = []
     document = None
@@ -257,6 +303,8 @@ def main(argv=None) -> int:
         errors += [f"{args.bench}: {error}" for error in check_bench(bench_doc)]
     if args.checkpoint is not None:
         errors += check_checkpoint(args.checkpoint)
+    if args.spec is not None:
+        errors += check_spec(args.spec)
     if errors:
         for error in errors:
             print(f"FAIL: {error}", file=sys.stderr)
@@ -277,6 +325,8 @@ def main(argv=None) -> int:
         )
     if args.checkpoint is not None:
         print(f"OK: checkpoint header(s) valid under {args.checkpoint}")
+    if args.spec is not None:
+        print(f"OK: spec {args.spec} valid")
     return 0
 
 
