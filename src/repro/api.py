@@ -68,6 +68,9 @@ class SimulationResult:
     #: (violation counts, oracle stats, and the ``state_digest`` of the
     #: final logical state for differential comparisons)
     check: Optional[dict] = None
+    #: path of the written run-artifact directory when ``artifact_dir``
+    #: was set, else None (see :mod:`repro.obs.artifact`)
+    artifact: Optional[str] = None
 
     @property
     def iops(self) -> float:
@@ -116,6 +119,8 @@ def spec_from_kwargs(
     checkpoint_every: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
     resume_from: Optional[str] = None,
+    artifact_dir: Optional[str] = None,
+    artifact_every: Optional[float] = None,
     **ftl_kwargs,
 ) -> SimulationSpec:
     """The :class:`~repro.specs.SimulationSpec` equivalent of the legacy
@@ -143,6 +148,8 @@ def spec_from_kwargs(
         checkpoint_every=checkpoint_every,
         checkpoint_dir=checkpoint_dir,
         resume_from=resume_from,
+        artifact_dir=artifact_dir,
+        artifact_every=artifact_every,
     )
     return SimulationSpec(
         config=config,
@@ -177,6 +184,8 @@ def run_simulation(
     checkpoint_every: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
     resume_from: Optional[str] = None,
+    artifact_dir: Optional[str] = None,
+    artifact_every: Optional[float] = None,
     **ftl_kwargs,
 ) -> SimulationResult:
     """Build, prefill, and run one SSD simulation.
@@ -243,6 +252,17 @@ def run_simulation(
         run (validated against the checkpoint header); ``queue_depth``,
         ``warmup_requests``, ``checkpoint_every`` and the check level
         are taken from the header.
+    artifact_dir:
+        Write a self-contained run-artifact directory under this base
+        path (``<artifact_dir>/<run_id>/``; see
+        :mod:`repro.obs.artifact`): the spec, result, latency quantile
+        grids, a windowed telemetry time-series, tail/typical exemplar
+        spans, and a typed manifest.  ``None`` (the default) disables
+        artifacts; a run without them is bit-for-bit the plain run.
+        The written path lands in ``result.artifact``.
+    artifact_every:
+        Simulated microseconds between telemetry time-series windows in
+        the artifact (default 1000.0).
     """
     if isinstance(config, SimulationSpec):
         if workload is not None or ftl_kwargs:
@@ -271,6 +291,8 @@ def run_simulation(
             checkpoint_every=checkpoint_every,
             checkpoint_dir=checkpoint_dir,
             resume_from=resume_from,
+            artifact_dir=artifact_dir,
+            artifact_every=artifact_every,
             **ftl_kwargs,
         )
     )
@@ -296,6 +318,7 @@ def run_spec(spec: SimulationSpec) -> SimulationResult:
             "open_loop": host.mode if host.mode != "closed" else None,
             "max_events": options.max_events,
             "tenants": host.tenants or None,
+            "artifact_dir": options.artifact_dir,
         }
         bad = sorted(key for key, value in incompatible.items() if value)
         if bad:
@@ -322,6 +345,7 @@ def run_spec(spec: SimulationSpec) -> SimulationResult:
             **spec.ftl_kwargs,
         )
 
+    artifacts = options.artifact_dir is not None
     tracer: Optional[Tracer] = None
     sink = None
     if options.trace is not None:
@@ -330,7 +354,24 @@ def run_spec(spec: SimulationSpec) -> SimulationResult:
             else JsonlSink(options.trace)
         )
         tracer = Tracer(sink)
-    registry = TelemetryRegistry() if options.telemetry else None
+    exemplars = None
+    if artifacts:
+        from repro.obs.exemplars import ExemplarRecorder
+        from repro.obs.trace import NullSink
+
+        # exemplars ride the span stream: give an artifact-only run a
+        # tracer over a null sink, and wrap whichever sink is active so
+        # the requested trace output is unchanged byte for byte
+        if tracer is None:
+            tracer = Tracer(NullSink())
+        exemplars = ExemplarRecorder(tracer.sink, seed=spec.seed)
+        tracer.sink = exemplars
+        tracer.exemplars = exemplars
+    # artifacts always embed a telemetry time-series, even when the
+    # caller did not ask for result.telemetry
+    registry = (
+        TelemetryRegistry() if (options.telemetry or artifacts) else None
+    )
     profiler = WallClockProfiler() if options.profile else None
     checker = None
     check_config = parse_check_level(options.check)
@@ -359,6 +400,26 @@ def run_spec(spec: SimulationSpec) -> SimulationResult:
         checker=checker,
         **spec.ftl_kwargs,
     )
+    recorder = None
+    if artifacts:
+        from repro.obs.timeseries import (
+            DEFAULT_INTERVAL_US,
+            TimeSeriesRecorder,
+        )
+
+        recorder = TimeSeriesRecorder(
+            registry,
+            sim.controller.engine,
+            interval_us=options.artifact_every or DEFAULT_INTERVAL_US,
+        )
+        sim.timeseries = recorder
+    # live progress is independent of artifacts: any run may report to
+    # the process-wide sink the shard pool installed (None otherwise)
+    from repro.parallel.progress import get_progress_sink, make_progress_hook
+
+    progress_sink = get_progress_sink()
+    if progress_sink is not None:
+        sim.progress = make_progress_hook(progress_sink)
     if spec.prefill > 0:
         sim.prefill(spec.prefill)
     trace = spec.build_trace()
@@ -382,6 +443,21 @@ def run_spec(spec: SimulationSpec) -> SimulationResult:
     # finalize before the telemetry snapshot so collected gauges include
     # the end-of-run deep audit
     check_report = checker.finalize() if checker is not None else None
+    profile_report = profiler.to_dict() if profiler is not None else None
+    artifact_path = None
+    if artifacts:
+        from repro.obs.artifact import write_artifact
+
+        artifact_path = write_artifact(
+            options.artifact_dir,
+            spec,
+            stats,
+            timeseries=recorder,
+            exemplars=exemplars,
+            telemetry=registry.snapshot(),
+            profile=profile_report,
+            check=check_report,
+        )
     return SimulationResult(
         stats=stats,
         spans=sink.spans if isinstance(sink, InMemorySink) else None,
@@ -389,9 +465,16 @@ def run_spec(spec: SimulationSpec) -> SimulationResult:
         trace_path=(
             options.trace if options.trace not in (None, "memory") else None
         ),
-        telemetry=registry.snapshot() if registry is not None else None,
-        profile=profiler.to_dict() if profiler is not None else None,
+        # result.telemetry keeps its opt-in shape: artifact runs embed
+        # the snapshot in the artifact without changing --json output
+        telemetry=(
+            registry.snapshot()
+            if registry is not None and options.telemetry
+            else None
+        ),
+        profile=profile_report,
         check=check_report,
+        artifact=artifact_path,
     )
 
 
@@ -436,6 +519,7 @@ def run_many(
     on_progress: Optional[Callable[[str, bool], None]] = None,
     retries: int = 0,
     checkpoint_dir: Optional[str] = None,
+    on_heartbeat: Optional[Callable[[str, dict], None]] = None,
 ) -> BatchResult:
     """Run a batch of :class:`~repro.parallel.RunSpec` runs, sharded
     across up to ``jobs`` worker processes.
@@ -448,7 +532,11 @@ def run_many(
     bit-for-bit.
 
     ``on_progress`` (if given) is called with ``(name, ok)`` as each run
-    finishes, in completion order.
+    finishes, in completion order.  ``on_heartbeat`` (if given) receives
+    ``(name, payload)`` live-progress messages while runs are still in
+    flight -- ``payload`` carries ``completed``/``total`` request counts
+    and the shard's simulated-time watermark ``sim_us`` (see
+    :mod:`repro.parallel.progress`).
 
     ``retries`` relaunches shards whose worker hard-died (same spec,
     same derived seed -- see :func:`repro.parallel.run_shards`); the
@@ -482,6 +570,7 @@ def run_many(
             on_progress=progress,
             retries=retries,
             registry=registry,
+            heartbeat=on_heartbeat,
         )
     else:
         outcomes = run_shards(
@@ -490,6 +579,7 @@ def run_many(
             on_progress=progress,
             retries=retries,
             registry=registry,
+            heartbeat=on_heartbeat,
         )
     results: List[Optional[SimulationResult]] = []
     errors: Dict[str, str] = {}
@@ -566,7 +656,9 @@ class TenantScenarioResult:
 
 
 def run_tenant_scenario(
-    spec: SimulationSpec, jobs: int = 1
+    spec: SimulationSpec,
+    jobs: int = 1,
+    on_heartbeat: Optional[Callable[[str, dict], None]] = None,
 ) -> TenantScenarioResult:
     """Run a multi-tenant spec plus one solo baseline per tenant.
 
@@ -591,7 +683,9 @@ def run_tenant_scenario(
         run_specs.append(
             RunSpec(name=f"solo:{tenant.name}", spec=solo_spec, seed=spec.seed)
         )
-    batch = run_many(run_specs, jobs=jobs, base_seed=spec.seed)
+    batch = run_many(
+        run_specs, jobs=jobs, base_seed=spec.seed, on_heartbeat=on_heartbeat
+    )
     if not batch.ok:
         failures = "; ".join(
             f"{name}: {error}" for name, error in sorted(batch.errors.items())

@@ -31,6 +31,14 @@ Three subcommands cover the common flows::
         score a workload or recorded trace against the unwritten flash
         contract (alignment, sequentiality, locality, death-time grouping)
 
+    repro-ssd report runs/<run_id>
+        render the ASCII dashboard of a run artifact written with
+        --artifacts (latency CDF, telemetry sparklines, tail exemplars)
+
+    repro-ssd diff runs/<a> runs/<b>
+        compare two run artifacts metric by metric with tolerance
+        verdicts (exit 1 on regression, 2 on schema mismatch)
+
 ``simulate`` and ``compare`` accept ``--check[=strict]`` to attach the
 runtime invariant checker to normal runs.  ``simulate``, ``sweep``, and
 ``tenants`` accept ``--spec FILE`` with a JSON/TOML
@@ -205,6 +213,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="resume from a checkpoint directory (ckpt_NNNNNNNN); the "
         "continued run is byte-identical to the uninterrupted one",
     )
+    simulate.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        default=None,
+        help="write a self-contained run artifact (spec, result, "
+        "latency grids, telemetry time-series, tail exemplars, typed "
+        "manifest) under DIR/<run_id>/; inspect it with "
+        "'repro-ssd report' and 'repro-ssd diff'",
+    )
+    simulate.add_argument(
+        "--artifact-every",
+        metavar="US",
+        type=float,
+        default=None,
+        dest="artifact_every",
+        help="telemetry time-series window in simulated microseconds "
+        "for the artifact (default: 1000)",
+    )
     add_sim_args(simulate)
 
     compare = sub.add_parser(
@@ -339,6 +365,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="relaunch a cell whose worker hard-died (segfault, OOM "
         "kill) up to N times with the same derived seed (default: 0)",
     )
+    sweep.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        default=None,
+        help="write one run artifact per cell under DIR plus a "
+        "sweep.json index; inspect cells with 'repro-ssd report' and "
+        "compare them with 'repro-ssd diff'",
+    )
 
     tenants = sub.add_parser(
         "tenants",
@@ -385,6 +419,47 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the scenario result (per-tenant stats + "
         "interference matrix) as JSON to PATH",
+    )
+    tenants.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        default=None,
+        help="write one run artifact per scenario run (shared + each "
+        "solo baseline) under DIR",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="render the ASCII dashboard of one run-artifact directory "
+        "(latency CDF, telemetry sparklines, slowest-span exemplars, "
+        "telemetry deltas)",
+    )
+    report.add_argument(
+        "run_dir",
+        metavar="RUN_DIR",
+        help="artifact directory written by --artifacts (runs/<run_id>)",
+    )
+    report.add_argument(
+        "--html",
+        metavar="PATH",
+        default=None,
+        help="also write the dashboard as a single self-contained HTML "
+        "page to PATH",
+    )
+
+    diff = sub.add_parser(
+        "diff",
+        help="compare two run artifacts metric by metric with tolerance "
+        "verdicts (exit 0 clean, 1 regression, 2 schema mismatch)",
+    )
+    diff.add_argument("run_a", metavar="RUN_A", help="baseline artifact directory")
+    diff.add_argument("run_b", metavar="RUN_B", help="candidate artifact directory")
+    diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="relative change beyond which a worse gated metric is a "
+        "regression (default: 0.10)",
     )
 
     contract = sub.add_parser(
@@ -475,6 +550,8 @@ def _run(args: argparse.Namespace, ftl: str):
         ),
         checkpoint_dir=checkpoint_dir,
         resume_from=getattr(args, "resume", None),
+        artifact_dir=getattr(args, "artifacts", None),
+        artifact_every=getattr(args, "artifact_every", None),
     )
 
 
@@ -515,7 +592,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.spec:
         from repro.specs import load_spec_file
 
-        result = run_simulation(load_spec_file(args.spec))
+        spec = load_spec_file(args.spec)
+        if args.artifacts:
+            spec = spec.with_options(
+                artifact_dir=args.artifacts,
+                artifact_every=args.artifact_every,
+            )
+        result = run_simulation(spec)
     else:
         result = _run(args, args.ftl)
     stats = result.stats
@@ -552,6 +635,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             recovered_reads=recovery.recovered_reads,
             uncorrectable=recovery.uncorrectable_after_recovery,
         )
+    if result.artifact is not None:
+        print(f"artifact written to {result.artifact}")
     if args.resume:
         print(f"resumed from {args.resume}")
     if args.checkpoint:
@@ -701,6 +786,7 @@ def _sweep_specs(args: argparse.Namespace):
                             ftl=ftl,
                             telemetry=args.telemetry,
                             spec=cell,
+                            artifact_dir=getattr(args, "artifacts", None),
                         )
                     )
         return specs
@@ -733,9 +819,54 @@ def _sweep_specs(args: argparse.Namespace):
                             prefill=args.prefill,
                             n_requests=args.requests,
                             telemetry=args.telemetry,
+                            artifact_dir=getattr(args, "artifacts", None),
                         )
                     )
     return specs
+
+
+def _heartbeat_printer(n_runs: int):
+    """A live single-line progress display for batched runs.
+
+    Returns ``(heartbeat, clear)``: ``heartbeat(name, payload)`` feeds a
+    shard's latest ``completed``/``total``/``sim_us`` watermark and
+    redraws an aggregate status line on stderr (``\\r``-rewritten on a
+    tty, plain lines otherwise); ``clear()`` ends the line so normal
+    output continues cleanly.  Display only -- the wall-clock ETA never
+    feeds back into any simulation.
+    """
+    import time
+
+    state: dict = {}
+    started = time.monotonic()
+    is_tty = sys.stderr.isatty()
+
+    def heartbeat(name: str, payload: dict) -> None:
+        state[name] = payload
+        done = sum(p.get("completed", 0) for p in state.values())
+        total = sum(p.get("total", 0) for p in state.values())
+        watermark = max(
+            (p.get("sim_us", 0.0) for p in state.values()), default=0.0
+        )
+        eta = ""
+        elapsed = time.monotonic() - started
+        if 0 < done < total and elapsed > 0:
+            eta = f", ETA {elapsed * (total - done) / done:.0f}s"
+        line = (
+            f"[{len(state)}/{n_runs} shards] {done}/{total} requests, "
+            f"sim t={watermark:.0f}us{eta}"
+        )
+        if is_tty:
+            print(f"\r{line}\x1b[K", end="", file=sys.stderr, flush=True)
+        else:
+            print(line, file=sys.stderr, flush=True)
+
+    def clear() -> None:
+        if is_tty and state:
+            print(file=sys.stderr)
+            state.clear()
+
+    return heartbeat, clear
 
 
 def _partial_sweep_payload(specs, outcomes, base_seed):
@@ -773,8 +904,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not specs:
         raise SystemExit("sweep is empty: no FTLs or workloads selected")
     print(f"sweep: {len(specs)} cell(s), {args.jobs} job(s)")
+    heartbeat, clear_heartbeat = _heartbeat_printer(len(specs))
 
     def progress(name: str, ok: bool) -> None:
+        clear_heartbeat()
         print(f"  {name}: {'done' if ok else 'FAILED'}", flush=True)
 
     try:
@@ -785,8 +918,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             on_progress=progress,
             retries=args.retries,
             checkpoint_dir=args.checkpoint_dir,
+            on_heartbeat=heartbeat,
         )
     except ShardsInterrupted as interrupt:
+        clear_heartbeat()
         done = len(interrupt.outcomes)
         print(
             f"\ninterrupted: {done}/{len(specs)} cell(s) complete",
@@ -811,6 +946,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         return 130
+    clear_heartbeat()
+    if args.artifacts:
+        from repro.obs.artifact import write_sweep_manifest
+
+        cells = {
+            spec.name: (result.artifact if result is not None else None)
+            for spec, result in zip(specs, batch.results)
+        }
+        index = write_sweep_manifest(args.artifacts, cells, args.seed)
+        print(f"sweep artifact index written to {index}")
     rows = []
     for spec, result in zip(specs, batch.results):
         if result is None:
@@ -910,12 +1055,24 @@ def _cmd_tenants(args: argparse.Namespace) -> int:
             )
     else:
         spec = _default_tenant_spec(args)
+    if args.artifacts:
+        spec = spec.with_options(artifact_dir=args.artifacts)
     print(
         f"scenario: {', '.join(t.name for t in spec.host.tenants)} "
         f"(ftl={spec.ftl}, queue depth {spec.host.queue_depth}, "
         f"seed {spec.seed})"
     )
-    result = run_tenant_scenario(spec, jobs=args.jobs)
+    heartbeat, clear_heartbeat = _heartbeat_printer(
+        1 + len(spec.host.tenants)
+    )
+    result = run_tenant_scenario(spec, jobs=args.jobs, on_heartbeat=heartbeat)
+    clear_heartbeat()
+    if args.artifacts:
+        written = [result.shared] + [
+            result.solo[t.name] for t in spec.host.tenants
+        ]
+        paths = [r.artifact for r in written if r.artifact is not None]
+        print(f"{len(paths)} run artifact(s) written under {args.artifacts}")
     shared = result.shared.stats
     print(shared.summary())
     matrix = result.interference_matrix()
@@ -945,6 +1102,43 @@ def _cmd_tenants(args: argparse.Namespace) -> int:
             json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
         print(f"scenario results written to {args.json}")
     return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.artifact import load_artifact, validate_artifact
+    from repro.obs.report import render_html, render_report
+
+    problems = validate_artifact(args.run_dir)
+    if problems:
+        for problem in problems:
+            print(f"invalid artifact: {problem}", file=sys.stderr)
+        return 2
+    artifact = load_artifact(args.run_dir)
+    text = render_report(artifact)
+    print(text)
+    if args.html:
+        with open(args.html, "w") as handle:
+            handle.write(render_html(artifact, report=text))
+        print(f"\nHTML report written to {args.html}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.obs.diffing import (
+        SchemaDriftError,
+        compare_artifacts,
+        format_artifact_diff,
+    )
+
+    try:
+        report = compare_artifacts(
+            args.run_a, args.run_b, tolerance=args.tolerance
+        )
+    except (SchemaDriftError, FileNotFoundError, ValueError) as error:
+        print(f"diff failed: {error}", file=sys.stderr)
+        return 2
+    print("\n".join(format_artifact_diff(report)))
+    return 1 if report["problems"] else 0
 
 
 def _cmd_contract(args: argparse.Namespace) -> int:
@@ -1043,6 +1237,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "tenants":
         return _cmd_tenants(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "diff":
+        return _cmd_diff(args)
     if args.command == "contract":
         return _cmd_contract(args)
     if args.command == "spor":

@@ -533,6 +533,10 @@ class BaseFTL:
                             req, lpn, "nand_program", start, end, chip=chip_id,
                             **info,
                         )
+                        # exemplar side channel only: never emits a span
+                        tracer.annotate(
+                            req, lpn, layer=allocation.address.layer
+                        )
             if result is None:
                 self._on_program_fail(
                     chip_id, allocation, entries, is_gc=is_gc,
@@ -767,6 +771,9 @@ class BaseFTL:
             active.page_done(self.controller.now)
 
         trace_ctx = (active.req_id, lpn) if tracer is not None else None
+        if tracer is not None:
+            # exemplar side channel only: never emits a span
+            tracer.annotate(active.req_id, lpn, layer=address.layer)
         self._flash_read(
             chip_id, address, is_gc=False, on_data=on_data, trace_ctx=trace_ctx
         )

@@ -27,14 +27,38 @@ package provides that attribution in three parts:
   queue, tracing).
 - :mod:`repro.obs.log` -- structured ``REPRO key=value`` diagnostics
   on :mod:`logging` (:func:`configure_logging`, :func:`log_event`).
+- :mod:`repro.obs.artifact` / :mod:`repro.obs.timeseries` /
+  :mod:`repro.obs.exemplars` -- persistent run artifacts: a versioned
+  ``runs/<run_id>/`` directory per run with the spec, results, a
+  delta-compressed telemetry time-series, and tail/typical exemplar
+  spans linked from the latency histogram's tail buckets.
+- :mod:`repro.obs.report` / :mod:`repro.obs.diffing` -- deterministic
+  ASCII/HTML dashboards over one artifact and metric-by-metric
+  comparison between two (``repro-ssd report`` / ``repro-ssd diff``).
 
 The supported entry point is :func:`repro.api.run_simulation` with its
 ``trace=`` and ``metrics_interval=`` arguments; see
 ``docs/OBSERVABILITY.md`` for the trace format and span taxonomy.
 """
 
+from repro.obs.artifact import (
+    load_artifact,
+    run_fingerprint,
+    run_id,
+    validate_artifact,
+    write_artifact,
+    write_sweep_manifest,
+)
+from repro.obs.diffing import (
+    SchemaDriftError,
+    compare_artifacts,
+    format_artifact_diff,
+)
+from repro.obs.exemplars import ExemplarRecorder
 from repro.obs.log import configure_logging, get_logger, log_event
 from repro.obs.metrics import MetricsSample, MetricsSampler
+from repro.obs.report import render_html, render_report
+from repro.obs.timeseries import TimeSeriesRecorder
 from repro.obs.profile import WallClockProfiler
 from repro.obs.registry import Counter, Gauge, Histogram, TelemetryRegistry
 from repro.obs.trace import (
@@ -48,6 +72,7 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "ExemplarRecorder",
     "Gauge",
     "Histogram",
     "InMemorySink",
@@ -55,12 +80,24 @@ __all__ = [
     "MetricsSample",
     "MetricsSampler",
     "NullSink",
+    "SchemaDriftError",
     "Span",
     "TelemetryRegistry",
+    "TimeSeriesRecorder",
     "TraceSink",
     "Tracer",
     "WallClockProfiler",
+    "compare_artifacts",
     "configure_logging",
+    "format_artifact_diff",
     "get_logger",
+    "load_artifact",
     "log_event",
+    "render_html",
+    "render_report",
+    "run_fingerprint",
+    "run_id",
+    "validate_artifact",
+    "write_artifact",
+    "write_sweep_manifest",
 ]

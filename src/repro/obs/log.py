@@ -28,6 +28,18 @@ PREFIX = "REPRO"
 
 LEVELS = ("debug", "info", "warning", "error", "critical")
 
+#: the level :func:`configure_logging` was last called with (None until
+#: then); worker processes read it to re-create the parent's config
+_configured_level: Optional[str] = None
+
+
+def configured_level() -> Optional[str]:
+    """The level this process's logging was configured at, or ``None``
+    when :func:`configure_logging` never ran.  The shard pool forwards
+    it to spawned workers so ``--log-level`` diagnostics from inside a
+    worker are not silently dropped."""
+    return _configured_level
+
 
 class _StructuredFormatter(logging.Formatter):
     """``REPRO level=... logger=... <message>`` lines."""
@@ -74,6 +86,8 @@ def configure_logging(level: str = "warning", stream=None) -> logging.Logger:
     """
     if level.lower() not in LEVELS:
         raise ValueError(f"unknown log level {level!r} (choose from {LEVELS})")
+    global _configured_level
+    _configured_level = level.lower()
     root = logging.getLogger("repro")
     root.setLevel(getattr(logging, level.upper()))
     handler = logging.StreamHandler(stream if stream is not None else sys.stderr)

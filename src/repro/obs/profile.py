@@ -21,6 +21,8 @@ section         host time spent in
                 request bookkeeping, statistics
 ``nand``        the NAND chip model (program / read / erase)
 ``tracing``     span construction and sink emission
+``checker``     invariant-checker hooks and deep audits
+``telemetry``   registry recording hooks and collector sweeps
 ``other``       anything outside the engine loop (result packing, ...)
 ==============  ========================================================
 
@@ -120,15 +122,68 @@ def _wrap_timed(profiler: WallClockProfiler, name: str, fn):
     return timed
 
 
-def attach_profiler(profiler: WallClockProfiler, controller, tracer=None) -> None:
+class _TimedHooks:
+    """Replacement telemetry hook object with every ``record_*`` call
+    timed.  The hook classes in :mod:`repro.obs.device` use ``__slots__``
+    (they sit on hot paths), so instead of rebinding their methods this
+    proxy *replaces* the ``telemetry`` attribute on the instrumented
+    object; the instruments themselves stay bound inside the original
+    hook's closures, so recording is unaffected."""
+
+    _HOOKS = (
+        "record_read",
+        "record_program",
+        "record_erase",
+        "record_arrival",
+        "record_service",
+        "record_lookup",
+    )
+
+    def __init__(self, profiler: WallClockProfiler, inner) -> None:
+        for name in self._HOOKS:
+            fn = getattr(inner, name, None)
+            if fn is not None:
+                setattr(self, name, _wrap_timed(profiler, "telemetry", fn))
+
+
+#: invariant-checker entry points charged to the ``checker`` section
+_CHECKER_HOOKS = (
+    "_on_engine_event",
+    "on_block_transition",
+    "on_block_failing",
+    "on_host_write",
+    "on_buffer_read",
+    "on_unmapped_read",
+    "pin_read",
+    "on_flash_read",
+    "on_request_complete",
+    "on_prefill",
+    "check_deep",
+)
+
+
+def attach_profiler(
+    profiler: WallClockProfiler,
+    controller,
+    tracer=None,
+    checker=None,
+    telemetry=None,
+    ftl=None,
+) -> None:
     """Instrument a built simulation for wall-clock attribution.
 
-    Chip-model entry points are wrapped in a ``nand`` section and the
-    trace sink's emit in ``tracing``; the engine loop itself attributes
+    Chip-model entry points are wrapped in a ``nand`` section, the trace
+    sink's emit in ``tracing``, the invariant checker's hook methods in
+    ``checker``, and the telemetry registry's recording hooks plus
+    collector sweep in ``telemetry``; the engine loop itself attributes
     ``event_queue`` vs. ``dispatch`` when given the profiler (see
     :meth:`repro.sim.engine.Engine.run`).  Wrapping replaces *bound
     attributes on the instances*, so the classes stay untouched and an
     unprofiled simulation pays nothing.
+
+    Must run after telemetry hooks are attached and before
+    ``checker.attach`` (the checker hands its -- by then wrapped -- hook
+    methods to the engine and block manager during attach).
     """
     for chip in controller.chips:
         chip.program_wl = _wrap_timed(profiler, "nand", chip.program_wl)
@@ -136,3 +191,23 @@ def attach_profiler(profiler: WallClockProfiler, controller, tracer=None) -> Non
         chip.erase_block = _wrap_timed(profiler, "nand", chip.erase_block)
     if tracer is not None:
         tracer.sink.emit = _wrap_timed(profiler, "tracing", tracer.sink.emit)
+    if checker is not None:
+        for name in _CHECKER_HOOKS:
+            setattr(
+                checker, name, _wrap_timed(profiler, "checker", getattr(checker, name))
+            )
+    if telemetry is not None:
+        telemetry.collect = _wrap_timed(profiler, "telemetry", telemetry.collect)
+        for chip_id, chip in enumerate(controller.chips):
+            if getattr(chip, "telemetry", None) is not None:
+                chip.telemetry = _TimedHooks(profiler, chip.telemetry)
+            resource = controller.chip_resource(chip_id)
+            if getattr(resource, "telemetry", None) is not None:
+                resource.telemetry = _TimedHooks(profiler, resource.telemetry)
+        for channel in range(controller.config.geometry.n_channels):
+            bus = controller._bus_resources[channel]
+            if getattr(bus, "telemetry", None) is not None:
+                bus.telemetry = _TimedHooks(profiler, bus.telemetry)
+        opm = getattr(ftl, "opm", None)
+        if opm is not None and getattr(opm.ort, "telemetry", None) is not None:
+            opm.ort.telemetry = _TimedHooks(profiler, opm.ort.telemetry)

@@ -172,10 +172,13 @@ class Tracer:
     untouched either way (recording never schedules events).
     """
 
-    __slots__ = ("sink", "_next_request", "_admits")
+    __slots__ = ("sink", "exemplars", "_next_request", "_admits")
 
     def __init__(self, sink: Optional[TraceSink] = None) -> None:
         self.sink = sink if sink is not None else InMemorySink()
+        #: optional :class:`~repro.obs.exemplars.ExemplarRecorder` fed
+        #: out-of-band page context via :meth:`annotate`
+        self.exemplars = None
         self._next_request = 0
         #: (request, lpn) -> buffer-admission time, open until dispatch
         self._admits: Dict[Tuple[int, int], float] = {}
@@ -246,6 +249,21 @@ class Tracer:
                 info=info,
             )
         )
+
+    # -- exemplar side channel ------------------------------------------
+
+    def annotate(self, request: int, lpn: int, **info: object) -> None:
+        """Report out-of-band page context (e.g. the physical h-layer)
+        for exemplar sampling *without* emitting a span.
+
+        Span layouts are byte-pinned by the golden traces, so context
+        that only exemplars need must not widen span ``info``; this
+        side channel forwards it to the attached
+        :class:`~repro.obs.exemplars.ExemplarRecorder` instead and is a
+        no-op when none is attached.
+        """
+        if self.exemplars is not None:
+            self.exemplars.annotate(request, lpn, info)
 
     # -- write-buffer bookkeeping ---------------------------------------
 

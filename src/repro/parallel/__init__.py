@@ -15,6 +15,9 @@ exactly what a serial run would have produced:
   telemetry registries into one combined snapshot.
 - :mod:`~repro.parallel.experiments` -- ``RunSpec``: a picklable
   description of one simulation run for :func:`repro.api.run_many`.
+- :mod:`~repro.parallel.progress` -- the process-wide live-progress
+  sink: running shards stream ``completed``/``total``/``sim_us``
+  heartbeats back over their result pipes for the CLI status line.
 
 Together these give the reproducibility contract stated in the docs:
 the merged output of a sharded run is bit-for-bit identical for any
@@ -28,6 +31,11 @@ from repro.parallel.experiments import (
     specs_to_shards,
 )
 from repro.parallel.merge import merge_snapshots
+from repro.parallel.progress import (
+    get_progress_sink,
+    make_progress_hook,
+    set_progress_sink,
+)
 from repro.parallel.runner import (
     ShardOutcome,
     ShardSpec,
@@ -43,8 +51,11 @@ __all__ = [
     "ShardsInterrupted",
     "derive_seed",
     "execute_run_spec",
+    "get_progress_sink",
+    "make_progress_hook",
     "merge_snapshots",
     "resolve_seed",
     "run_shards",
+    "set_progress_sink",
     "specs_to_shards",
 ]

@@ -53,6 +53,9 @@ class RunSpec:
     telemetry: bool = False
     ftl_kwargs: Dict[str, Any] = field(default_factory=dict)
     spec: Optional[SimulationSpec] = None
+    #: base directory for a per-run artifact (see repro.obs.artifact);
+    #: None disables -- sweeps set it to give every cell its own artifact
+    artifact_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.spec is None:
@@ -73,6 +76,8 @@ def execute_run_spec(spec: RunSpec, seed: int):
         resolved = dc_replace(spec.spec, seed=seed)
         if spec.telemetry and not resolved.options.telemetry:
             resolved = resolved.with_options(telemetry=True)
+        if spec.artifact_dir is not None:
+            resolved = resolved.with_options(artifact_dir=spec.artifact_dir)
         return run_spec(resolved)
     return run_simulation(
         spec.config,
@@ -84,6 +89,7 @@ def execute_run_spec(spec: RunSpec, seed: int):
         n_requests=spec.n_requests,
         seed=seed,
         telemetry=spec.telemetry,
+        artifact_dir=spec.artifact_dir,
         **spec.ftl_kwargs,
     )
 

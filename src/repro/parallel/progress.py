@@ -1,0 +1,54 @@
+"""Live progress plumbing between running simulations and the shard pool.
+
+A replay loop reports completions through ``sim.progress`` (installed by
+:func:`repro.api.run_spec` when a *progress sink* is bound in the
+current process).  Worker processes bind a sink that forwards payloads
+over their result pipe as ``("progress", payload)`` messages; inline
+(``jobs=1``) execution binds a sink that calls the caller's heartbeat
+directly.  No sink bound (the default, e.g. a plain ``simulate``) means
+zero overhead and zero behavior change -- the hook never schedules
+events either way, so progress reporting cannot perturb a simulation.
+
+Payloads are ``{"completed", "total", "sim_us"}``: the simulated-time
+watermark plus ops completed.  Wall-clock ETA is computed by the
+*receiving* side for display only, so nothing host-dependent crosses
+the pipe and the message sequence for a given seed is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+#: ~how many heartbeats one run emits (stride = total // PARTS)
+PARTS = 16
+
+_sink: Optional[Callable[[dict], None]] = None
+
+
+def set_progress_sink(sink: Optional[Callable[[dict], None]]) -> None:
+    """Bind (or clear, with ``None``) this process's progress sink."""
+    global _sink
+    _sink = sink
+
+
+def get_progress_sink() -> Optional[Callable[[dict], None]]:
+    return _sink
+
+
+def make_progress_hook(
+    sink: Callable[[dict], None], parts: int = PARTS
+) -> Callable[[int, int, float], None]:
+    """A ``sim.progress`` hook that forwards every ~``total/parts``-th
+    completion (and always the last) to ``sink``.
+
+    The stride depends only on the request count, so the emitted message
+    sequence is a deterministic function of the run -- completion order,
+    not wall clock, decides what gets sent.
+    """
+
+    def hook(completed: int, total: int, sim_us: float) -> None:
+        stride = max(1, total // parts)
+        if completed % stride == 0 or completed == total:
+            sink({"completed": completed, "total": total, "sim_us": sim_us})
+
+    return hook

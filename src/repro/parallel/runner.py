@@ -77,8 +77,25 @@ class ShardsInterrupted(KeyboardInterrupt):
         self.outcomes = outcomes
 
 
-def _shard_main(spec: ShardSpec, conn) -> None:
-    """Worker entry point: run the shard, report through the pipe."""
+def _shard_main(spec: ShardSpec, conn, log_level: Optional[str] = None) -> None:
+    """Worker entry point: run the shard, report through the pipe.
+
+    The pipe carries zero or more ``("progress", payload)`` heartbeats
+    (emitted through the process-wide progress sink, see
+    :mod:`repro.parallel.progress`) followed by exactly one terminal
+    ``("ok", result)`` / ``("error", traceback)`` message.
+
+    ``log_level`` re-creates the parent's ``--log-level`` configuration
+    in this fresh interpreter (spawned workers otherwise default to
+    warnings-only and drop the parent's requested diagnostics).
+    """
+    if log_level is not None:
+        from repro.obs.log import configure_logging
+
+        configure_logging(log_level)
+    from repro.parallel.progress import set_progress_sink
+
+    set_progress_sink(lambda payload: conn.send(("progress", payload)))
     try:
         result = spec.fn(**spec.kwargs)
         conn.send(("ok", result))
@@ -88,9 +105,17 @@ def _shard_main(spec: ShardSpec, conn) -> None:
         conn.close()
 
 
-def _run_inline(specs: Sequence[ShardSpec], on_progress) -> List[ShardOutcome]:
+def _run_inline(
+    specs: Sequence[ShardSpec], on_progress, heartbeat=None
+) -> List[ShardOutcome]:
+    from repro.parallel.progress import set_progress_sink
+
     outcomes = []
     for spec in specs:
+        if heartbeat is not None:
+            set_progress_sink(
+                lambda payload, name=spec.name: heartbeat(name, payload)
+            )
         try:
             outcomes.append(ShardOutcome(spec.name, True, spec.fn(**spec.kwargs)))
         except KeyboardInterrupt:
@@ -99,6 +124,9 @@ def _run_inline(specs: Sequence[ShardSpec], on_progress) -> List[ShardOutcome]:
             outcomes.append(
                 ShardOutcome(spec.name, False, error=traceback.format_exc())
             )
+        finally:
+            if heartbeat is not None:
+                set_progress_sink(None)
         if on_progress is not None:
             on_progress(outcomes[-1])
     return outcomes
@@ -110,6 +138,7 @@ def run_shards(
     on_progress: Optional[Callable[[ShardOutcome], None]] = None,
     retries: int = 0,
     registry=None,
+    heartbeat: Optional[Callable[[str, dict], None]] = None,
 ) -> List[ShardOutcome]:
     """Run shards with up to ``jobs`` worker processes.
 
@@ -132,9 +161,19 @@ def run_shards(
     :class:`~repro.obs.registry.TelemetryRegistry`, optional) and marks
     the shard's eventual outcome ``retried=True``.
 
+    ``heartbeat`` (if given) receives ``(shard_name, payload)`` for each
+    live-progress message a running shard emits (see
+    :mod:`repro.parallel.progress`); like ``on_progress`` it runs in
+    this process and must not raise.  Workers also inherit this
+    process's ``--log-level`` configuration (see
+    :func:`repro.obs.log.configured_level`), so shard diagnostics are
+    not silently dropped.
+
     A SIGINT (Ctrl-C) terminates the remaining workers and raises
     :class:`ShardsInterrupted` carrying the completed outcomes.
     """
+    from repro.obs.log import configured_level
+
     retry_counter = None
     if registry is not None:
         retry_counter = registry.counter(
@@ -142,7 +181,8 @@ def run_shards(
             "shards relaunched after a worker died without reporting",
         )
     if jobs <= 1 or len(specs) <= 1:
-        return _run_inline(specs, on_progress)
+        return _run_inline(specs, on_progress, heartbeat=heartbeat)
+    log_level = configured_level()
 
     # spawn (not fork): workers start from a clean interpreter, so shard
     # results cannot depend on state the parent accumulated -- the same
@@ -158,7 +198,7 @@ def run_shards(
             index, spec = pending.pop(0)
             recv, send = ctx.Pipe(duplex=False)
             process = ctx.Process(
-                target=_shard_main, args=(spec, send), daemon=True
+                target=_shard_main, args=(spec, send, log_level), daemon=True
             )
             process.start()
             # the child holds its own handle; keeping ours open would
@@ -170,11 +210,18 @@ def run_shards(
         _launch()
         while active:
             for conn in _wait_connections(list(active)):
-                index, spec, process = active.pop(conn)
+                index, spec, process = active[conn]
                 try:
                     status, payload = conn.recv()
                 except EOFError:
                     status, payload = None, None
+                if status == "progress":
+                    # live heartbeat: the shard is still running, keep
+                    # its connection registered and read on
+                    if heartbeat is not None:
+                        heartbeat(spec.name, payload)
+                    continue
+                del active[conn]
                 conn.close()
                 process.join()
                 if status == "ok":

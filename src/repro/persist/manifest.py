@@ -87,6 +87,7 @@ def run_shards_resumable(
     on_progress: Optional[Callable[[ShardOutcome], None]] = None,
     retries: int = 0,
     registry=None,
+    heartbeat: Optional[Callable[[str, dict], None]] = None,
 ) -> List[ShardOutcome]:
     """:func:`repro.parallel.run_shards` with sweep-level durability.
 
@@ -101,7 +102,7 @@ def run_shards_resumable(
     if checkpoint_dir is None:
         return run_shards(
             specs, jobs=jobs, on_progress=on_progress,
-            retries=retries, registry=registry,
+            retries=retries, registry=registry, heartbeat=heartbeat,
         )
     names = [spec.name for spec in specs]
     manifest = load_manifest(checkpoint_dir)
@@ -145,7 +146,7 @@ def run_shards_resumable(
     try:
         fresh = run_shards(
             todo, jobs=jobs, on_progress=_save,
-            retries=retries, registry=registry,
+            retries=retries, registry=registry, heartbeat=heartbeat,
         )
     except ShardsInterrupted as interrupt:
         by_name = dict(cached)

@@ -357,6 +357,12 @@ class RunOptions:
     checkpoint_every: Optional[int] = None
     checkpoint_dir: Optional[str] = None
     resume_from: Optional[str] = None
+    #: write a run artifact under this directory (see repro.obs.artifact);
+    #: excluded from the run's content fingerprint -- *where* an artifact
+    #: lives never changes *which* run it names
+    artifact_dir: Optional[str] = None
+    #: telemetry time-series window, simulated us (None: default cadence)
+    artifact_every: Optional[float] = None
 
     def to_dict(self) -> dict:
         out: Dict[str, Any] = {}
@@ -379,6 +385,10 @@ class RunOptions:
             out["checkpoint_dir"] = self.checkpoint_dir
         if self.resume_from is not None:
             out["resume_from"] = self.resume_from
+        if self.artifact_dir is not None:
+            out["artifact_dir"] = self.artifact_dir
+        if self.artifact_every is not None:
+            out["artifact_every"] = self.artifact_every
         return out
 
     @classmethod
@@ -387,7 +397,7 @@ class RunOptions:
             data,
             {"trace", "metrics_interval", "telemetry", "profile", "check",
              "max_events", "checkpoint_every", "checkpoint_dir",
-             "resume_from"},
+             "resume_from", "artifact_dir", "artifact_every"},
             "options",
         )
         return cls(**data)

@@ -158,18 +158,33 @@ class SSDSimulation:
             from repro.obs.device import attach_device_telemetry
 
             attach_device_telemetry(telemetry, self.controller, self.ftl)
-        #: optional :class:`~repro.obs.profile.WallClockProfiler`
+        #: optional :class:`~repro.obs.profile.WallClockProfiler`; wraps
+        #: the checker's hooks too, so it must attach before the checker
+        #: hands its (then-wrapped) methods to the engine/block manager
         self.profiler = profiler
         if profiler is not None:
             from repro.obs.profile import attach_profiler
 
-            attach_profiler(profiler, self.controller, tracer)
+            attach_profiler(
+                profiler,
+                self.controller,
+                tracer,
+                checker=checker,
+                telemetry=telemetry,
+                ftl=self.ftl,
+            )
         #: optional :class:`~repro.check.InvariantChecker`; attached
         #: after the FTL exists so it can bind the engine monitor, the
         #: block-lifecycle observer, and the telemetry instruments
         self.checker = checker
         if checker is not None:
             checker.attach(self)
+        #: optional :class:`~repro.obs.timeseries.TimeSeriesRecorder`;
+        #: the replay loop starts/stops it alongside the metrics sampler
+        self.timeseries = None
+        #: optional ``hook(completed, total, now_us)`` the replay loop
+        #: calls per completion (live progress; never schedules events)
+        self.progress = None
 
     # ------------------------------------------------------------------
 

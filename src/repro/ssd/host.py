@@ -156,11 +156,15 @@ def replay_closed(
     pending: Dict[int, IORequest] = {}
     n_requests = len(trace)
     sampler = sim._make_sampler(metrics_interval_us, lambda: state["completed"])
+    recorder = getattr(sim, "timeseries", None)
+    progress = getattr(sim, "progress", None)
 
     def on_complete(active, now_us: float) -> None:
         pending.pop(id(active.spec), None)
         state["outstanding"] -= 1
         state["completed"] += 1
+        if progress is not None:
+            progress(state["completed"], n_requests, now_us)
         if state["completed"] == warmup_requests:
             state["measure_start"] = now_us
         elif state["completed"] > warmup_requests:
@@ -170,10 +174,13 @@ def replay_closed(
             else:
                 stats.write_latency.add(latency)
             _note_tenant(stats, active.spec, latency)
-        if sampler is not None and state["completed"] == n_requests:
+        if state["completed"] == n_requests:
             # stop re-arming so sampling never advances the clock past
             # the last host completion (it would distort IOPS)
-            sampler.stop()
+            if sampler is not None:
+                sampler.stop()
+            if recorder is not None:
+                recorder.stop()
         issue_next()
 
     def issue_next() -> None:
@@ -189,6 +196,8 @@ def replay_closed(
         state["measure_start"] = start_us
     if sampler is not None:
         sampler.start()
+    if recorder is not None:
+        recorder.start()
     for _ in range(queue_depth):
         issue_next()
     engine.run(max_events=max_events, profiler=sim.profiler)
@@ -203,6 +212,8 @@ def replay_closed(
     stats.recovery = sim.ftl.recovery
     if sampler is not None:
         stats.metrics = sampler.finalize()
+    if recorder is not None:
+        recorder.finalize()
     return stats
 
 
@@ -239,6 +250,8 @@ def replay_ncq(
     n_requests = len(trace)
     start_us = engine.now
     sampler = sim._make_sampler(metrics_interval_us, lambda: state["completed"])
+    recorder = getattr(sim, "timeseries", None)
+    progress = getattr(sim, "progress", None)
 
     def issue(request: IORequest) -> None:
         state["outstanding"] += 1
@@ -250,6 +263,8 @@ def replay_ncq(
         pending.pop(id(request), None)
         state["outstanding"] -= 1
         state["completed"] += 1
+        if progress is not None:
+            progress(state["completed"], n_requests, now_us)
         if state["completed"] == warmup_requests:
             state["measure_start"] = now_us
         elif state["completed"] > warmup_requests:
@@ -259,8 +274,11 @@ def replay_ncq(
             else:
                 stats.write_latency.add(latency)
             _note_tenant(stats, request, latency)
-        if sampler is not None and state["completed"] == n_requests:
-            sampler.stop()
+        if state["completed"] == n_requests:
+            if sampler is not None:
+                sampler.stop()
+            if recorder is not None:
+                recorder.stop()
         if waiting and state["outstanding"] < queue_depth:
             issue(waiting.popleft())
 
@@ -279,6 +297,8 @@ def replay_ncq(
         state["measure_start"] = start_us
     if sampler is not None:
         sampler.start()
+    if recorder is not None:
+        recorder.start()
     engine.run(max_events=max_events, profiler=sim.profiler)
     if state["outstanding"] > 0 or waiting:
         _finish_or_stall(sim, state, pending, waiting, max_events=max_events)
@@ -291,6 +311,8 @@ def replay_ncq(
     stats.recovery = sim.ftl.recovery
     if sampler is not None:
         stats.metrics = sampler.finalize()
+    if recorder is not None:
+        recorder.finalize()
     return stats
 
 
@@ -320,6 +342,8 @@ def replay_unbounded(
     start_us = engine.now
     n_requests = len(trace)
     sampler = sim._make_sampler(metrics_interval_us, lambda: state["completed"])
+    recorder = getattr(sim, "timeseries", None)
+    progress = getattr(sim, "progress", None)
 
     def on_complete(active, now_us: float) -> None:
         pending.pop(id(active.spec), None)
@@ -331,11 +355,18 @@ def replay_unbounded(
         _note_tenant(stats, active.spec, latency)
         state["outstanding"] -= 1
         state["completed"] += 1
-        if sampler is not None and state["completed"] == n_requests:
-            sampler.stop()
+        if progress is not None:
+            progress(state["completed"], n_requests, now_us)
+        if state["completed"] == n_requests:
+            if sampler is not None:
+                sampler.stop()
+            if recorder is not None:
+                recorder.stop()
 
     if sampler is not None:
         sampler.start()
+    if recorder is not None:
+        recorder.start()
     for request in trace:
 
         def issue(request=request) -> None:
@@ -353,6 +384,8 @@ def replay_unbounded(
     stats.recovery = sim.ftl.recovery
     if sampler is not None:
         stats.metrics = sampler.finalize()
+    if recorder is not None:
+        recorder.finalize()
     return stats
 
 

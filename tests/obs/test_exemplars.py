@@ -1,0 +1,165 @@
+"""Exemplar selection: slowest-K, deterministic reservoir, GC-collision
+flags, and the annotate side channel."""
+
+from repro.obs.exemplars import ExemplarRecorder, link_tail_buckets
+from repro.obs.trace import InMemorySink, Span
+
+
+def _request(request, kind="read", start=0.0, end=100.0, lpn=0, **info):
+    payload = {"kind": kind, "lpn": lpn, "n_pages": 1}
+    payload.update(info)
+    return Span(
+        request=request, lpn=lpn, stage="request",
+        start_us=start, end_us=end, info=payload,
+    )
+
+
+def _stage(request, stage, start, end, chip=None, lpn=0, **info):
+    return Span(
+        request=request, lpn=lpn, stage=stage,
+        start_us=start, end_us=end, chip=chip, info=info,
+    )
+
+
+def _emit_read(recorder, request, latency, start=0.0, chip=0, retries=0):
+    recorder.emit(
+        _stage(request, "nand_read", start, start + latency, chip=chip,
+               **({"retries": retries} if retries else {}))
+    )
+    recorder.emit(_request(request, start=start, end=start + latency))
+
+
+class TestForwarding:
+    def test_spans_forward_to_inner_sink_unchanged(self):
+        inner = InMemorySink()
+        recorder = ExemplarRecorder(inner)
+        spans = [
+            _stage(1, "nand_read", 0.0, 5.0, chip=0),
+            _request(1, end=5.0),
+            _stage(None, "erase", 0.0, 2000.0, chip=1),
+        ]
+        for span in spans:
+            recorder.emit(span)
+        assert inner.spans == spans
+
+
+class TestSlowestK:
+    def test_keeps_exactly_the_k_slowest(self):
+        recorder = ExemplarRecorder(k_slowest=3, reservoir_size=2, seed=7)
+        for request, latency in enumerate([10, 90, 20, 80, 30, 70, 40]):
+            _emit_read(recorder, request, float(latency))
+        slowest = recorder.to_dict()["kinds"]["read"]["slowest"]
+        assert [r["latency_us"] for r in slowest] == [90.0, 80.0, 70.0]
+        assert [r["request"] for r in slowest] == [1, 3, 5]
+
+    def test_ties_keep_the_earlier_request(self):
+        recorder = ExemplarRecorder(k_slowest=1, reservoir_size=1, seed=7)
+        _emit_read(recorder, 1, 50.0)
+        _emit_read(recorder, 2, 50.0)
+        slowest = recorder.to_dict()["kinds"]["read"]["slowest"]
+        assert [r["request"] for r in slowest] == [1]
+
+    def test_kinds_are_separated(self):
+        recorder = ExemplarRecorder(k_slowest=2, reservoir_size=2, seed=7)
+        _emit_read(recorder, 1, 10.0)
+        recorder.emit(_stage(2, "nand_program", 0.0, 700.0, chip=1))
+        recorder.emit(_request(2, kind="write", end=700.0))
+        kinds = recorder.to_dict()["kinds"]
+        assert set(kinds) == {"read", "write"}
+        assert kinds["write"]["count"] == 1
+
+
+class TestReservoir:
+    def test_same_seed_same_stream_same_reservoir(self):
+        def run():
+            recorder = ExemplarRecorder(k_slowest=2, reservoir_size=4, seed=42)
+            for request in range(50):
+                _emit_read(recorder, request, float(request % 7))
+            return recorder.to_dict()
+
+        assert run() == run()
+
+    def test_different_seed_may_differ_but_stays_valid(self):
+        def run(seed):
+            recorder = ExemplarRecorder(k_slowest=2, reservoir_size=4, seed=seed)
+            for request in range(50):
+                _emit_read(recorder, request, float(request % 7))
+            return recorder.to_dict()["kinds"]["read"]
+
+        kinds = run(1)
+        assert len(kinds["typical"]) == 4
+        assert kinds["count"] == 50
+
+
+class TestRecordContents:
+    def test_stage_breakdown_retries_and_chips(self):
+        recorder = ExemplarRecorder()
+        recorder.emit(_stage(5, "chip_queue", 0.0, 10.0, chip=2))
+        recorder.emit(_stage(5, "nand_read", 10.0, 60.0, chip=2, retries=3))
+        recorder.emit(_request(5, end=60.0, lpn=123))
+        record = recorder.to_dict()["kinds"]["read"]["slowest"][0]
+        assert record["stages_us"] == {"chip_queue": 10.0, "nand_read": 50.0}
+        assert record["retries"] == 3
+        assert record["chips"] == [2]
+        assert record["lpn"] == 123
+        assert record["latency_us"] == 60.0
+
+    def test_annotate_collects_layers_without_a_span(self):
+        inner = InMemorySink()
+        recorder = ExemplarRecorder(inner)
+        recorder.annotate(7, 0, {"layer": 3})
+        recorder.annotate(7, 1, {"layer": 1})
+        recorder.annotate(7, 2, {"layer": 3})
+        _emit_read(recorder, 7, 10.0)
+        record = recorder.to_dict()["kinds"]["read"]["slowest"][0]
+        assert record["layers"] == [1, 3]
+        # the side channel must never leak a span into the trace
+        assert all(s.stage != "annotate" for s in inner.spans)
+
+    def test_tenant_passes_through(self):
+        recorder = ExemplarRecorder()
+        recorder.emit(_request(9, tenant="oltp", end=10.0))
+        record = recorder.to_dict()["kinds"]["read"]["slowest"][0]
+        assert record["tenant"] == "oltp"
+
+
+class TestGcCollision:
+    def test_overlapping_background_on_touched_chip_flags(self):
+        recorder = ExemplarRecorder()
+        recorder.emit(_stage(None, "gc_program", 40.0, 90.0, chip=0))
+        _emit_read(recorder, 1, 60.0, start=50.0, chip=0)
+        record = recorder.to_dict()["kinds"]["read"]["slowest"][0]
+        assert record["gc_collision"] is True
+
+    def test_background_on_other_chip_does_not_flag(self):
+        recorder = ExemplarRecorder()
+        recorder.emit(_stage(None, "erase", 40.0, 90.0, chip=5))
+        _emit_read(recorder, 1, 60.0, start=50.0, chip=0)
+        record = recorder.to_dict()["kinds"]["read"]["slowest"][0]
+        assert record["gc_collision"] is False
+
+    def test_disjoint_background_interval_does_not_flag(self):
+        recorder = ExemplarRecorder()
+        recorder.emit(_stage(None, "gc_read", 0.0, 10.0, chip=0))
+        _emit_read(recorder, 1, 60.0, start=50.0, chip=0)
+        record = recorder.to_dict()["kinds"]["read"]["slowest"][0]
+        assert record["gc_collision"] is False
+
+
+class TestTailLinks:
+    def test_exemplars_land_in_their_buckets(self):
+        recorder = ExemplarRecorder(k_slowest=4, reservoir_size=2, seed=7)
+        for request, latency in enumerate([10.0, 95.0, 120.0, 200.0]):
+            _emit_read(recorder, request, latency)
+        thresholds = {
+            "read": {
+                "p90_us": 90.0, "p99_us": 100.0,
+                "p999_us": 150.0, "max_us": 200.0,
+            }
+        }
+        links = link_tail_buckets(recorder.to_dict(), thresholds)
+        buckets = links["read"]["buckets"]
+        assert buckets["p90-p99"] == [1]
+        assert buckets["p99-p999"] == [2]
+        assert buckets["p999-max"] == [3]
+        assert links["read"]["thresholds"]["p999_us"] == 150.0

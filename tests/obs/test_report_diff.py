@@ -1,0 +1,100 @@
+"""Deterministic reports and cross-run diffing on the committed
+example artifact (``examples/artifact/``)."""
+
+import glob
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.cli import main
+from repro.obs.artifact import load_artifact, validate_artifact
+from repro.obs.diffing import compare_artifacts, format_artifact_diff
+from repro.obs.report import render_html, render_report
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+@pytest.fixture(scope="module")
+def example_dir():
+    candidates = sorted(glob.glob(
+        os.path.join(REPO_ROOT, "examples", "artifact", "*", "manifest.json")
+    ))
+    assert candidates, "committed example artifact is missing"
+    return os.path.dirname(candidates[0])
+
+
+class TestReport:
+    def test_example_artifact_still_validates(self, example_dir):
+        assert validate_artifact(example_dir) == []
+
+    def test_render_is_deterministic(self, example_dir):
+        artifact = load_artifact(example_dir)
+        first = render_report(artifact)
+        second = render_report(load_artifact(example_dir))
+        assert first == second
+
+    def test_render_mentions_the_run_and_latency(self, example_dir):
+        text = render_report(load_artifact(example_dir))
+        assert os.path.basename(example_dir) in text
+        assert "latency CDF" in text
+        assert "run " in text
+
+    def test_html_wraps_the_text_report(self, example_dir):
+        artifact = load_artifact(example_dir)
+        text = render_report(artifact)
+        html = render_html(artifact, report=text)
+        assert html.startswith("<!DOCTYPE html>")
+        assert os.path.basename(example_dir) in html
+
+
+class TestDiff:
+    def test_self_diff_has_no_problems(self, example_dir):
+        report = compare_artifacts(example_dir, example_dir)
+        assert report["problems"] == []
+        assert report["same_run"] is True
+        lines = format_artifact_diff(report)
+        assert lines[-1].startswith("OK: no regressions")
+
+    def test_tampered_copy_is_flagged(self, example_dir, tmp_path):
+        copy = str(tmp_path / os.path.basename(example_dir))
+        shutil.copytree(example_dir, copy)
+        result_path = os.path.join(copy, "result.json")
+        with open(result_path) as handle:
+            doc = json.load(handle)
+        doc["iops"] *= 0.5
+        with open(result_path, "w") as handle:
+            json.dump(doc, handle)
+        report = compare_artifacts(example_dir, copy)
+        assert report["problems"]
+        lines = "\n".join(format_artifact_diff(report))
+        assert "REGRESSION" in lines
+
+
+class TestCli:
+    def test_report_command_exits_zero(self, example_dir, capsys):
+        assert main(["report", example_dir]) == 0
+        out = capsys.readouterr().out
+        assert "latency CDF" in out
+
+    def test_report_html_output(self, example_dir, tmp_path, capsys):
+        html_path = str(tmp_path / "report.html")
+        assert main(["report", example_dir, "--html", html_path]) == 0
+        capsys.readouterr()
+        with open(html_path) as handle:
+            assert handle.read().startswith("<!DOCTYPE html>")
+
+    def test_diff_command_exits_zero_on_self(self, example_dir, capsys):
+        assert main(["diff", example_dir, example_dir]) == 0
+        assert "OK: no regressions" in capsys.readouterr().out
+
+    def test_report_rejects_an_invalid_directory(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope")]) == 2
+        assert capsys.readouterr().err
+
+    def test_diff_rejects_an_invalid_directory(self, example_dir, tmp_path,
+                                               capsys):
+        assert main(["diff", example_dir, str(tmp_path / "nope")]) == 2
+        assert capsys.readouterr().err

@@ -1,0 +1,131 @@
+"""The windowed, delta-compressed telemetry time-series recorder."""
+
+import pytest
+
+from repro.obs.registry import TelemetryRegistry
+from repro.obs.timeseries import (
+    DEFAULT_INTERVAL_US,
+    TimeSeriesRecorder,
+    expand_records,
+    flatten_snapshot,
+)
+
+
+class FakeRecurring:
+    def __init__(self, engine):
+        self.engine = engine
+        self.stopped = False
+
+    def stop(self):
+        self.stopped = True
+
+
+class FakeEngine:
+    """Just enough engine: a clock and a hand-cranked recurring event."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.recurring = []
+
+    def every(self, interval_us, fn):
+        event = FakeRecurring(self)
+        event.interval_us = interval_us
+        event.fn = fn
+        self.recurring.append(event)
+        return event
+
+    def advance(self, dt):
+        self.now += dt
+        for event in self.recurring:
+            if not event.stopped:
+                event.fn()
+
+
+@pytest.fixture
+def registry():
+    return TelemetryRegistry()
+
+
+class TestFlattenSnapshot:
+    def test_counter_flattens_to_value_key(self, registry):
+        registry.counter("ops_total", "ops").inc(3)
+        flat = flatten_snapshot(registry.snapshot())
+        assert flat["ops_total.value"] == 3
+
+    def test_labelled_series_sorted_into_keys(self, registry):
+        counter = registry.counter("per_chip", "per chip", labelnames=("chip",))
+        counter.labels(chip=1).inc(2)
+        counter.labels(chip=0).inc(5)
+        flat = flatten_snapshot(registry.snapshot())
+        assert flat["per_chip{chip=0}.value"] == 5
+        assert flat["per_chip{chip=1}.value"] == 2
+        assert list(flat) == sorted(flat)
+
+    def test_flatten_is_deterministic(self, registry):
+        counter = registry.counter("c", "c", labelnames=("k",))
+        for key in ("b", "a", "z"):
+            counter.labels(k=key).inc()
+        first = flatten_snapshot(registry.snapshot())
+        second = flatten_snapshot(registry.snapshot())
+        assert first == second
+        assert list(first) == list(second)
+
+
+class TestDeltaCompression:
+    def test_first_window_full_later_windows_delta(self, registry):
+        counter = registry.counter("a", "a")
+        other = registry.counter("b", "b")
+        counter.inc()
+        other.inc()
+        engine = FakeEngine()
+        recorder = TimeSeriesRecorder(registry, engine, interval_us=10.0)
+        recorder.start()
+        assert recorder.records[0]["full"] is True
+        assert recorder.records[0]["values"] == {"a.value": 1, "b.value": 1}
+        counter.inc()  # only a changes
+        engine.advance(10.0)
+        assert recorder.records[1]["full"] is False
+        assert recorder.records[1]["values"] == {"a.value": 2}
+        engine.advance(10.0)  # nothing changed: empty delta
+        assert recorder.records[2]["values"] == {}
+
+    def test_expand_records_roundtrips(self, registry):
+        counter = registry.counter("a", "a")
+        engine = FakeEngine()
+        recorder = TimeSeriesRecorder(registry, engine, interval_us=5.0)
+        recorder.start()
+        expected = []
+        expected.append(flatten_snapshot(registry.snapshot()))
+        for _ in range(4):
+            counter.inc()
+            engine.advance(5.0)
+            expected.append(flatten_snapshot(registry.snapshot()))
+        times, windows = expand_records(recorder.records)
+        assert times == [0.0, 5.0, 10.0, 15.0, 20.0]
+        assert windows == expected
+
+    def test_finalize_replaces_same_timestamp_window(self, registry):
+        counter = registry.counter("a", "a")
+        engine = FakeEngine()
+        recorder = TimeSeriesRecorder(registry, engine, interval_us=5.0)
+        recorder.start()
+        engine.advance(5.0)  # periodic window at t=5
+        counter.inc()  # state changes after the periodic snapshot
+        records = recorder.finalize()  # end-of-run also at t=5
+        assert [r["t_us"] for r in records] == [0.0, 5.0]
+        _, windows = expand_records(records)
+        assert windows[-1]["a.value"] == 1  # final window sees the inc
+
+    def test_stop_cancels_recurring_event(self, registry):
+        engine = FakeEngine()
+        recorder = TimeSeriesRecorder(registry, engine)
+        recorder.start()
+        recorder.stop()
+        assert engine.recurring[0].stopped
+        n = len(recorder.records)
+        engine.advance(DEFAULT_INTERVAL_US)
+        assert len(recorder.records) == n
+
+    def test_rejects_nonpositive_interval(self, registry):
+        with pytest.raises(ValueError):
+            TimeSeriesRecorder(registry, FakeEngine(), interval_us=0.0)

@@ -301,7 +301,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out",
         default=None,
-        help="output path (default: next free BENCH_<n>.json at repo root)",
+        help="output path; 'auto' (or omitted) appends the next free "
+        "BENCH_<n>.json at the repo root",
     )
     parser.add_argument(
         "--jobs",
@@ -334,7 +335,11 @@ def main(argv=None) -> int:
     )
     if args.canonical:
         document = canonicalize(document)
-    out = args.out or next_bench_path(REPO_ROOT)
+    out = (
+        next_bench_path(REPO_ROOT)
+        if args.out in (None, "auto")
+        else args.out
+    )
     with open(out, "w") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")

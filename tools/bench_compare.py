@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Diff two ``tools/bench.py`` snapshots and fail on regressions.
+"""Diff ``tools/bench.py`` snapshots and fail on regressions.
 
 Cases are matched by name.  A case regresses when, beyond tolerance
 (default 10 %):
@@ -16,120 +16,57 @@ both snapshots come from the same machine, e.g. one CI job)::
 
     PYTHONPATH=src python tools/bench_compare.py BENCH_0.json BENCH_1.json
 
+With three or more snapshots a *trajectory table* is printed instead --
+per-case IOPS and p99 across every snapshot in argument order (oldest
+first) -- and regressions are gated on last-vs-first::
+
+    PYTHONPATH=src python tools/bench_compare.py BENCH_0.json BENCH_1.json BENCH_2.json
+
 Exits 1 on any regression, 2 on mismatched snapshots.
+
+The comparison primitives live in :mod:`repro.obs.diffing` (shared with
+``repro-ssd diff`` for run artifacts); this tool is the bench-snapshot
+front end.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
-from typing import List, Optional
+from typing import List
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.obs.diffing import (  # noqa: E402
+    SchemaDriftError,
+    compare_case,
+    pct as _pct,
+)
+
+__all__ = ["SchemaDriftError", "compare_case", "main"]
 
 
-def _pct(new: float, old: float) -> str:
-    if new is None or old is None:
-        return "n/a"
-    if old == 0:
-        return "n/a" if new == 0 else "+inf"
-    return f"{100.0 * (new - old) / old:+.1f} %"
+def _load_snapshots(paths: List[str]):
+    documents = []
+    for path in paths:
+        with open(path) as handle:
+            documents.append(json.load(handle))
+    return documents
 
 
-class SchemaDriftError(Exception):
-    """A snapshot lacks a key this comparator gates on.
-
-    BENCH generations can drift (fields added, renamed, dropped); the
-    comparator must *name* the missing key and the snapshot it came
-    from, not die with a KeyError traceback -- a crashed CI diff is
-    indistinguishable from a broken comparator."""
-
-
-def _metric(case: dict, source: str, *path: str):
-    """Fetch a (possibly nested) metric, naming any missing key."""
-    value = case
-    walked = []
-    for key in path:
-        walked.append(key)
-        if not isinstance(value, dict) or key not in value:
-            name = case.get("name", "?") if isinstance(case, dict) else "?"
-            raise SchemaDriftError(
-                f"case {name!r} in {source} is missing metric "
-                f"{'.'.join(walked)!r} (bench schema drift -- regenerate "
-                f"the baseline or pin matching bench generations)"
-            )
-        value = value[key]
-    return value
-
-
-def compare_case(
-    old: dict,
-    new: dict,
-    tolerance: float,
-    wall_tolerance: Optional[float],
-    old_source: str = "<old>",
-    new_source: str = "<new>",
-) -> List[str]:
-    """Regression messages for one matched case (empty when clean).
-
-    Raises :class:`SchemaDriftError` when a gated metric is absent from
-    either snapshot."""
-    problems = []
-    old_iops = _metric(old, old_source, "iops")
-    new_iops = _metric(new, new_source, "iops")
-    if new_iops < old_iops * (1.0 - tolerance):
-        problems.append(
-            f"{new['name']}: IOPS regressed {old_iops:.0f} -> "
-            f"{new_iops:.0f} ({_pct(new_iops, old_iops)})"
-        )
-    for block in ("read_latency", "write_latency"):
-        old_p99 = _metric(old, old_source, block, "p99_us")
-        new_p99 = _metric(new, new_source, block, "p99_us")
-        if new_p99 > old_p99 * (1.0 + tolerance):
-            problems.append(
-                f"{new['name']}: {block} p99 regressed {old_p99:.1f} -> "
-                f"{new_p99:.1f} us ({_pct(new_p99, old_p99)})"
-            )
-    if wall_tolerance is not None:
-        old_wall = _metric(old, old_source, "wall_clock_s")
-        new_wall = _metric(new, new_source, "wall_clock_s")
-        if new_wall > old_wall * (1.0 + wall_tolerance):
-            problems.append(
-                f"{new['name']}: wall-clock regressed {old_wall:.2f} -> "
-                f"{new_wall:.2f} s ({_pct(new_wall, old_wall)})"
-            )
-    return problems
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("old", help="baseline BENCH_<n>.json")
-    parser.add_argument("new", help="candidate BENCH_<n>.json")
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.10,
-        help="allowed relative drift in IOPS / p99 latency (default 0.10)",
-    )
-    parser.add_argument(
-        "--wall-tolerance",
-        type=float,
-        default=None,
-        help="also gate on wall-clock with this tolerance (off by default: "
-        "wall time is host-dependent)",
-    )
-    args = parser.parse_args(argv)
-
-    with open(args.old) as handle:
-        old_doc = json.load(handle)
-    with open(args.new) as handle:
-        new_doc = json.load(handle)
+def _validate_pairwise(old_path, old_doc, new_path, new_doc) -> int:
+    """Structural checks shared by the 2-snapshot and trajectory modes;
+    returns 0 when comparable, 2 (the exit code) otherwise."""
     if old_doc.get("smoke") != new_doc.get("smoke"):
         print(
             "FAIL: comparing a smoke snapshot against a full one",
             file=sys.stderr,
         )
         return 2
-    for source, document in ((args.old, old_doc), (args.new, new_doc)):
+    for source, document in ((old_path, old_doc), (new_path, new_doc)):
         if not isinstance(document.get("cases"), list):
             print(
                 f"FAIL: {source} has no 'cases' list "
@@ -145,43 +82,54 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 2
-
     old_cases = {case["name"]: case for case in old_doc["cases"]}
     new_cases = {case["name"]: case for case in new_doc["cases"]}
     missing = sorted(set(old_cases) - set(new_cases))
     if missing:
-        print(f"FAIL: cases missing from {args.new}: {missing}", file=sys.stderr)
+        print(f"FAIL: cases missing from {new_path}: {missing}", file=sys.stderr)
         return 2
+    return 0
 
-    def info(case, *path):
-        """Informational metric: None (printed as n/a) when absent."""
-        value = case
-        for key in path:
-            if not isinstance(value, dict) or key not in value:
-                return None
-            value = value[key]
-        return value
 
+def _info(case, *path):
+    """Informational metric: None (printed as n/a) when absent."""
+    value = case
+    for key in path:
+        if not isinstance(value, dict) or key not in value:
+            return None
+        value = value[key]
+    return value
+
+
+def _compare_two(paths, documents, tolerance, wall_tolerance) -> int:
+    old_path, new_path = paths
+    old_doc, new_doc = documents
+    status = _validate_pairwise(old_path, old_doc, new_path, new_doc)
+    if status:
+        return status
+
+    old_cases = {case["name"]: case for case in old_doc["cases"]}
+    new_cases = {case["name"]: case for case in new_doc["cases"]}
     problems: List[str] = []
     for name in sorted(old_cases):
         old_case, new_case = old_cases[name], new_cases[name]
         try:
             problems += compare_case(
-                old_case, new_case, args.tolerance, args.wall_tolerance,
-                old_source=args.old, new_source=args.new,
+                old_case, new_case, tolerance, wall_tolerance,
+                old_source=old_path, new_source=new_path,
             )
         except SchemaDriftError as drift:
             print(f"FAIL: {drift}", file=sys.stderr)
             return 2
-        old_iops = info(old_case, "iops")
-        new_iops = info(new_case, "iops")
+        old_iops = _info(old_case, "iops")
+        new_iops = _info(new_case, "iops")
         print(
             f"{name:>12}: IOPS "
             f"{old_iops:8.0f} -> {new_iops:8.0f} "
             f"({_pct(new_iops, old_iops)}), "
-            f"read p99 {_pct(info(new_case, 'read_latency', 'p99_us'), info(old_case, 'read_latency', 'p99_us'))}, "
-            f"write p99 {_pct(info(new_case, 'write_latency', 'p99_us'), info(old_case, 'write_latency', 'p99_us'))}, "
-            f"wall {_pct(info(new_case, 'wall_clock_s'), info(old_case, 'wall_clock_s'))} (info)"
+            f"read p99 {_pct(_info(new_case, 'read_latency', 'p99_us'), _info(old_case, 'read_latency', 'p99_us'))}, "
+            f"write p99 {_pct(_info(new_case, 'write_latency', 'p99_us'), _info(old_case, 'write_latency', 'p99_us'))}, "
+            f"wall {_pct(_info(new_case, 'wall_clock_s'), _info(old_case, 'wall_clock_s'))} (info)"
         )
     extra = sorted(set(new_cases) - set(old_cases))
     if extra:
@@ -191,8 +139,100 @@ def main(argv=None) -> int:
         for problem in problems:
             print(f"REGRESSION: {problem}", file=sys.stderr)
         return 1
-    print(f"OK: {len(old_cases)} case(s) within {args.tolerance:.0%} tolerance")
+    print(f"OK: {len(old_cases)} case(s) within {tolerance:.0%} tolerance")
     return 0
+
+
+def _compare_trajectory(paths, documents, tolerance, wall_tolerance) -> int:
+    """3+ snapshots: per-case metric trajectory across every snapshot
+    (argument order, oldest first), gated on last-vs-first."""
+    first_path, first_doc = paths[0], documents[0]
+    for path, document in zip(paths[1:], documents[1:]):
+        status = _validate_pairwise(first_path, first_doc, path, document)
+        if status:
+            return status
+
+    labels = [os.path.basename(path) for path in paths]
+    case_names = sorted(case["name"] for case in first_doc["cases"])
+    by_name = [
+        {case["name"]: case for case in document["cases"]}
+        for document in documents
+    ]
+
+    print(f"trajectory over {len(paths)} snapshot(s): {' -> '.join(labels)}")
+    for metric_label, metric_path in (
+        ("IOPS", ("iops",)),
+        ("read p99 us", ("read_latency", "p99_us")),
+        ("write p99 us", ("write_latency", "p99_us")),
+    ):
+        print(f"\n{metric_label}:")
+        for name in case_names:
+            values = [_info(cases.get(name, {}), *metric_path)
+                      for cases in by_name]
+            cells = " -> ".join(
+                "n/a" if v is None else f"{v:8.1f}" for v in values
+            )
+            trend = _pct(values[-1], values[0])
+            print(f"  {name:>16}: {cells}  ({trend} overall)")
+
+    problems: List[str] = []
+    last_cases = by_name[-1]
+    for name in case_names:
+        try:
+            problems += compare_case(
+                by_name[0][name], last_cases[name], tolerance,
+                wall_tolerance,
+                old_source=paths[0], new_source=paths[-1],
+            )
+        except SchemaDriftError as drift:
+            print(f"FAIL: {drift}", file=sys.stderr)
+            return 2
+    if problems:
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"\nOK: {len(case_names)} case(s) within {tolerance:.0%} tolerance "
+        f"({labels[-1]} vs {labels[0]})"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "snapshots",
+        nargs="+",
+        metavar="BENCH.json",
+        help="two snapshots (baseline, candidate) for a pairwise diff, "
+        "or three and more (oldest first) for a trajectory table gated "
+        "on last-vs-first",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed relative drift in IOPS / p99 latency (default 0.10)",
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=None,
+        help="also gate on wall-clock with this tolerance (off by default: "
+        "wall time is host-dependent)",
+    )
+    args = parser.parse_args(argv)
+    if len(args.snapshots) < 2:
+        parser.error("need at least two snapshots to compare")
+
+    documents = _load_snapshots(args.snapshots)
+    if len(args.snapshots) == 2:
+        return _compare_two(
+            args.snapshots, documents, args.tolerance, args.wall_tolerance
+        )
+    return _compare_trajectory(
+        args.snapshots, documents, args.tolerance, args.wall_tolerance
+    )
 
 
 if __name__ == "__main__":

@@ -2,8 +2,10 @@
 """Validate a ``repro-ssd simulate --json`` result file (schema v2),
 optionally a ``--trace`` JSONL span file, a ``tools/bench.py``
 snapshot (``--bench``), a checkpoint directory's headers
-(``--checkpoint``, see ``docs/PERSISTENCE.md``), and/or a
-SimulationSpec file (``--spec``, see ``docs/WORKLOADS.md``).
+(``--checkpoint``, see ``docs/PERSISTENCE.md``), a SimulationSpec
+file (``--spec``, see ``docs/WORKLOADS.md``), and/or a run-artifact
+directory written with ``--artifacts`` (``--run-artifact``, see
+``docs/OBSERVABILITY.md``).
 
 Used by the CI smoke steps to catch schema drift and tiling-contract
 regressions on a tiny simulation::
@@ -11,6 +13,7 @@ regressions on a tiny simulation::
     python tools/check_schema.py out.json --trace trace.jsonl
     python tools/check_schema.py --bench BENCH_0.json
     PYTHONPATH=src python tools/check_schema.py --checkpoint /tmp/ckpts
+    PYTHONPATH=src python tools/check_schema.py --run-artifact runs/<run_id>
 
 Exits nonzero with a list of problems on any violation.
 """
@@ -233,6 +236,15 @@ def check_spec(path: str) -> List[str]:
     return []
 
 
+def check_run_artifact(path: str) -> List[str]:
+    """Validate one run-artifact directory (manifest hashes, spec
+    round-trip, result schema) via ``repro.obs.artifact``."""
+    # imported lazily: needs PYTHONPATH=src, like the trace check
+    from repro.obs.artifact import validate_artifact
+
+    return validate_artifact(path)
+
+
 def check_trace(path: str) -> List[str]:
     # imported lazily: the stats check must work without PYTHONPATH=src
     from repro.obs.analyze import validate_trace
@@ -277,15 +289,24 @@ def main(argv=None) -> int:
         help="SimulationSpec file (JSON/TOML) to validate against the "
         "spec schema",
     )
+    parser.add_argument(
+        "--run-artifact",
+        default=None,
+        dest="run_artifact",
+        help="run-artifact directory (runs/<run_id>, written with "
+        "--artifacts) to validate against the artifact schema",
+    )
     args = parser.parse_args(argv)
     if (
         args.stats_json is None
         and args.bench is None
         and args.checkpoint is None
         and args.spec is None
+        and args.run_artifact is None
     ):
         parser.error(
-            "give a stats_json file, --bench, --checkpoint, and/or --spec"
+            "give a stats_json file, --bench, --checkpoint, --spec, "
+            "and/or --run-artifact"
         )
 
     errors: List[str] = []
@@ -305,6 +326,11 @@ def main(argv=None) -> int:
         errors += check_checkpoint(args.checkpoint)
     if args.spec is not None:
         errors += check_spec(args.spec)
+    if args.run_artifact is not None:
+        errors += [
+            f"{args.run_artifact}: {error}"
+            for error in check_run_artifact(args.run_artifact)
+        ]
     if errors:
         for error in errors:
             print(f"FAIL: {error}", file=sys.stderr)
@@ -327,6 +353,8 @@ def main(argv=None) -> int:
         print(f"OK: checkpoint header(s) valid under {args.checkpoint}")
     if args.spec is not None:
         print(f"OK: spec {args.spec} valid")
+    if args.run_artifact is not None:
+        print(f"OK: run artifact {args.run_artifact} valid")
     return 0
 
 
