@@ -670,19 +670,16 @@ class BaseFTL:
     def _bind_host_pages(
         self, chip_id: int, allocation: Allocation, entries: List[BufferEntry]
     ) -> None:
+        base_ppn = self.geometry.wl_ppn(
+            chip_id,
+            allocation.block,
+            allocation.address.layer,
+            allocation.address.wl,
+        )
         for page_index, entry in enumerate(entries):
             if entry.version != self.buffer.latest_version(entry.lpn):
                 continue  # a newer write of this LPN exists or is staged
-            ppn = self.geometry.ppn(
-                chip_id,
-                PageAddress(
-                    allocation.block,
-                    allocation.address.layer,
-                    allocation.address.wl,
-                    page_index,
-                ),
-            )
-            self.mapper.bind(entry.lpn, ppn)
+            self.mapper.bind(entry.lpn, base_ppn + page_index)
 
     def _bind_gc_pages(
         self,
@@ -690,6 +687,12 @@ class BaseFTL:
         allocation: Allocation,
         gc_payload: List[Tuple[int, object, int]],
     ) -> None:
+        base_ppn = self.geometry.wl_ppn(
+            chip_id,
+            allocation.block,
+            allocation.address.layer,
+            allocation.address.wl,
+        )
         for page_index, (lpn, _tag, old_ppn) in enumerate(gc_payload):
             if self.mapper.lookup(lpn) != old_ppn:
                 continue  # host rewrote the page during migration
@@ -699,23 +702,12 @@ class BaseFTL:
                 # erase finds the block clean
                 self.mapper.invalidate_lpn(lpn)
                 continue
-            ppn = self.geometry.ppn(
-                chip_id,
-                PageAddress(
-                    allocation.block,
-                    allocation.address.layer,
-                    allocation.address.wl,
-                    page_index,
-                ),
-            )
-            self.mapper.bind(lpn, ppn)
+            self.mapper.bind(lpn, base_ppn + page_index)
 
     def _maybe_mark_full(self, chip_id: int, block: int) -> None:
         """A block leaves the active set once its cursor is exhausted; the
         cursor structures drop exhausted blocks themselves, so here we
         only flip the lifecycle state when all WLs are programmed."""
-        from repro.ftl.blockmgr import BlockState
-
         if self.blocks.state(chip_id, block) is not BlockState.ACTIVE:
             return
         chip = self.controller.chip(chip_id)

@@ -38,6 +38,11 @@ class PageMapper:
         # single hottest mapping operation on read-dominated workloads
         self._l2p_item = self._l2p.item
         self._p2l_item = self._p2l.item
+        self._valid_item = self._valid.item
+        # plain-int geometry constants so the per-bind PPN decomposition
+        # needs no attribute chains
+        self._pages_per_chip = int(geometry.pages_per_chip)
+        self._pages_per_block = int(geometry.block.pages_per_block)
 
     # ------------------------------------------------------------------
 
@@ -46,8 +51,8 @@ class PageMapper:
             raise IndexError(f"LPN {lpn} out of range [0, {self.logical_pages})")
 
     def _block_of_ppn(self, ppn: int) -> Tuple[int, int]:
-        chip_id, rest = divmod(ppn, self.geometry.pages_per_chip)
-        block = rest // self.geometry.block.pages_per_block
+        chip_id, rest = divmod(ppn, self._pages_per_chip)
+        block = rest // self._pages_per_block
         return chip_id, block
 
     # ------------------------------------------------------------------
@@ -62,7 +67,7 @@ class PageMapper:
         return self._p2l_item(ppn)
 
     def is_valid(self, ppn: int) -> bool:
-        return bool(self._valid[ppn])
+        return self._valid_item(ppn)
 
     def bind(self, lpn: int, ppn: int) -> int:
         """Map an LPN to a newly programmed PPN.
@@ -70,10 +75,13 @@ class PageMapper:
         Any previous mapping of the LPN is invalidated.  Returns the old
         PPN (or :data:`UNMAPPED`).
         """
-        self._check_lpn(lpn)
+        if not 0 <= lpn < self.logical_pages:
+            raise IndexError(
+                f"LPN {lpn} out of range [0, {self.logical_pages})"
+            )
         if not 0 <= ppn < self.geometry.total_pages:
             raise IndexError(f"PPN {ppn} out of range")
-        if self._valid[ppn]:
+        if self._valid_item(ppn):
             raise ValueError(f"PPN {ppn} already holds valid data")
         old = self._l2p_item(lpn)
         if old != UNMAPPED:
@@ -81,8 +89,8 @@ class PageMapper:
         self._l2p[lpn] = ppn
         self._p2l[ppn] = lpn
         self._valid[ppn] = True
-        chip_id, block = self._block_of_ppn(ppn)
-        self._valid_count[chip_id, block] += 1
+        chip_id, rest = divmod(ppn, self._pages_per_chip)
+        self._valid_count[chip_id, rest // self._pages_per_block] += 1
         return old
 
     def invalidate_lpn(self, lpn: int) -> None:
@@ -94,10 +102,10 @@ class PageMapper:
             self._l2p[lpn] = UNMAPPED
 
     def _invalidate_ppn(self, ppn: int) -> None:
-        if self._valid[ppn]:
+        if self._valid_item(ppn):
             self._valid[ppn] = False
-            chip_id, block = self._block_of_ppn(ppn)
-            self._valid_count[chip_id, block] -= 1
+            chip_id, rest = divmod(ppn, self._pages_per_chip)
+            self._valid_count[chip_id, rest // self._pages_per_block] -= 1
         self._p2l[ppn] = UNMAPPED
 
     # ------------------------------------------------------------------
@@ -161,6 +169,7 @@ class PageMapper:
         # the fast-path bound methods point at the *old* arrays; re-bind
         self._l2p_item = self._l2p.item
         self._p2l_item = self._p2l.item
+        self._valid_item = self._valid.item
 
     # ------------------------------------------------------------------
     # invariants (exercised by property-based tests)

@@ -20,6 +20,7 @@ parts program and how the paper's WL-granular allocation (the WAM) works.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
@@ -39,7 +40,14 @@ from repro.nand.errors import (
 from repro.nand.geometry import BlockGeometry
 from repro.nand.ispp import IsppEngine, IsppResult, ProgramParams, WLProgramProfile
 from repro.nand.read_retry import MAX_OFFSET, ReadParams, ReadRetryModel
-from repro.nand.reliability import AgingState, ReliabilityModel, hash_unit
+from repro.nand.reliability import (
+    AgingState,
+    ReliabilityModel,
+    hash_state,
+    hash_unit,
+    hash_unit_tail,
+)
+from repro.nand.tables import FastPathTables
 from repro.nand.timing import NandTiming
 
 #: how many offset levels a *hint-started* retry sweep searches before
@@ -132,6 +140,14 @@ class NandChip:
         see transient BER spikes or stale-offset sweep failures, and any
         operation can hit stuck-die latency.  Without it (the default)
         the chip behaves bit-for-bit like the fault-free model.
+    fast_path:
+        Serve the program/read hot path from precomputed per-(block,
+        erase-epoch) reliability tables (:mod:`repro.nand.tables`).
+        The tables are bitwise identical to the scalar model, so this is
+        purely a wall-clock switch.  ``None`` (the default) follows the
+        ``REPRO_FAST_PATH`` environment variable: set to ``0`` to force
+        the scalar path (equivalence smokes); unset or anything else
+        enables the tables.
     """
 
     def __init__(
@@ -150,6 +166,7 @@ class NandChip:
         read_disturb_per_read: float = 0.0,
         fault_injector: Optional[FaultInjector] = None,
         store_oob: bool = False,
+        fast_path: Optional[bool] = None,
     ) -> None:
         if n_blocks < 1:
             raise ValueError("n_blocks must be >= 1")
@@ -186,15 +203,22 @@ class NandChip:
         #: with or without it
         self.telemetry = None
 
+        # per-(block, WL) mutable state lives in plain Python lists: the
+        # program/read hot paths touch single scalars, where list access
+        # is several times cheaper than numpy scalar indexing.  The
+        # checkpoint wire format stays numpy (see state_dict).
         wls = geometry.wls_per_block
-        self._erase_counts = np.zeros(n_blocks, dtype=np.int32)
-        self._programmed = np.zeros((n_blocks, wls), dtype=bool)
-        self._penalty = np.ones((n_blocks, wls), dtype=np.float64)
+        self._erase_counts = [0] * n_blocks
+        self._programmed = [[False] * wls for _ in range(n_blocks)]
+        # incrementally maintained row sums of _programmed, so the FTL's
+        # per-program block-full check is O(1) instead of a row scan
+        self._programmed_counts = [0] * n_blocks
+        self._penalty = [[1.0] * wls for _ in range(n_blocks)]
         # program-instance variation: each program operation lands the
         # V_th distributions slightly differently (sub-percent), which is
         # what the paper's Fig. 13 measures as RTN-scale order noise
-        self._prog_noise = np.ones((n_blocks, wls), dtype=np.float64)
-        self._block_reads = np.zeros(n_blocks, dtype=np.int64)
+        self._prog_noise = [[1.0] * wls for _ in range(n_blocks)]
+        self._block_reads = [0] * n_blocks
         self._baseline = AgingState()
         self._read_nonce = 0
         self._program_nonce = 0
@@ -210,6 +234,16 @@ class NandChip:
         # zero-retention states the program path uses).
         self._block_aging_cache: Dict[int, AgingState] = {}
         self._fresh_aging_cache: Dict[int, AgingState] = {}
+        if fast_path is None:
+            fast_path = os.environ.get("REPRO_FAST_PATH", "1") != "0"
+        self._fast = FastPathTables(self) if fast_path else None
+        # premixed hash-chain prefixes of the two per-program draws
+        # (environment shift and program-instance noise): the leading
+        # (seed, tag, chip_id) keys never change, so folding them per
+        # operation is wasted work
+        seed = self.reliability.seed
+        self._env_hash_state = hash_state(seed, 0xE47, chip_id)
+        self._prog_noise_hash_state = hash_state(seed, 0x9619, chip_id)
 
     # ------------------------------------------------------------------
     # aging control (experiment pre-conditioning)
@@ -224,6 +258,8 @@ class NandChip:
         self._baseline = aging
         self._block_aging_cache.clear()
         self._fresh_aging_cache.clear()
+        if self._fast is not None:
+            self._fast.invalidate()
 
     def block_aging(self, block: int) -> AgingState:
         """Effective aging of one block: baseline plus dynamic erases."""
@@ -231,7 +267,7 @@ class NandChip:
         aging = self._block_aging_cache.get(block)
         if aging is None:
             aging = AgingState(
-                pe_cycles=self._baseline.pe_cycles + int(self._erase_counts[block]),
+                pe_cycles=self._baseline.pe_cycles + self._erase_counts[block],
                 retention_months=self._baseline.retention_months,
             )
             self._block_aging_cache[block] = aging
@@ -248,7 +284,7 @@ class NandChip:
 
     def block_pe(self, block: int) -> int:
         self._check_block(block)
-        return int(self._erase_counts[block]) + self._baseline.pe_cycles
+        return self._erase_counts[block] + self._baseline.pe_cycles
 
     # ------------------------------------------------------------------
     # operations
@@ -265,7 +301,7 @@ class NandChip:
         if self.erase_limit is not None and self.block_pe(block) >= self.erase_limit:
             raise WearOutError(f"block {block} exceeded {self.erase_limit} P/E cycles")
         if self.faults is not None and self.faults.erase_fails(
-            self.chip_id, block, self.n_blocks, int(self._erase_counts[block])
+            self.chip_id, block, self.n_blocks, self._erase_counts[block]
         ):
             raise EraseFailError(
                 f"chip {self.chip_id} block {block} erase failed "
@@ -274,12 +310,16 @@ class NandChip:
             )
         self._erase_counts[block] += 1
         self._block_aging_cache.pop(block, None)
+        if self._fast is not None:
+            self._fast.invalidate_block(block)
         self.erases_done += 1
         if self.telemetry is not None:
             self.telemetry.record_erase()
-        self._programmed[block, :] = False
-        self._penalty[block, :] = 1.0
-        self._prog_noise[block, :] = 1.0
+        wls = self.geometry.wls_per_block
+        self._programmed[block] = [False] * wls
+        self._programmed_counts[block] = 0
+        self._penalty[block] = [1.0] * wls
+        self._prog_noise[block] = [1.0] * wls
         self._block_reads[block] = 0
         if self._tags:
             stale = [key for key in self._tags if key[0] == block]
@@ -308,10 +348,13 @@ class NandChip:
         per page (``None`` entries for pad pages); stored only when
         ``store_oob`` is enabled, and, like data, only on program success.
         """
-        self.geometry.check_wl(layer, wl)
+        geometry = self.geometry
+        geometry.check_wl(layer, wl)
         self._check_block(block)
-        wl_index = self.geometry.wl_index(layer, wl)
-        if self._programmed[block, wl_index]:
+        # check_wl just validated (layer, wl); flatten inline rather than
+        # paying geometry.wl_index's second validation pass
+        wl_index = layer * geometry.wls_per_layer + wl
+        if self._programmed[block][wl_index]:
             raise ProgramOrderError(
                 f"WL (block={block}, layer={layer}, wl={wl}) already programmed"
             )
@@ -338,22 +381,23 @@ class NandChip:
             # stays "programmed" (reprogramming without an erase remains
             # illegal) with a poisoned BER so any stray read of it is
             # uncorrectable; no tags are stored.
-            self._programmed[block, wl_index] = True
-            self._penalty[block, wl_index] = 1e6
+            self._programmed[block][wl_index] = True
+            self._programmed_counts[block] += 1
+            self._penalty[block][wl_index] = 1e6
             raise ProgramFailError(
                 f"chip {self.chip_id} WL (block={block}, layer={layer}, "
                 f"wl={wl}) program failed",
                 t_us=self._op_latency(ispp_result.t_prog_us),
             )
 
-        self._programmed[block, wl_index] = True
+        self._programmed[block][wl_index] = True
+        self._programmed_counts[block] += 1
         self.programs_done += 1
-        self._penalty[block, wl_index] = ispp_result.ber_penalty
-        noise_u = hash_unit(
-            self.reliability.seed, 0x9619, self.chip_id, block, wl_index,
-            self._program_nonce,
+        self._penalty[block][wl_index] = ispp_result.ber_penalty
+        noise_u = hash_unit_tail(
+            self._prog_noise_hash_state, block, wl_index, self._program_nonce
         )
-        self._prog_noise[block, wl_index] = 1.0 + 0.01 * (2.0 * noise_u - 1.0)
+        self._prog_noise[block][wl_index] = 1.0 + 0.01 * (2.0 * noise_u - 1.0)
         if self.store_tags and data is not None:
             for page, tag in enumerate(data):
                 self._tags[(block, wl_index, page)] = tag
@@ -362,17 +406,25 @@ class NandChip:
                 if record is not None:
                     self._oob[(block, wl_index, page)] = record
 
-        # immediate read-back BER: no retention yet, current block P/E
-        aging_now = self._fresh_aging(self.block_pe(block))
-        post_ber = (
-            self.reliability.wl_ber(self.chip_id, block, layer, wl, aging_now)
-            * ispp_result.ber_penalty
-        )
-        # E<->P1 health indicator must reflect how the *stored* data will
-        # age, so it is evaluated under the block's effective aging state
-        ber_ep1 = self.reliability.ber_ep1(
-            self.chip_id, block, layer, wl, self.block_aging(block)
-        )
+        if self._fast is not None:
+            tables = self._fast.block(block)
+            # immediate read-back BER: no retention yet, current block P/E
+            post_ber = tables.wl_ber_fresh[layer][wl] * ispp_result.ber_penalty
+            # E<->P1 health indicator under the block's effective aging
+            ber_ep1 = tables.ep1[layer][wl]
+        else:
+            # immediate read-back BER: no retention yet, current block P/E
+            aging_now = self._fresh_aging(self.block_pe(block))
+            post_ber = (
+                self.reliability.wl_ber(self.chip_id, block, layer, wl, aging_now)
+                * ispp_result.ber_penalty
+            )
+            # E<->P1 health indicator must reflect how the *stored* data
+            # will age, so it is evaluated under the block's effective
+            # aging state
+            ber_ep1 = self.reliability.ber_ep1(
+                self.chip_id, block, layer, wl, self.block_aging(block)
+            )
         t_prog = ispp_result.t_prog_us
         if params.window_squeeze_mv != 0 or any(
             start > 1 for start in params.verify_plan.start_loops
@@ -430,27 +482,44 @@ class NandChip:
         params: ReadParams = ReadParams(),
     ) -> ReadResult:
         """Read one page of a programmed WL."""
-        self.geometry.check_page(layer, wl, page)
+        geometry = self.geometry
+        geometry.check_page(layer, wl, page)
         self._check_block(block)
-        wl_index = self.geometry.wl_index(layer, wl)
-        if not self._programmed[block, wl_index]:
+        # check_page just validated the address; flatten inline rather
+        # than paying geometry.wl_index's second validation pass
+        wl_index = layer * geometry.wls_per_layer + wl
+        if not self._programmed[block][wl_index]:
             raise UnprogrammedReadError(
                 f"page (block={block}, layer={layer}, wl={wl}, page={page}) "
                 "was never programmed"
             )
         aging = self.block_aging(block)
-        ber = (
-            self.reliability.wl_ber(self.chip_id, block, layer, wl, aging)
-            * self._penalty[block, wl_index]
-            * self._prog_noise[block, wl_index]
-        )
+        if self._fast is not None:
+            tables = self._fast.block(block)
+            ber = (
+                tables.wl_ber[layer][wl]
+                * self._penalty[block][wl_index]
+                * self._prog_noise[block][wl_index]
+            )
+        else:
+            ber = (
+                self.reliability.wl_ber(self.chip_id, block, layer, wl, aging)
+                * self._penalty[block][wl_index]
+                * self._prog_noise[block][wl_index]
+            )
         if self.read_disturb_per_read:
             disturb = 1.0 + self.read_disturb_per_read * self._block_reads[block]
             ber *= disturb
         self._block_reads[block] += 1
-        optimal = self.retry_model.read_optimal(
-            self.chip_id, block, layer, aging, self._read_nonce
-        )
+        if self._fast is not None:
+            optimal = self.retry_model.transient_optimal(
+                self.chip_id, block, layer, tables.stable_opt[layer], aging,
+                self._read_nonce,
+            )
+        else:
+            optimal = self.retry_model.read_optimal(
+                self.chip_id, block, layer, aging, self._read_nonce
+            )
         self._read_nonce += 1
         sweep_failed = False
         if self.faults is not None:
@@ -459,7 +528,7 @@ class NandChip:
                 self.chip_id,
                 block,
                 layer,
-                int(self._erase_counts[block]),
+                self._erase_counts[block],
                 self._read_nonce,
             )
             if skew:
@@ -484,12 +553,13 @@ class NandChip:
         self.reads_done += 1
         if self.telemetry is not None:
             self.telemetry.record_read(layer, num_retry)
-        total_raw = self.timing.read_us(num_retry)
-        t_read = self._op_latency(total_raw)
+        timing = self.timing
+        total_raw = timing.t_read_us + num_retry * timing.t_retry_us
+        t_read = total_raw if self.faults is None else self._op_latency(total_raw)
         # the retry share survives latency faults because the factor is
         # multiplicative over the whole operation
         t_retry = (
-            t_read * (total_raw - self.timing.read_us(0)) / total_raw
+            t_read * (total_raw - timing.t_read_us) / total_raw
             if num_retry
             else 0.0
         )
@@ -527,20 +597,20 @@ class NandChip:
 
     def is_programmed(self, block: int, layer: int, wl: int) -> bool:
         self._check_block(block)
-        return bool(self._programmed[block, self.geometry.wl_index(layer, wl)])
+        return self._programmed[block][self.geometry.wl_index(layer, wl)]
 
     def programmed_wl_count(self, block: int) -> int:
         self._check_block(block)
-        return int(self._programmed[block].sum())
+        return self._programmed_counts[block]
 
     def block_read_count(self, block: int) -> int:
         """Reads since the block's last erase (read-disturb exposure)."""
         self._check_block(block)
-        return int(self._block_reads[block])
+        return self._block_reads[block]
 
     def wl_penalty(self, block: int, layer: int, wl: int) -> float:
         self._check_block(block)
-        return float(self._penalty[block, self.geometry.wl_index(layer, wl)])
+        return self._penalty[block][self.geometry.wl_index(layer, wl)]
 
     def measure_retention_errors(
         self, block: int, layer: int, wl: int, aging: AgingState
@@ -564,11 +634,11 @@ class NandChip:
         functions of the config and are rebuilt, not serialized.
         """
         return {
-            "erase_counts": self._erase_counts.copy(),
-            "programmed": self._programmed.copy(),
-            "penalty": self._penalty.copy(),
-            "prog_noise": self._prog_noise.copy(),
-            "block_reads": self._block_reads.copy(),
+            "erase_counts": np.array(self._erase_counts, dtype=np.int32),
+            "programmed": np.array(self._programmed, dtype=bool),
+            "penalty": np.array(self._penalty, dtype=np.float64),
+            "prog_noise": np.array(self._prog_noise, dtype=np.float64),
+            "block_reads": np.array(self._block_reads, dtype=np.int64),
             "baseline": (
                 self._baseline.pe_cycles,
                 self._baseline.retention_months,
@@ -587,11 +657,15 @@ class NandChip:
     def load_state_dict(self, state: dict) -> None:
         """Restore a :meth:`state_dict` snapshot; derived aging caches
         are dropped and rebuilt lazily."""
-        self._erase_counts = np.array(state["erase_counts"], dtype=np.int32)
-        self._programmed = np.array(state["programmed"], dtype=bool)
-        self._penalty = np.array(state["penalty"], dtype=np.float64)
-        self._prog_noise = np.array(state["prog_noise"], dtype=np.float64)
-        self._block_reads = np.array(state["block_reads"], dtype=np.int64)
+        self._erase_counts = [int(n) for n in state["erase_counts"]]
+        programmed = np.asarray(state["programmed"], dtype=bool)
+        self._programmed = programmed.tolist()
+        self._programmed_counts = [int(n) for n in programmed.sum(axis=1)]
+        self._penalty = np.asarray(state["penalty"], dtype=np.float64).tolist()
+        self._prog_noise = np.asarray(
+            state["prog_noise"], dtype=np.float64
+        ).tolist()
+        self._block_reads = [int(n) for n in state["block_reads"]]
         pe_cycles, retention_months = state["baseline"]
         self._baseline = AgingState(pe_cycles, retention_months)
         self._read_nonce = state["read_nonce"]
@@ -605,6 +679,8 @@ class NandChip:
         self._features = dict(state["features"])
         self._block_aging_cache.clear()
         self._fresh_aging_cache.clear()
+        if self._fast is not None:
+            self._fast.invalidate()
 
     def _op_latency(self, base_us: float) -> float:
         """Apply stuck-die latency faults to one operation's service time."""
@@ -615,14 +691,8 @@ class NandChip:
 
     def _draw_env_shift(self, block: int, layer: int, wl: int) -> int:
         self._program_nonce += 1
-        u = hash_unit(
-            self.reliability.seed,
-            0xE47,
-            self.chip_id,
-            block,
-            layer,
-            wl,
-            self._program_nonce,
+        u = hash_unit_tail(
+            self._env_hash_state, block, layer, wl, self._program_nonce
         )
         if u < self.env_shift_prob:
             # direction from a second hash; shifts of +/-1 loop

@@ -216,6 +216,25 @@ class SSDGeometry:
             + block_page
         )
 
+    def wl_ppn(self, chip_id: int, block: int, layer: int, wl: int) -> int:
+        """PPN of page 0 of a WL; the WL's pages are contiguous after it.
+
+        ``wl_ppn(...) + page == ppn(chip_id, PageAddress(block, layer,
+        wl, page))`` by the flattening formula, so a caller binding every
+        page of a WL computes the base once instead of re-flattening the
+        full address per page.
+        """
+        if not 0 <= chip_id < self.n_chips:
+            raise AddressError(f"chip id {chip_id} out of range")
+        if not 0 <= block < self.blocks_per_chip:
+            raise AddressError(f"block {block} out of range")
+        self.block.check_wl(layer, wl)
+        return (
+            chip_id * self.pages_per_chip
+            + block * self.block.pages_per_block
+            + (layer * self.block.wls_per_layer + wl) * self.block.pages_per_wl
+        )
+
     def ppn_to_address(self, ppn: int) -> Tuple[int, PageAddress]:
         """Inverse of :meth:`ppn`: return (chip_id, page address)."""
         if not 0 <= ppn < self.total_pages:

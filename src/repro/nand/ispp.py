@@ -105,6 +105,13 @@ class WLProgramProfile:
             if interval.l_max < previous:
                 raise ValueError("state completion must be non-decreasing")
             previous = interval.l_max
+        # profiles key the ISPP memo tables, so they are hashed on every
+        # program operation; hashing the interval tuple lazily per lookup
+        # dominated the cache-hit cost
+        object.__setattr__(self, "_hash", hash(self.intervals))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def n_states(self) -> int:
@@ -331,7 +338,10 @@ class IsppEngine:
         k_final = params.final_shift_loops
         if k_start == 0 and k_final == 0:
             return profile
-        key = (profile.intervals, k_start, k_final)
+        # two equal-intervals profiles are equal, so keying on the
+        # profile (with its precomputed hash) memoizes exactly as the
+        # interval tuple did, without re-hashing every LoopInterval
+        key = (profile, k_start, k_final)
         cached = self._effective_cache.get(key)
         if cached is not None:
             return cached
@@ -367,7 +377,7 @@ class IsppEngine:
         if profile.n_states != params.verify_plan.n_states:
             raise ValueError("verify plan does not match profile states")
         cache_key = (
-            profile.intervals,
+            profile,
             params.v_start_mv,
             params.v_final_mv,
             params.dv_ispp_mv,

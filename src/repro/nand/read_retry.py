@@ -30,7 +30,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.nand.reliability import AgingState, ReliabilityModel, hash_unit
+from repro.nand.reliability import (
+    AgingState,
+    ReliabilityModel,
+    hash_state,
+    hash_unit,
+    hash_unit_tail,
+)
 
 #: number of adjustable offset levels per direction (the paper's example
 #: uses 7 representable offsets per threshold)
@@ -71,6 +77,9 @@ class ReadRetryModel:
             raise ValueError("transient_prob must be in [0, 1]")
         self.transient_prob = transient_prob
         self.fresh_pe_threshold = fresh_pe_threshold
+        # premixed (seed, 0x7EAD, chip_id) prefixes of the per-read
+        # transient draw, one per chip seen
+        self._transient_states: dict = {}
 
     # ------------------------------------------------------------------
 
@@ -110,9 +119,30 @@ class ReadRetryModel:
         never retry on fresh blocks (Section 6.2).
         """
         stable = self.stable_optimal(chip_id, block, layer, aging)
+        return self.transient_optimal(chip_id, block, layer, stable, aging, nonce)
+
+    def transient_optimal(
+        self,
+        chip_id: int,
+        block: int,
+        layer: int,
+        stable: int,
+        aging: AgingState,
+        nonce: int,
+    ) -> int:
+        """Per-read transient step on top of a known ``stable`` offset.
+
+        Split out of :meth:`read_optimal` so callers that already hold
+        the (precomputed) stable offset of the h-layer skip re-deriving
+        it per read; the fresh-state short-circuit is preserved exactly.
+        """
         if stable == 0 and aging.pe_cycles < self.fresh_pe_threshold:
             return 0
-        u = hash_unit(self.reliability.seed, 0x7EAD, chip_id, block, layer, nonce)
+        state = self._transient_states.get(chip_id)
+        if state is None:
+            state = hash_state(self.reliability.seed, 0x7EAD, chip_id)
+            self._transient_states[chip_id] = state
+        u = hash_unit_tail(state, block, layer, nonce)
         if u < self.transient_prob / 2.0:
             return max(0, stable - 1)
         if u < self.transient_prob:

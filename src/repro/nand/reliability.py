@@ -77,11 +77,44 @@ def hash_unit(seed: int, *keys: int) -> float:
 
     Used everywhere the device model needs "random-looking" but perfectly
     reproducible per-location variation (block factors, RTN noise, read
-    jitter).
+    jitter).  The :func:`_splitmix64` rounds are inlined: this is the
+    hottest scalar on the device-model path and the per-key call
+    overhead dominated its cost.
+    """
+    x = ((seed & 0xFFFFFFFFFFFFFFFF) + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    h = x ^ (x >> 31)
+    for key in keys:
+        x = ((h ^ (key & 0xFFFFFFFFFFFFFFFF)) + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        h = x ^ (x >> 31)
+    return h / 2.0**64
+
+
+def hash_state(seed: int, *keys: int) -> int:
+    """Premixed :func:`hash_unit` chain state after folding ``keys``.
+
+    ``hash_unit_tail(hash_state(seed, *p), *q)`` is bitwise identical to
+    ``hash_unit(seed, *p, *q)`` -- callers with a constant key prefix
+    (e.g. a chip's ``(tag, chip_id)``) premix it once instead of
+    re-folding it on every operation.
     """
     h = _splitmix64(seed & 0xFFFFFFFFFFFFFFFF)
     for key in keys:
         h = _splitmix64(h ^ (key & 0xFFFFFFFFFFFFFFFF))
+    return h
+
+
+def hash_unit_tail(state: int, *keys: int) -> float:
+    """Continue a premixed :func:`hash_state` chain to a unit float."""
+    h = state
+    for key in keys:
+        x = ((h ^ (key & 0xFFFFFFFFFFFFFFFF)) + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        h = x ^ (x >> 31)
     return h / 2.0**64
 
 

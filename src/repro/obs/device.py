@@ -55,9 +55,20 @@ PROGRAM_US_BUCKETS = (400, 600, 800, 1000, 1200, 1600, 2000)
 
 
 class ChipTelemetry:
-    """Recording hooks one :class:`~repro.nand.chip.NandChip` calls into."""
+    """Recording hooks one :class:`~repro.nand.chip.NandChip` calls into.
 
-    __slots__ = ("die", "_ops", "_retries", "_program_us")
+    Label children are resolved lazily on first use and memoized in
+    plain dicts: ``labels(...)`` builds a kwargs dict and a sorted key
+    per call, which dominated the recording cost on the per-read hot
+    path.  Children still only come into existence when the matching
+    operation first occurs, so the serialized snapshot shape is
+    identical to uncached recording.
+    """
+
+    __slots__ = (
+        "die", "_ops", "_retries", "_program_us",
+        "_op_children", "_retry_children", "_program_children",
+    )
 
     def __init__(self, registry: TelemetryRegistry, die: int) -> None:
         self.die = die
@@ -75,17 +86,35 @@ class ChipTelemetry:
             "nand_program_us", "per-WL program latency, resolved per h-layer",
             unit="us", labelnames=("h_layer",), buckets=PROGRAM_US_BUCKETS,
         )
+        self._op_children = {}
+        self._retry_children = {}
+        self._program_children = {}
+
+    def _op_child(self, op: str):
+        child = self._op_children.get(op)
+        if child is None:
+            child = self._ops.labels(die=self.die, op=op)
+            self._op_children[op] = child
+        return child
 
     def record_read(self, layer: int, num_retry: int) -> None:
-        self._ops.labels(die=self.die, op="read").inc()
-        self._retries.labels(die=self.die, h_layer=layer).observe(num_retry)
+        self._op_child("read").inc()
+        child = self._retry_children.get(layer)
+        if child is None:
+            child = self._retries.labels(die=self.die, h_layer=layer)
+            self._retry_children[layer] = child
+        child.observe(num_retry)
 
     def record_program(self, layer: int, t_prog_us: float) -> None:
-        self._ops.labels(die=self.die, op="program").inc()
-        self._program_us.labels(h_layer=layer).observe(t_prog_us)
+        self._op_child("program").inc()
+        child = self._program_children.get(layer)
+        if child is None:
+            child = self._program_us.labels(h_layer=layer)
+            self._program_children[layer] = child
+        child.observe(t_prog_us)
 
     def record_erase(self) -> None:
-        self._ops.labels(die=self.die, op="erase").inc()
+        self._op_child("erase").inc()
 
 
 class ResourceTelemetry:

@@ -400,7 +400,7 @@ def bind_engine(registry: TelemetryRegistry, engine) -> None:
         "engine_events_processed", "events executed by the event engine"
     )
     peak = registry.gauge(
-        "engine_peak_pending", "largest event-queue length observed"
+        "engine_peak_pending", "largest live event-queue length observed"
     )
     now = registry.gauge(
         "engine_now_us", "engine clock at snapshot time", unit="us"

@@ -44,11 +44,27 @@ def make_progress_hook(
     The stride depends only on the request count, so the emitted message
     sequence is a deterministic function of the run -- completion order,
     not wall clock, decides what gets sent.
+
+    Runs with ``total <= parts`` emit only the final completion: the old
+    ``max(1, ...)`` stride floor collapsed to 1 there, flooding the
+    result pipe of a thousand-cell sweep with one message per request.
+    The final payload is emitted exactly once even when ``total`` is a
+    stride multiple.
     """
 
+    final_sent = [False]
+
     def hook(completed: int, total: int, sim_us: float) -> None:
-        stride = max(1, total // parts)
-        if completed % stride == 0 or completed == total:
+        if completed == total:
+            if final_sent[0]:
+                return
+            final_sent[0] = True
+            sink({"completed": completed, "total": total, "sim_us": sim_us})
+            return
+        if total <= parts:
+            return
+        stride = total // parts
+        if completed % stride == 0:
             sink({"completed": completed, "total": total, "sim_us": sim_us})
 
     return hook

@@ -128,13 +128,18 @@ class Engine:
 
     def _note_cancel(self) -> None:
         """One queued event was cancelled; compact the heap when corpses
-        dominate it (lazy deletion keeps cancellation itself O(1))."""
+        dominate it (lazy deletion keeps cancellation itself O(1)).
+
+        Compaction mutates the queue list in place: the batched run loop
+        holds a local alias to it across callbacks, and a cancel inside
+        a callback must not strand that alias on a stale list.
+        """
         self._cancelled += 1
         if (
             self._cancelled >= COMPACT_MIN_CANCELLED
             and self._cancelled * 2 >= len(self._queue)
         ):
-            self._queue = [e for e in self._queue if not e.cancelled]
+            self._queue[:] = [e for e in self._queue if not e.cancelled]
             heapq.heapify(self._queue)
             self._cancelled = 0
             self._compactions += 1
@@ -146,8 +151,12 @@ class Engine:
 
     @property
     def peak_pending(self) -> int:
-        """Largest queue length observed (telemetry; includes cancelled
-        events still in the heap)."""
+        """Largest number of *live* queued events observed (telemetry).
+
+        Cancelled corpses still sitting in the heap are excluded: the
+        peak measures simulated load, and must not depend on when lazy
+        deletion happened to compact the queue.
+        """
         return self._peak_pending
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
@@ -157,8 +166,9 @@ class Engine:
         event = Event(self._now + delay, self._seq, callback, self)
         self._seq += 1
         heapq.heappush(self._queue, event)
-        if len(self._queue) > self._peak_pending:
-            self._peak_pending = len(self._queue)
+        live = len(self._queue) - self._cancelled
+        if live > self._peak_pending:
+            self._peak_pending = live
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
@@ -168,8 +178,9 @@ class Engine:
         event = Event(time, self._seq, callback, self)
         self._seq += 1
         heapq.heappush(self._queue, event)
-        if len(self._queue) > self._peak_pending:
-            self._peak_pending = len(self._queue)
+        live = len(self._queue) - self._cancelled
+        if live > self._peak_pending:
+            self._peak_pending = live
         return event
 
     def every(self, interval: float, callback: Callable[[], None]) -> RecurringEvent:
@@ -244,25 +255,75 @@ class Engine:
         any nested sections -- the NAND model and the tracer push their
         own, so ``dispatch`` is effectively FTL + engine-glue time).
         The event sequence is identical with or without a profiler.
+
+        The unprofiled loop drains *runs of same-timestamp events* in
+        one iteration: within a batch the clock, the ``until`` bound and
+        the heap head need no re-checking per event.  (time, seq) is a
+        strict total order and the batch always pops the minimum, so the
+        dispatch sequence -- including zero-delay events a callback
+        schedules back at the batch timestamp -- is byte-identical to
+        the one-event-at-a-time loop.
+
+        On the ``max_events`` return path any *leading cancelled
+        corpses* are drained first, so a caller running in segments
+        (checkpointing) never observes a clock stalled behind ``until``
+        by events that will never fire.
         """
         if profiler is not None:
             return self._run_profiled(until, max_events, profiler)
         executed = 0
-        while self._queue:
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
             if max_events is not None and executed >= max_events:
+                self._drain_corpses(until)
                 return
-            head = self._queue[0]
+            head = queue[0]
             if head.cancelled:
-                heapq.heappop(self._queue)
+                pop(queue)
                 head.engine = None
                 self._cancelled -= 1
                 continue
-            if until is not None and head.time > until:
+            batch_time = head.time
+            if until is not None and batch_time > until:
                 self._now = until
                 return
-            self.step()
-            executed += 1
+            self._now = batch_time
+            while queue and queue[0].time == batch_time:
+                event = pop(queue)
+                event.engine = None
+                if event.cancelled:
+                    self._cancelled -= 1
+                    continue
+                self._processed += 1
+                if self.monitor is not None:
+                    self.monitor(batch_time)
+                event.callback()
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
         if until is not None and until > self._now:
+            self._now = until
+
+    def _drain_corpses(self, until: Optional[float]) -> None:
+        """Pop leading cancelled events off the heap; advance the clock
+        to ``until`` when nothing live remains before it.
+
+        Called on the ``max_events`` return path: without it, a queue
+        whose remaining events are all cancelled corpses would leave
+        ``now`` stuck at the last executed event even though the run has
+        effectively drained.
+        """
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            event = heapq.heappop(queue)
+            event.engine = None
+            self._cancelled -= 1
+        if (
+            until is not None
+            and until > self._now
+            and (not queue or queue[0].time > until)
+        ):
             self._now = until
 
     def _run_profiled(
@@ -275,6 +336,9 @@ class Engine:
         executed = 0
         while self._queue:
             if max_events is not None and executed >= max_events:
+                profiler.push("event_queue")
+                self._drain_corpses(until)
+                profiler.pop()
                 return
             profiler.push("event_queue")
             head = self._queue[0]

@@ -18,7 +18,6 @@ from repro.faults.injector import FaultInjector
 from repro.nand.chip import NandChip
 from repro.nand.ecc import EccEngine
 from repro.nand.errors import ProgramFailError
-from repro.nand.geometry import PageAddress
 from repro.nand.ispp import IsppEngine
 from repro.nand.read_retry import ReadRetryModel
 from repro.nand.reliability import ReliabilityModel
@@ -257,17 +256,14 @@ class SSDSimulation:
                 continue
             ok = ftl.after_program(chip_id, allocation, result, squeeze_mv)
             if ok:
+                base_ppn = geometry.wl_ppn(
+                    chip_id,
+                    allocation.block,
+                    allocation.address.layer,
+                    allocation.address.wl,
+                )
                 for page_index, page_lpn in enumerate(group):
-                    ppn = geometry.ppn(
-                        chip_id,
-                        PageAddress(
-                            allocation.block,
-                            allocation.address.layer,
-                            allocation.address.wl,
-                            page_index,
-                        ),
-                    )
-                    ftl.mapper.bind(page_lpn, ppn)
+                    ftl.mapper.bind(page_lpn, base_ppn + page_index)
                 lpn = group[-1] + 1
             ftl._maybe_mark_full(chip_id, allocation.block)
         # prefill must not distort run statistics

@@ -20,64 +20,89 @@ SCHEMA_VERSION = 2
 class LatencyStats:
     """Accumulates latency samples (microseconds) and summarizes them.
 
-    The numpy view of the samples is built lazily and cached: a run adds
-    hundreds of thousands of samples one by one, then summarizes the
-    same distribution many times (mean, several percentiles, CDF), and
-    rebuilding the array for every query dominated to_dict() time.
+    Samples live in a geometrically grown float64 buffer: a run adds
+    hundreds of thousands of samples one by one, and appending straight
+    into the array (amortized O(1), no per-sample Python float object
+    retained) replaces the old list-then-convert scheme.  The numpy view
+    over the filled prefix is cached between queries, since a run
+    summarizes the same distribution many times (mean, several
+    percentiles, CDF).
     """
 
+    _INITIAL_CAPACITY = 64
+
     def __init__(self) -> None:
-        self._samples: List[float] = []
-        self._array: Optional[np.ndarray] = None
+        self._buffer = np.empty(self._INITIAL_CAPACITY, dtype=np.float64)
+        self._count = 0
+        self._view: Optional[np.ndarray] = None
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._count + extra
+        capacity = len(self._buffer)
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        grown = np.empty(capacity, dtype=np.float64)
+        grown[: self._count] = self._buffer[: self._count]
+        self._buffer = grown
 
     def add(self, latency_us: float) -> None:
         if latency_us < 0:
             raise ValueError("latency must be >= 0")
-        self._samples.append(latency_us)
-        self._array = None
+        if self._count == len(self._buffer):
+            self._reserve(1)
+        self._buffer[self._count] = latency_us
+        self._count += 1
+        self._view = None
 
     def extend(self, samples: Sequence[float]) -> None:
         """Bulk-append samples (checkpoint restore)."""
-        self._samples.extend(float(value) for value in samples)
-        self._array = None
+        values = np.fromiter((float(value) for value in samples), dtype=np.float64)
+        if values.size:
+            self._reserve(values.size)
+            self._buffer[self._count : self._count + values.size] = values
+            self._count += values.size
+            self._view = None
 
     def sample_list(self) -> List[float]:
-        """The raw samples as a plain list (checkpoint serialization)."""
-        return list(self._samples)
+        """The raw samples as a plain list (checkpoint serialization);
+        float64 -> Python float is exact, so values round-trip."""
+        return self._buffer[: self._count].tolist()
 
     def __len__(self) -> int:
-        return len(self._samples)
+        return self._count
 
     @property
     def samples(self) -> np.ndarray:
-        if self._array is None:
-            self._array = np.asarray(self._samples, dtype=float)
-        return self._array
+        if self._view is None:
+            self._view = self._buffer[: self._count]
+        return self._view
 
     @property
     def mean_us(self) -> float:
-        return float(np.mean(self.samples)) if self._samples else 0.0
+        return float(np.mean(self.samples)) if self._count else 0.0
 
     @property
     def max_us(self) -> float:
-        return float(np.max(self.samples)) if self._samples else 0.0
+        return float(np.max(self.samples)) if self._count else 0.0
 
     def percentile(self, p: float) -> float:
         """p-th percentile latency in microseconds (p in [0, 100])."""
-        if not self._samples:
+        if not self._count:
             return 0.0
         return float(np.percentile(self.samples, p))
 
     def cdf(self) -> Tuple[np.ndarray, np.ndarray]:
         """(sorted latencies, cumulative fraction) for CDF plots."""
-        if not self._samples:
+        if not self._count:
             return np.array([]), np.array([])
         values = np.sort(self.samples)
         fractions = np.arange(1, len(values) + 1) / len(values)
         return values, fractions
 
     def fraction_below(self, threshold_us: float) -> float:
-        if not self._samples:
+        if not self._count:
             return 0.0
         return float(np.mean(self.samples <= threshold_us))
 
@@ -110,10 +135,12 @@ class TenantStats:
     @property
     def p99_us(self) -> float:
         """p99 over reads and writes together (the interference metric)."""
-        samples = self.read_latency.sample_list() + self.write_latency.sample_list()
-        if not samples:
+        if not (len(self.read_latency) or len(self.write_latency)):
             return 0.0
-        return float(np.percentile(np.asarray(samples, dtype=float), 99))
+        samples = np.concatenate(
+            (self.read_latency.samples, self.write_latency.samples)
+        )
+        return float(np.percentile(samples, 99))
 
     def to_dict(self, duration_us: float = 0.0) -> dict:
         return {

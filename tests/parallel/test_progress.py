@@ -22,12 +22,25 @@ class TestProgressHook:
         assert [p["completed"] for p in seen] == [2, 4, 6, 8, 10]
         assert seen[-1] == {"completed": 10, "total": 10, "sim_us": 50.0}
 
-    def test_total_smaller_than_parts_fires_every_time(self):
+    def test_total_smaller_than_parts_fires_only_at_completion(self):
+        # tiny runs must not flood the pipe with one message per request
+        # (a thousand-cell sweep has thousands of these hooks): only the
+        # final completion is reported
         seen = []
         hook = make_progress_hook(seen.append, parts=16)
         for completed in range(1, 4):
             hook(completed, 3, sim_us=0.0)
-        assert [p["completed"] for p in seen] == [1, 2, 3]
+        assert [p["completed"] for p in seen] == [3]
+
+    def test_final_emit_is_deduped(self):
+        # a resumed/segmented replay can re-report the final completion;
+        # the hook forwards it once
+        seen = []
+        hook = make_progress_hook(seen.append, parts=4)
+        for completed in range(1, 9):
+            hook(completed, 8, sim_us=float(completed))
+        hook(8, 8, sim_us=8.0)
+        assert [p["completed"] for p in seen] == [2, 4, 6, 8]
 
     def test_cadence_is_deterministic(self):
         def run():

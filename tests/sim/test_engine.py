@@ -67,6 +67,92 @@ class TestEngine:
         engine.run(max_events=2)
         assert fired == [0, 1]
 
+    def test_max_events_drains_leading_corpses(self):
+        """Regression: a ``max_events`` return used to leave ``now``
+        stuck behind ``until`` when every remaining queued event was a
+        cancelled corpse -- segmented runs saw a stale clock."""
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        corpses = [engine.schedule(2.0, lambda: None) for _ in range(3)]
+        for corpse in corpses:
+            corpse.cancel()
+        engine.run(until=10.0, max_events=1)
+        assert engine.processed == 1
+        assert engine.live_pending == 0
+        assert engine.now == 10.0
+
+    def test_max_events_keeps_clock_at_live_head(self):
+        # with live work still queued before `until`, a max-events return
+        # must not advance the clock past the last executed event
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.run(until=10.0, max_events=1)
+        assert engine.now == 1.0
+
+    def test_same_timestamp_batch_preserves_order_and_nested_events(self):
+        # zero-delay events scheduled from inside a batch fire within it,
+        # after the already-queued same-time events (seq order)
+        engine = Engine()
+        order = []
+
+        def first():
+            order.append("first")
+            engine.schedule(0.0, lambda: order.append("nested"))
+
+        engine.schedule(3.0, first)
+        engine.schedule(3.0, lambda: order.append("second"))
+        engine.schedule(4.0, lambda: order.append("later"))
+        engine.run()
+        assert order == ["first", "second", "nested", "later"]
+        assert engine.now == 4.0
+
+    def test_cancel_within_batch_is_skipped(self):
+        engine = Engine()
+        fired = []
+        victim = engine.schedule(1.0, lambda: fired.append("victim"))
+        engine.schedule(1.0, lambda: (fired.append("killer"), victim.cancel()))
+        engine.run()
+        # same timestamp, but the killer's seq is higher -- the victim
+        # fires first; reverse the roles for the real assertion
+        assert fired == ["victim", "killer"]
+        engine2 = Engine()
+        fired2 = []
+
+        def killer():
+            fired2.append("killer")
+            victim2.cancel()
+
+        engine2.schedule(1.0, killer)
+        victim2 = engine2.schedule(1.0, lambda: fired2.append("victim"))
+        engine2.run()
+        assert fired2 == ["killer"]
+        assert engine2.live_pending == 0
+
+    def test_peak_pending_excludes_cancelled_burst(self):
+        """Regression: the peak used to count cancelled corpses still in
+        the heap, so it depended on compaction timing instead of live
+        load."""
+        engine = Engine()
+        burst = [engine.schedule(1.0, lambda: None) for _ in range(10)]
+        assert engine.peak_pending == 10
+        for event in burst:
+            event.cancel()
+        # corpses (compacted or not) must not raise the live peak
+        for _ in range(5):
+            engine.schedule(2.0, lambda: None)
+        assert engine.peak_pending == 10
+        engine.run()
+        assert engine.peak_pending == 10
+
+    def test_peak_pending_tracks_live_high_water_mark(self):
+        engine = Engine()
+        events = [engine.schedule(1.0, lambda: None) for _ in range(4)]
+        events[0].cancel()
+        engine.schedule(2.0, lambda: None)
+        # 3 live from the burst + 1 new = 4 live; the corpse is excluded
+        assert engine.peak_pending == 4
+
     def test_cancelled_events_skipped(self):
         engine = Engine()
         fired = []
