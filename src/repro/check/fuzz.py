@@ -27,7 +27,7 @@ from repro.ssd.config import SSDConfig
 from repro.workloads.base import READ, WRITE, IORequest, Trace
 
 #: FTL variants fuzzed when the caller does not choose
-DEFAULT_FTLS = ("page", "vert", "cube", "oracle")
+DEFAULT_FTLS = ("page", "vert", "cube", "oracle", "dftl")
 
 
 def random_trace(

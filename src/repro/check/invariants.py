@@ -278,9 +278,12 @@ class InvariantChecker:
                     block=block,
                 )
             )
-        mapper = self._ftl.mapper
+        # kind-aware: a translation block's valid pages live in the
+        # FTL's translation mapper, not the L2P (block_valid_count
+        # dispatches; the observer fires before mark_free resets the
+        # kind, so the audit sees the outgoing kind's mapper)
         if new in (BlockState.FREE, BlockState.RETIRED):
-            valid = mapper.valid_count(chip_id, block)
+            valid = self._ftl.block_valid_count(chip_id, block)
             if valid != 0:
                 self._report(
                     InvariantViolation(
@@ -372,11 +375,28 @@ class InvariantChecker:
     check_now = check_deep
 
     def _audit_mapping(self) -> None:
-        finding = self._ftl.mapper.audit()
+        for name, mapper in self._ftl.mappers().items():
+            finding = mapper.audit()
+            if finding is not None:
+                message = finding.pop("message")
+                if name != "l2p":
+                    message = f"{name}: {message}"
+                self._report(
+                    InvariantViolation(
+                        "mapping_bijection",
+                        message,
+                        lpn=finding.pop("lpn", None),
+                        ppn=finding.pop("ppn", None),
+                        chip=finding.pop("chip", None),
+                        block=finding.pop("block", None),
+                        details=finding,
+                    )
+                )
+        finding = self._ftl.audit_variant()
         if finding is not None:
             self._report(
                 InvariantViolation(
-                    "mapping_bijection",
+                    "variant_invariant",
                     finding.pop("message"),
                     lpn=finding.pop("lpn", None),
                     ppn=finding.pop("ppn", None),
@@ -388,7 +408,6 @@ class InvariantChecker:
 
     def _audit_blocks(self) -> None:
         blocks = self._ftl.blocks
-        mapper = self._ftl.mapper
         geometry = self._ftl.geometry
         for chip_id in range(geometry.n_chips):
             counts = blocks.counts(chip_id)
@@ -405,7 +424,7 @@ class InvariantChecker:
             for block in range(geometry.blocks_per_chip):
                 state = blocks.state(chip_id, block)
                 if state in (BlockState.FREE, BlockState.RETIRED):
-                    valid = mapper.valid_count(chip_id, block)
+                    valid = self._ftl.block_valid_count(chip_id, block)
                     if valid != 0:
                         self._report(
                             InvariantViolation(

@@ -145,7 +145,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
     simulate = sub.add_parser("simulate", help="replay a workload on one FTL")
     simulate.add_argument(
-        "--ftl", choices=["page", "vert", "cube", "cube-", "oracle"], default="cube"
+        "--ftl",
+        choices=["page", "vert", "cube", "cube-", "oracle", "dftl"],
+        default="cube",
+    )
+    simulate.add_argument(
+        "--cmt-capacity",
+        type=int,
+        default=None,
+        dest="cmt_capacity",
+        metavar="ENTRIES",
+        help="dftl only: cached-mapping-table capacity in L2P entries "
+        "(default: the FTL's built-in 64)",
     )
     simulate.add_argument(
         "--spec",
@@ -259,9 +270,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument(
         "--ftls",
-        default="page,vert,cube,oracle",
+        default="page,vert,cube,oracle,dftl",
         help="comma-separated FTL variants to diff "
-        "(default: page,vert,cube,oracle)",
+        "(default: page,vert,cube,oracle,dftl)",
     )
     fuzz.add_argument(
         "--check",
@@ -296,7 +307,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--ftls",
         default="page,vert,cube",
-        help="comma-separated FTL variants (default: page,vert,cube)",
+        help="comma-separated FTL variants, any of "
+        "page/vert/cube/cube-/oracle/dftl (default: page,vert,cube)",
     )
     sweep.add_argument(
         "--workloads",
@@ -402,6 +414,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-tenant arrival rate in IOPS for the built-in "
         "scenario (default: 20000)",
     )
+    tenants.add_argument(
+        "--ftl",
+        choices=["page", "vert", "cube", "cube-", "oracle", "dftl"],
+        default="cube",
+        help="FTL for the built-in scenario (a --spec file carries its "
+        "own ftl field)",
+    )
     tenants.add_argument("--queue-depth", type=int, default=32)
     tenants.add_argument("--blocks-per-chip", type=int, default=48)
     tenants.add_argument("--prefill", type=float, default=0.9)
@@ -492,7 +511,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "verify the recovered device against the shadow-store oracle",
     )
     spor.add_argument(
-        "--ftl", choices=["page", "vert", "cube", "cube-", "oracle"],
+        "--ftl", choices=["page", "vert", "cube", "cube-", "oracle", "dftl"],
         default="cube",
     )
     spor.add_argument(
@@ -531,6 +550,12 @@ def _config(args: argparse.Namespace) -> SSDConfig:
 def _run(args: argparse.Namespace, ftl: str):
     config = _config(args)
     checkpoint_dir = getattr(args, "checkpoint", None)
+    ftl_kwargs = {}
+    cmt_capacity = getattr(args, "cmt_capacity", None)
+    if cmt_capacity is not None:
+        if ftl != "dftl":
+            raise SystemExit("--cmt-capacity only applies to --ftl dftl")
+        ftl_kwargs["cmt_capacity"] = cmt_capacity
     return run_simulation(
         config,
         args.workload,
@@ -552,6 +577,7 @@ def _run(args: argparse.Namespace, ftl: str):
         resume_from=getattr(args, "resume", None),
         artifact_dir=getattr(args, "artifacts", None),
         artifact_every=getattr(args, "artifact_every", None),
+        **ftl_kwargs,
     )
 
 
@@ -685,7 +711,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     rows = []
     base = None
-    for ftl in ("page", "vert", "cube"):
+    for ftl in ("page", "vert", "cube", "dftl"):
         stats = _run(args, ftl).stats
         if base is None:
             base = stats.iops
@@ -1035,7 +1061,7 @@ def _default_tenant_spec(args: argparse.Namespace):
     )
     return SimulationSpec(
         config=SSDConfig(geometry=geometry),
-        ftl="cube",
+        ftl=getattr(args, "ftl", "cube"),
         host=HostSpec(queue_depth=args.queue_depth, tenants=tenants),
         prefill=args.prefill,
         seed=args.seed,

@@ -5,6 +5,8 @@
   offline V_final-only adjustment, after Hung et al. [13]).
 - :class:`CubeFTL` -- the paper's PS-aware FTL (OPM + WAM + MOS); with
   ``wam_enabled=False`` it becomes the cubeFTL- ablation of Section 6.3.
+- :class:`DFTL` -- demand-paged mapping (bounded CMT, translation pages
+  in flash) over the pageFTL allocation policy.
 """
 
 from repro.ftl.base import BaseFTL, FTLCounters
@@ -14,6 +16,7 @@ from repro.ftl.pageftl import PageFTL
 from repro.ftl.vertftl import VertFTL
 from repro.ftl.cubeftl import CubeFTL
 from repro.ftl.oracleftl import OracleFTL
+from repro.ftl.dftl import DFTL
 
 _FTL_REGISTRY = {
     "page": PageFTL,
@@ -24,6 +27,7 @@ _FTL_REGISTRY = {
     "cubeftl": CubeFTL,
     "oracle": OracleFTL,
     "oracleftl": OracleFTL,
+    "dftl": DFTL,
 }
 
 
@@ -55,5 +59,6 @@ __all__ = [
     "VertFTL",
     "CubeFTL",
     "OracleFTL",
+    "DFTL",
     "make_ftl",
 ]

@@ -28,7 +28,12 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.wam import Allocation, SequentialCursor
 from repro.faults.counters import RecoveryCounters
-from repro.ftl.blockmgr import BlockManager, BlockState, OutOfSpaceError
+from repro.ftl.blockmgr import (
+    DATA_KIND,
+    BlockManager,
+    BlockState,
+    OutOfSpaceError,
+)
 from repro.ftl.mapping import UNMAPPED, PageMapper
 from repro.nand.chip import ProgramResult, ReadResult
 from repro.nand.errors import EraseFailError, ProgramFailError, WearOutError
@@ -249,6 +254,33 @@ class BaseFTL:
         stale entry existed (counted as an ORT invalidation)."""
         return False
 
+    def after_prefill(self, n_pages: int) -> None:
+        """Post-prefill hook: the untimed fill bound ``n_pages`` LPNs
+        directly through :attr:`mapper`.  Demand-paged variants override
+        this to persist the matching translation metadata (also untimed)
+        so their coverage invariant holds from the first timed request."""
+
+    # ------------------------------------------------------------------
+    # introspection for the invariant checker
+    # ------------------------------------------------------------------
+
+    def mappers(self) -> Dict[str, PageMapper]:
+        """Every mapper whose bijection the deep audit must verify."""
+        return {"l2p": self.mapper}
+
+    def block_valid_count(self, chip_id: int, block: int) -> int:
+        """Valid pages a block holds *in the mapper accounting its
+        kind* -- the number that must be zero before the block may leave
+        service.  Demand-paged variants dispatch on the block kind."""
+        return self.mapper.valid_count(chip_id, block)
+
+    def audit_variant(self) -> Optional[dict]:
+        """Variant-specific deep-audit hook: return ``None`` when every
+        variant invariant holds, else a finding dict shaped like
+        :meth:`~repro.ftl.mapping.PageMapper.audit` (``message`` plus
+        optional ``lpn``/``ppn``/``chip``/``block`` context)."""
+        return None
+
     # ------------------------------------------------------------------
     # host interface
     # ------------------------------------------------------------------
@@ -389,13 +421,13 @@ class BaseFTL:
             return True
         return self.blocks.free_count(chip_id) > 1
 
-    def _take_free_block(self, chip_id: int) -> int:
+    def _take_free_block(self, chip_id: int, kind: str = DATA_KIND) -> int:
         """Draw a free block, wear-aware when configured."""
         key = None
         if self.config.wear_aware_allocation:
             chip = self.controller.chip(chip_id)
             key = chip.block_pe
-        return self.blocks.take_free(chip_id, key=key)
+        return self.blocks.take_free(chip_id, key=key, kind=kind)
 
     def _ensure_active_blocks(self, chip_id: int) -> None:
         """Top up the chip's active blocks from the free pool."""
@@ -725,10 +757,19 @@ class BaseFTL:
             self._read_lpn(spec.lpn + offset, active)
 
     def _read_lpn(self, lpn: int, active: _ActiveRequest) -> None:
-        tracer = self.tracer
-        checker = self.checker
+        if self.buffer.contains(lpn):
+            self._buffer_read(lpn, active)
+            return
+        if self.mapper.lookup(lpn) == UNMAPPED:
+            self._unmapped_read(lpn, active)
+            return
+        self._translate_read(lpn, active)
 
-        def buffer_done(lpn: int = lpn) -> None:
+    def _controller_read(self, lpn: int, active: _ActiveRequest) -> None:
+        """Serve a read from controller RAM (buffer hit / unmapped)."""
+        tracer = self.tracer
+
+        def buffer_done() -> None:
             now = self.controller.now
             if tracer is not None:
                 tracer.span(
@@ -737,18 +778,41 @@ class BaseFTL:
                 )
             active.page_done(now)
 
+        self.controller.engine.schedule(self.config.buffer_read_us, buffer_done)
+
+    def _buffer_read(self, lpn: int, active: _ActiveRequest) -> None:
+        self.counters.buffer_read_hits += 1
+        if self.checker is not None:
+            self.checker.on_buffer_read(lpn, self.buffer.latest_data(lpn))
+        self._controller_read(lpn, active)
+
+    def _unmapped_read(self, lpn: int, active: _ActiveRequest) -> None:
+        # never-written page: served from the mapping table directly
+        if self.checker is not None:
+            self.checker.on_unmapped_read(lpn)
+        self._controller_read(lpn, active)
+
+    def _translate_read(self, lpn: int, active: _ActiveRequest) -> None:
+        """Resolve the LPN's physical location, then issue the flash
+        read.  The RAM-resident FTLs resolve for free and immediately;
+        demand-paged variants override this to consult their cached
+        mapping table first (a miss costs a translation-page flash read
+        before :meth:`_mapped_read` proceeds)."""
+        self._mapped_read(lpn, active)
+
+    def _mapped_read(self, lpn: int, active: _ActiveRequest) -> None:
+        tracer = self.tracer
+        checker = self.checker
+        # translation may have taken simulated time: re-resolve against
+        # anything that landed meanwhile (a newer buffered copy, a moved
+        # or dropped mapping).  On the synchronous path these re-checks
+        # see exactly the state _read_lpn already saw.
         if self.buffer.contains(lpn):
-            self.counters.buffer_read_hits += 1
-            if checker is not None:
-                checker.on_buffer_read(lpn, self.buffer.latest_data(lpn))
-            self.controller.engine.schedule(self.config.buffer_read_us, buffer_done)
+            self._buffer_read(lpn, active)
             return
         ppn = self.mapper.lookup(lpn)
         if ppn == UNMAPPED:
-            # never-written page: served from the mapping table directly
-            if checker is not None:
-                checker.on_unmapped_read(lpn)
-            self.controller.engine.schedule(self.config.buffer_read_us, buffer_done)
+            self._unmapped_read(lpn, active)
             return
         chip_id, address = self.geometry.ppn_to_address(ppn)
         # the expected content is pinned at issue time: a concurrent
@@ -969,13 +1033,16 @@ class BaseFTL:
         free = self.blocks.free_count(chip_id)
         if (
             free >= self.config.gc_trigger_blocks
-            and self.blocks.failing_count(chip_id) == 0
+            and not self.blocks.failing_of_kind(chip_id, DATA_KIND)
         ):
             return
-        full = self.blocks.full_blocks(chip_id)
+        # data GC only: translation blocks are accounted in a different
+        # mapper, so a demand-paged FTL reclaims them through its own
+        # translation-GC state machine
+        full = self.blocks.full_blocks(chip_id, kind=DATA_KIND)
         if not full:
             return
-        victim = self.blocks.select_victim(chip_id, self.mapper)
+        victim = self.blocks.select_victim(chip_id, self.mapper, kind=DATA_KIND)
         if not self.blocks.is_failing(chip_id, victim):
             pages_per_block = self.geometry.block.pages_per_block
             invalid = pages_per_block - self.mapper.valid_count(chip_id, victim)

@@ -103,6 +103,13 @@ class _FreePool:
             assert self._order[self._pos[block]] == block
 
 
+#: block kinds -- what an in-service block holds.  FREE blocks are
+#: kindless (reported as DATA_KIND until taken); the kind is assigned at
+#: ``take_free`` time and reset when the block returns to the pool.
+DATA_KIND = "data"
+TRANS_KIND = "trans"
+
+
 class BlockManager:
     """Tracks every block's lifecycle state per chip.
 
@@ -114,6 +121,12 @@ class BlockManager:
       hold valid data, so they are migrated before being retired;
     - the **grown-bad table**: retired blocks with the reason they left
       service (``"wear"``, ``"erase_fail"``, ``"program_fail"``).
+
+    Blocks additionally carry an explicit **kind** (``"data"`` vs
+    ``"trans"``): demand-paged FTLs keep translation pages in dedicated
+    blocks whose valid-page accounting lives in a *different* mapper, so
+    GC victim selection and lifecycle auditing must never infer "all
+    open blocks hold host data" from the lifecycle state alone.
     """
 
     def __init__(self, geometry: SSDGeometry) -> None:
@@ -126,27 +139,38 @@ class BlockManager:
         self._state: Dict[int, List[BlockState]] = {}
         self._failing: Dict[int, Set[int]] = {}
         self._retired_reasons: Dict[int, Dict[int, str]] = {}
+        self._kind: Dict[int, List[str]] = {}
         for chip_id in range(geometry.n_chips):
             self._free[chip_id] = _FreePool(range(geometry.blocks_per_chip))
             self._state[chip_id] = [BlockState.FREE] * geometry.blocks_per_chip
             self._failing[chip_id] = set()
             self._retired_reasons[chip_id] = {}
+            self._kind[chip_id] = [DATA_KIND] * geometry.blocks_per_chip
 
     def state(self, chip_id: int, block: int) -> BlockState:
         return self._state[chip_id][block]
+
+    def kind_of(self, chip_id: int, block: int) -> str:
+        """The block's assigned kind (``"data"`` for free blocks)."""
+        return self._kind[chip_id][block]
 
     def free_count(self, chip_id: int) -> int:
         return len(self._free[chip_id])
 
     def take_free(
-        self, chip_id: int, key: Optional[Callable[[int], int]] = None
+        self,
+        chip_id: int,
+        key: Optional[Callable[[int], int]] = None,
+        kind: str = DATA_KIND,
     ) -> int:
-        """Pop a free block and mark it active.
+        """Pop a free block and mark it active with the given ``kind``.
 
         Without ``key`` blocks recycle FIFO; with a ``key`` (e.g. the
         erase count, for dynamic wear leveling) the free block minimizing
         it is chosen, oldest first on ties.
         """
+        if kind not in (DATA_KIND, TRANS_KIND):
+            raise ValueError(f"unknown block kind {kind!r}")
         free = self._free[chip_id]
         if not free:
             raise OutOfSpaceError(f"chip {chip_id} has no free blocks")
@@ -155,6 +179,7 @@ class BlockManager:
         else:
             block = free.take_min(key)
         self._state[chip_id][block] = BlockState.ACTIVE
+        self._kind[chip_id][block] = kind
         if self.observer is not None:
             self.observer.on_block_transition(
                 chip_id, block, BlockState.FREE, BlockState.ACTIVE
@@ -181,9 +206,12 @@ class BlockManager:
         self._failing[chip_id].discard(block)
         self._free[chip_id].append(block)
         if self.observer is not None:
+            # the observer audits against the *outgoing* kind's mapper
+            # (the block must be empty in it), so the kind resets after
             self.observer.on_block_transition(
                 chip_id, block, state, BlockState.FREE
             )
+        self._kind[chip_id][block] = DATA_KIND
 
     # ------------------------------------------------------------------
     # failing blocks and retirement
@@ -277,9 +305,13 @@ class BlockManager:
                 chip_id: dict(reasons)
                 for chip_id, reasons in self._retired_reasons.items()
             },
+            "kind": {
+                chip_id: list(kinds) for chip_id, kinds in self._kind.items()
+            },
         }
 
     def load_state_dict(self, state: dict) -> None:
+        kinds = state.get("kind")
         for chip_id in range(self.geometry.n_chips):
             self._free[chip_id] = _FreePool(state["free"][chip_id])
             self._state[chip_id] = [
@@ -289,32 +321,58 @@ class BlockManager:
             self._retired_reasons[chip_id] = dict(
                 state["retired_reasons"][chip_id]
             )
+            # absent in pre-kind checkpoints: every block held host data
+            self._kind[chip_id] = (
+                list(kinds[chip_id])
+                if kinds is not None
+                else [DATA_KIND] * self.geometry.blocks_per_chip
+            )
 
     # ------------------------------------------------------------------
     # GC victim selection
     # ------------------------------------------------------------------
 
-    def full_blocks(self, chip_id: int) -> List[int]:
+    def full_blocks(self, chip_id: int, kind: Optional[str] = None) -> List[int]:
+        """FULL blocks of a chip, optionally restricted to one kind."""
+        kinds = self._kind[chip_id]
         return [
             block
             for block, state in enumerate(self._state[chip_id])
             if state is BlockState.FULL
+            and (kind is None or kinds[block] == kind)
         ]
 
-    def select_victim(self, chip_id: int, mapper: PageMapper) -> int:
+    def failing_of_kind(self, chip_id: int, kind: str) -> List[int]:
+        """Failing blocks of one kind, sorted."""
+        kinds = self._kind[chip_id]
+        return sorted(
+            block for block in self._failing[chip_id] if kinds[block] == kind
+        )
+
+    def select_victim(
+        self, chip_id: int, mapper: PageMapper, kind: Optional[str] = None
+    ) -> int:
         """Greedy GC victim: the full block with the fewest valid pages.
 
         Failing blocks take absolute priority -- they must leave service
         as soon as their data can be moved, regardless of how many valid
-        pages they still hold.
+        pages they still hold.  ``kind`` restricts selection to blocks of
+        one kind; ``mapper`` must be the mapper accounting that kind's
+        valid pages (a block of another kind counts zero there, which
+        would make it look like a free win).
         """
-        failing = self._failing[chip_id]
+        kinds = self._kind[chip_id]
+        failing = [
+            block
+            for block in sorted(self._failing[chip_id])
+            if kind is None or kinds[block] == kind
+        ]
         if failing:
             return min(
-                sorted(failing),
+                failing,
                 key=lambda block: mapper.valid_count(chip_id, block),
             )
-        candidates = self.full_blocks(chip_id)
+        candidates = self.full_blocks(chip_id, kind=kind)
         if not candidates:
             raise OutOfSpaceError(f"chip {chip_id} has no GC victim")
         return min(candidates, key=lambda block: mapper.valid_count(chip_id, block))

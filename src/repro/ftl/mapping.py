@@ -190,6 +190,10 @@ class PageMapper:
     def mapped_lpn_count(self) -> int:
         return int((self._l2p != UNMAPPED).sum())
 
+    def mapped_lpns(self) -> np.ndarray:
+        """All currently mapped LPNs, ascending."""
+        return np.nonzero(self._l2p != UNMAPPED)[0]
+
     def audit(self) -> Optional[dict]:
         """Structured full-table audit for the runtime checker.
 

@@ -193,3 +193,51 @@ def attach_device_telemetry(
         opm.ort.telemetry = OrtTelemetry(registry)
     bind_engine(registry, controller.engine)
     bind_ftl(registry, ftl)
+    if getattr(ftl, "dftl_stats", None) is not None:
+        _bind_dftl(registry, ftl)
+
+
+def _bind_dftl(registry: TelemetryRegistry, ftl) -> None:
+    """Demand-paged mapping instruments (dftl only): CMT hit/miss/
+    eviction counters, translation-path flash traffic, and the live CMT
+    occupancy -- read back from the FTL's live stats at snapshot time,
+    like the :func:`~repro.obs.registry.bind_ftl` gauges."""
+    hits = registry.gauge(
+        "dftl_cmt_hits_total", "reads resolved from the cached mapping table"
+    )
+    misses = registry.gauge(
+        "dftl_cmt_misses_total",
+        "reads that paid a translation-page fetch (CMT miss)",
+    )
+    evictions = registry.gauge(
+        "dftl_cmt_evictions_total", "CMT evictions, split by dirty bit",
+        labelnames=("dirty",),
+    )
+    trans = registry.gauge(
+        "dftl_translation_ops_total",
+        "translation-page flash traffic (demand reads, writebacks, "
+        "translation-GC reads/programs/erases)",
+        unit="ops", labelnames=("op",),
+    )
+    occupancy = registry.gauge(
+        "dftl_cmt_occupancy", "live CMT entries", unit="entries"
+    )
+    capacity = registry.gauge(
+        "dftl_cmt_capacity", "configured CMT capacity", unit="entries"
+    )
+
+    def collect() -> None:
+        stats = ftl.dftl_stats
+        hits.set(stats.cmt_hits)
+        misses.set(stats.cmt_misses)
+        evictions.labels(dirty="true").set(stats.cmt_evictions_dirty)
+        evictions.labels(dirty="false").set(stats.cmt_evictions_clean)
+        trans.labels(op="read").set(stats.trans_reads)
+        trans.labels(op="write").set(stats.trans_programs)
+        trans.labels(op="gc_read").set(stats.trans_gc_reads)
+        trans.labels(op="gc_program").set(stats.trans_gc_programs)
+        trans.labels(op="gc_erase").set(stats.trans_gc_erases)
+        occupancy.set(ftl.cmt_occupancy())
+        capacity.set(ftl.cmt_capacity)
+
+    registry.add_collector(collect)

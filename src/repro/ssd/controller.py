@@ -266,6 +266,9 @@ class SSDSimulation:
                     ftl.mapper.bind(page_lpn, base_ppn + page_index)
                 lpn = group[-1] + 1
             ftl._maybe_mark_full(chip_id, allocation.block)
+        # demand-paged FTLs persist translation metadata for the
+        # prefilled range (untimed, still inside the fault-free window)
+        ftl.after_prefill(n_pages)
         # prefill must not distort run statistics
         from repro.faults.counters import RecoveryCounters
         from repro.ftl.base import FTLCounters

@@ -116,4 +116,4 @@ class TestRandomTrace:
 
 
 def test_default_ftls_cover_all_variants():
-    assert DEFAULT_FTLS == ("page", "vert", "cube", "oracle")
+    assert DEFAULT_FTLS == ("page", "vert", "cube", "oracle", "dftl")

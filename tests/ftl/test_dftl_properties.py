@@ -1,0 +1,123 @@
+"""Property-based tests for the demand-paged (DFTL) mapping FTL.
+
+Four properties, driven by hypothesis with ``derandomize=True`` so CI
+runs are seeded and deterministic:
+
+- the CMT never exceeds its configured capacity, checked after every
+  CMT mutation (an instance-level spy on the eviction hook);
+- on a fault-free run every dirty CMT eviction produces exactly one
+  translation-page program (the writeback ledger balances);
+- the CMT is a *pure cache*: the same trace replayed under CMT
+  capacities of 1 slot, 25% and 100% of the translation space yields a
+  byte-identical final logical state under the strict checker (so no
+  read ever returned different data);
+- both mapping tables (host L2P and the GTD) pass ``audit()`` and the
+  variant invariant after every fuzz-style run.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import run_simulation
+from repro.check import InvariantChecker, parse_check_level
+from repro.check.fuzz import random_trace
+from repro.ssd.config import SSDConfig
+from repro.ssd.controller import SSDSimulation
+
+CONFIG = SSDConfig.small(logical_fraction=0.4)
+# the strict checker's data-integrity oracle reads content tags back
+CHECKED_CONFIG = dataclasses.replace(CONFIG, store_tags=True)
+MAPPINGS_PER_TPAGE = 64
+N_TPAGES = -(-CONFIG.logical_pages // MAPPINGS_PER_TPAGE)
+
+
+def _drive(seed, cmt_capacity, ops=200, prefill=0.4):
+    """One checked closed-loop run; returns (sim, checker report)."""
+    checker = InvariantChecker(parse_check_level("strict"))
+    sim = SSDSimulation(
+        CHECKED_CONFIG, ftl="dftl", checker=checker,
+        cmt_capacity=cmt_capacity,
+    )
+    if prefill:
+        sim.prefill(prefill)
+    trace = random_trace(CONFIG.logical_pages, ops, seed)
+    sim.run(trace, queue_depth=8)
+    return sim, checker.finalize()
+
+
+@settings(derandomize=True, max_examples=6, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    capacity=st.sampled_from([1, 2, 5, 16, 64]),
+)
+def test_cmt_never_exceeds_capacity(seed, capacity):
+    checker = InvariantChecker(parse_check_level("strict"))
+    sim = SSDSimulation(
+        CHECKED_CONFIG, ftl="dftl", checker=checker, cmt_capacity=capacity
+    )
+    high_water = {"max": 0}
+    original = sim.ftl._cmt_evict_overflow
+
+    def spy():
+        original()
+        high_water["max"] = max(high_water["max"], len(sim.ftl._cmt))
+
+    sim.ftl._cmt_evict_overflow = spy
+    sim.prefill(0.4)
+    trace = random_trace(CONFIG.logical_pages, 150, seed)
+    sim.run(trace, queue_depth=8)
+    checker.finalize()
+    assert high_water["max"] <= capacity
+    assert len(sim.ftl._cmt) <= capacity
+
+
+@settings(derandomize=True, max_examples=6, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    capacity=st.sampled_from([1, 4, 16]),
+)
+def test_dirty_evictions_balance_translation_programs(seed, capacity):
+    sim, report = _drive(seed, capacity)
+    stats = sim.ftl.dftl_stats
+    # fault-free: no recovery rewrites, so the only demand-path
+    # translation programs are dirty-eviction writebacks, one each
+    assert stats.trans_recovered_pages == 0
+    assert stats.cmt_evictions_dirty == stats.trans_programs
+    assert report["violations"] == 0
+
+
+@settings(derandomize=True, max_examples=4, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_cmt_capacity_is_pure_cache(seed):
+    """Metamorphic: CMT sizing is a performance knob, never a
+    correctness knob.  1 slot, a quarter of the translation space, and
+    a full-coverage CMT must agree byte-for-byte on the final logical
+    state (and the strict oracle verified every read along the way)."""
+    trace = random_trace(
+        CONFIG.logical_pages, 200, seed, hot_fraction=0.1, hot_weight=0.7
+    )
+    digests = set()
+    for capacity in (1, max(1, N_TPAGES // 4), N_TPAGES * MAPPINGS_PER_TPAGE):
+        result = run_simulation(
+            CONFIG, trace, ftl="dftl",
+            cmt_capacity=capacity,
+            queue_depth=8, prefill=0.4, seed=seed, check="strict",
+        )
+        assert result.check["violations"] == 0
+        digests.add(result.check["state_digest"])
+    assert len(digests) == 1, f"CMT capacity changed results: {digests}"
+
+
+@settings(derandomize=True, max_examples=5, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    capacity=st.sampled_from([1, 3, 8, 64]),
+)
+def test_both_mappers_audit_clean_after_fuzz_run(seed, capacity):
+    sim, report = _drive(seed, capacity, ops=150)
+    assert report["violations"] == 0
+    assert sim.ftl.mapper.audit() is None
+    assert sim.ftl.tmapper.audit() is None
+    assert sim.ftl.audit_variant() is None

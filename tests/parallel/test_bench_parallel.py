@@ -48,6 +48,6 @@ def test_serial_and_jobs4_snapshots_are_byte_identical(tmp_path):
     # sanity: the snapshot is real (all cases present, simulated metrics in)
     document = json.loads(file_bytes(serial_path))
     assert document["canonical"] is True
-    assert len(document["cases"]) == 5
+    assert len(document["cases"]) == 6
     assert all("wall_clock_s" not in case for case in document["cases"])
     assert all(case["iops"] > 0 for case in document["cases"])

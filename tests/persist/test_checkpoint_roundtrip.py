@@ -53,7 +53,7 @@ def _key(result):
 
 
 class TestResumeEquivalence:
-    @pytest.mark.parametrize("ftl", ["page", "vert", "cube", "oracle"])
+    @pytest.mark.parametrize("ftl", ["page", "vert", "cube", "oracle", "dftl"])
     @pytest.mark.parametrize(
         "aged,faults", [(False, None), (True, "default")]
     )

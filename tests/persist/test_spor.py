@@ -22,7 +22,7 @@ def _config(spor_at_us=20_000.0, aged=False):
 
 
 class TestRecovery:
-    @pytest.mark.parametrize("ftl", ["page", "vert", "cube", "oracle"])
+    @pytest.mark.parametrize("ftl", ["page", "vert", "cube", "oracle", "dftl"])
     def test_recovery_serves_zero_stale_reads(self, ftl):
         report = run_spor_campaign(
             _config(), "OLTP", ftl=ftl,
@@ -53,6 +53,58 @@ class TestRecovery:
             n_requests=1200, seed=7, prefill=0.7,
         )
         assert report.clean
+
+    def test_dftl_dirty_cmt_at_cut_recovers(self):
+        """Power cut while the CMT holds dirty entries: the cached
+        mapping dies with RAM, but every acked write is rebuilt from
+        data-page OOB, the GTD is rebuilt from translation-page OOB,
+        and the lost window replays on top -- clean oracle, no stale
+        reads, no lost acked data."""
+        from repro.check import InvariantChecker, parse_check_level
+        from repro.workloads import build_workload
+
+        config = _config()
+        # deterministic phase-1 probe (same seed/instant the campaign
+        # replays): prove the chosen cut really lands mid-run with
+        # dirty CMT entries, i.e. mappings newer than any durable
+        # translation page
+        sim_config = dataclasses.replace(
+            config, store_oob=True, store_tags=True
+        )
+        checker = InvariantChecker(parse_check_level("on"))
+        sim = SSDSimulation(sim_config, ftl="dftl", checker=checker)
+        sim.prefill(0.7)
+        trace = build_workload("OLTP", sim_config.logical_pages, 1200, seed=7)
+        requests = list(trace.requests)
+        progress = {"issued": 0}
+
+        def on_complete(active, now_us):
+            issue_next()
+
+        def issue_next():
+            if progress["issued"] >= len(requests):
+                return
+            request = requests[progress["issued"]]
+            progress["issued"] += 1
+            sim.ftl.submit(request, on_complete)
+
+        for _ in range(32):
+            issue_next()
+        sim.controller.engine.run(until=20_000.0)
+        assert any(sim.ftl._cmt.values()), (
+            "cut instant has no dirty CMT entries; pick another instant"
+        )
+
+        report = run_spor_campaign(
+            config, "OLTP", ftl="dftl",
+            n_requests=1200, seed=7, prefill=0.7,
+        )
+        assert report.clean
+        assert report.lost_writes > 0  # the window was non-trivial
+        recovered = report.recovery
+        assert recovered["trans_records"] > 0
+        assert recovered["trans_pages"] > 0
+        assert recovered["mapped_lpns"] > 0
 
     def test_report_serializes(self):
         report = run_spor_campaign(

@@ -114,7 +114,7 @@ class TestCompare:
         ])
         assert exit_code == 0
         out = capsys.readouterr().out
-        for name in ("pageFTL", "vertFTL", "cubeFTL"):
+        for name in ("pageFTL", "vertFTL", "cubeFTL", "dftl"):
             assert name in out
 
 

@@ -62,6 +62,8 @@ def _cases():
     cases = [(f"{ftl}-OLTP", ftl, "OLTP", fresh) for ftl in FTLS]
     cases.append(("cube-Proxy", "cube", "Proxy", fresh))
     cases.append(("cube-OLTP-aged", "cube", "OLTP", aged))
+    # demand-paged mapping: the translation-traffic overhead case
+    cases.append(("dftl-OLTP", "dftl", "OLTP", fresh))
     return cases
 
 #: sizing knobs: smoke is the CI-friendly size, full the nightly one
